@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: speculative lock elision on/off inside the atomic
+ * configuration, isolating how much of each benchmark's win comes
+ * from eliding monitor pairs (the paper attributes much of antlr's
+ * and xalan's benefit to monitor-overhead elimination).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+
+int
+main()
+{
+    std::printf("Ablation: speculative lock elision (atomic+aggr "
+                "configuration)\n\n");
+    TextTable table({"bench", "speedup w/o SLE", "speedup w/ SLE",
+                     "CAS fast-path acquisitions w/o -> w/"});
+    for (const auto &w : wl::dacapoSuite()) {
+        const vm::Program profile_prog = w.build(true);
+        const vm::Program measure_prog = w.build(false);
+
+        rt::ExperimentConfig base;
+        base.compiler = core::CompilerConfig::baseline();
+        const auto mb = rt::runExperiment(profile_prog, measure_prog,
+                                          base, w.samples);
+
+        rt::ExperimentConfig off;
+        off.compiler = core::CompilerConfig::atomicAggressiveInline();
+        off.compiler.sle = false;
+        const auto moff = rt::runExperiment(
+            profile_prog, measure_prog, off, w.samples);
+
+        rt::ExperimentConfig on;
+        on.compiler = core::CompilerConfig::atomicAggressiveInline();
+        const auto mon = rt::runExperiment(
+            profile_prog, measure_prog, on, w.samples);
+
+        table.addRow({w.name,
+                      TextTable::fmt(speedupPct(mb, moff), 1) + "%",
+                      TextTable::fmt(speedupPct(mb, mon), 1) + "%",
+                      std::to_string(moff.monitorFastEnters) +
+                          " -> " +
+                          std::to_string(mon.monitorFastEnters)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

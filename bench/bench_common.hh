@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared harness for the table/figure benchmark binaries: runs a
+ * workload under the paper's compiler configurations and computes
+ * the derived metrics each table reports. Paper reference values
+ * (eyeballed from the published figures) are carried alongside so
+ * every binary prints measured-vs-paper columns.
+ */
+
+#ifndef AREGION_BENCH_COMMON_HH
+#define AREGION_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/jit.hh"
+#include "workloads/workload.hh"
+
+namespace aregion::bench {
+
+namespace rt = aregion::runtime;
+namespace core = aregion::core;
+namespace hw = aregion::hw;
+namespace wl = aregion::workloads;
+
+/** The four Figure 7/8 compiler configurations plus the grey bar. */
+inline std::vector<core::CompilerConfig>
+paperConfigs(bool include_grey = false)
+{
+    std::vector<core::CompilerConfig> configs{
+        core::CompilerConfig::baseline(),
+        core::CompilerConfig::atomic(),
+        core::CompilerConfig::baselineAggressiveInline(),
+        core::CompilerConfig::atomicAggressiveInline(),
+    };
+    if (include_grey) {
+        core::CompilerConfig grey = core::CompilerConfig::atomic();
+        grey.name = "atomic+forced-mono";
+        grey.forceMonomorphic = true;
+        configs.push_back(grey);
+    }
+    return configs;
+}
+
+/** Per-workload results across configurations. */
+struct WorkloadRuns
+{
+    std::string workload;
+    std::map<std::string, rt::RunMetrics> byConfig;
+};
+
+/** Run one workload under the given configurations. */
+inline WorkloadRuns
+runWorkload(const wl::Workload &w,
+            const std::vector<core::CompilerConfig> &configs,
+            const hw::TimingConfig &timing = hw::TimingConfig::baseline(),
+            const hw::HwConfig &hwc = {})
+{
+    WorkloadRuns runs;
+    runs.workload = w.name;
+    const vm::Program profile_prog = w.build(true);
+    const vm::Program measure_prog = w.build(false);
+    for (const core::CompilerConfig &cc : configs) {
+        rt::ExperimentConfig config;
+        config.compiler = cc;
+        config.timing = timing;
+        config.hw = hwc;
+        runs.byConfig.emplace(
+            cc.name, rt::runExperiment(profile_prog, measure_prog,
+                                       config, w.samples));
+    }
+    return runs;
+}
+
+/** Percentage speedup of `other` over `base` (weighted cycles). */
+inline double
+speedupPct(const rt::RunMetrics &base, const rt::RunMetrics &other)
+{
+    return (base.weightedCycles / other.weightedCycles - 1.0) * 100.0;
+}
+
+/** Percentage uop reduction of `other` relative to `base`. */
+inline double
+uopReductionPct(const rt::RunMetrics &base, const rt::RunMetrics &other)
+{
+    return (1.0 - other.weightedUops / base.weightedUops) * 100.0;
+}
+
+/** Paper Figure 7 speedups (percent, eyeballed from the figure). */
+inline const std::map<std::string, std::map<std::string, double>> &
+paperFigure7()
+{
+    static const std::map<std::string, std::map<std::string, double>>
+        data{
+            {"antlr", {{"atomic", 17}, {"no-atomic+aggr-inline", 5},
+                       {"atomic+aggr-inline", 22}}},
+            {"bloat", {{"atomic", 13}, {"no-atomic+aggr-inline", 10},
+                       {"atomic+aggr-inline", 32}}},
+            {"fop", {{"atomic", 2}, {"no-atomic+aggr-inline", 2},
+                     {"atomic+aggr-inline", 5}}},
+            {"hsqldb", {{"atomic", 25}, {"no-atomic+aggr-inline", 16},
+                        {"atomic+aggr-inline", 56}}},
+            {"jython", {{"atomic", -9}, {"no-atomic+aggr-inline", 14},
+                        {"atomic+aggr-inline", 35}}},
+            {"pmd", {{"atomic", -3}, {"no-atomic+aggr-inline", 1},
+                     {"atomic+aggr-inline", 2}}},
+            {"xalan", {{"atomic", 26}, {"no-atomic+aggr-inline", 5},
+                       {"atomic+aggr-inline", 25}}},
+        };
+    return data;
+}
+
+/** Paper Table 3 (atomic+aggressive-inline configuration). */
+struct PaperTable3Row
+{
+    double coveragePct;
+    int unique;
+    int size;
+    double abortPct;
+    double abortsPer1k;
+};
+
+inline const std::map<std::string, PaperTable3Row> &
+paperTable3()
+{
+    static const std::map<std::string, PaperTable3Row> data{
+        {"antlr", {9, 96, 47, 0.02, 0.0004}},
+        {"bloat", {69, 93, 128, 4.3, 0.12}},
+        {"fop", {20, 73, 32, 0.01, 0.0007}},
+        {"hsqldb", {76, 75, 88, 2.74, 0.24}},
+        {"jython", {87, 14, 227, 0.69, 0.27}},
+        {"pmd", {32, 32, 42, 2.2, 0.18}},
+        {"xalan", {78, 37, 78, 0.28, 0.03}},
+    };
+    return data;
+}
+
+} // namespace aregion::bench
+
+#endif // AREGION_BENCH_COMMON_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Regenerates Figures 2/3: compiler-based redundancy removal on the
+ * SuballocatedIntVector.addElement example, called twice in
+ * sequence at its hottest call site. Three compilers are compared:
+ *
+ *   (a) inlined but otherwise minimally optimized (Figure 3a),
+ *   (b) the baseline non-speculative pipeline, whose cold-path joins
+ *       block redundancy elimination (Figure 3b/c needs compensation
+ *       code the baseline cannot afford),
+ *   (c) atomic regions, where the cold paths become asserts and the
+ *       same passes remove the redundant checks and loads with no
+ *       compensation code.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "ir/ir.hh"
+#include "support/table.hh"
+#include "vm/interpreter.hh"
+
+// The shared sample-program library (also used by the test suite).
+#include "programs.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+using aregion::test::addElementProgram;
+
+namespace {
+
+struct Counts
+{
+    uint64_t uopsPerInsert;
+    int nullChecks;
+    int boundsChecks;
+    int lengthLoads;
+};
+
+Counts
+measure(const vm::Program &prog, core::CompilerConfig config)
+{
+    vm::Profile profile(prog);
+    {
+        vm::Interpreter interp(prog, &profile);
+        interp.run();
+    }
+    core::Compiled compiled =
+        core::compileProgram(prog, profile, config);
+
+    Counts counts{};
+    // Static checks on the hot code (main, where the pair of calls
+    // is inlined).
+    const ir::Function &f = compiled.mod.funcs.at(prog.mainMethod);
+    for (int b = 0; b < f.numBlocks(); ++b) {
+        const ir::Block &blk = f.block(b);
+        if (blk.execCount < 100)
+            continue;   // hot code only
+        for (const auto &in : blk.instrs) {
+            counts.nullChecks += in.op == ir::Op::NullCheck;
+            counts.boundsChecks += in.op == ir::Op::BoundsCheck;
+            counts.lengthLoads +=
+                in.op == ir::Op::LoadRaw &&
+                in.imm == vm::layout::ARR_LEN;
+        }
+    }
+
+    runtime::ExperimentConfig ec;
+    ec.compiler = config;
+    const auto metrics = runtime::runExperiment(prog, prog, ec);
+    counts.uopsPerInsert = metrics.retiredUops / (2 * 3000);
+    return counts;
+}
+
+} // namespace
+
+int
+main()
+{
+    const vm::Program prog = addElementProgram(3000, 512);
+
+    core::CompilerConfig unopt = core::CompilerConfig::baseline();
+    unopt.name = "inlined-only";
+    unopt.opt.unrollBodyLimit = 0;
+    unopt.opt.maxScalarIters = 1;
+
+    const Counts a = measure(prog, unopt);
+    const Counts b = measure(prog, core::CompilerConfig::baseline());
+    const Counts c = measure(prog, core::CompilerConfig::atomic());
+
+    std::printf("Figure 3: redundancy removal on addElement "
+                "(two sequential calls inlined)\n\n");
+    TextTable table({"metric", "inlined-only", "baseline",
+                     "atomic region"});
+    table.addRow({"uops per insert",
+                  std::to_string(a.uopsPerInsert),
+                  std::to_string(b.uopsPerInsert),
+                  std::to_string(c.uopsPerInsert)});
+    table.addRow({"static null checks (hot code*)",
+                  std::to_string(a.nullChecks),
+                  std::to_string(b.nullChecks),
+                  std::to_string(c.nullChecks)});
+    table.addRow({"static bounds checks (hot code*)",
+                  std::to_string(a.boundsChecks),
+                  std::to_string(b.boundsChecks),
+                  std::to_string(c.boundsChecks)});
+    table.addRow({"static length loads (hot code*)",
+                  std::to_string(a.lengthLoads),
+                  std::to_string(b.lengthLoads),
+                  std::to_string(c.lengthLoads)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("* atomic-region static counts span the region's "
+                "partially-unrolled copies\n  (4 iterations = 8 "
+                "inserts); divide accordingly to compare per "
+                "insert.\n");
+    std::printf("Expected shape (paper Fig. 3): the atomic-region "
+                "compiler removes the second\ncopy's redundant "
+                "null check and length load with no compensation "
+                "code, while\nthe baseline is blocked by the cold "
+                "chunk-overflow join.\n");
+    return 0;
+}

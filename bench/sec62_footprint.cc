@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates the Section 6.2 architectural analysis: dynamic region
+ * sizes versus the 128-entry reorder buffer, and speculative cache
+ * footprints versus the L1. The paper's findings to reproduce:
+ *  - a nontrivial fraction (~25%) of executed regions exceed the
+ *    128-entry window (so register checkpoints are required),
+ *  - some regions exceed 1,000 uops,
+ *  - most regions touch < 10 cache lines; 50 lines cover 99%;
+ *    overflow is essentially never triggered (512-line L1).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/statistics.hh"
+#include "support/table.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+
+int
+main()
+{
+    Histogram sizes;
+    Histogram footprints;
+    uint64_t total_regions = 0;
+    uint64_t overflow_aborts = 0;
+
+    for (const auto &w : wl::dacapoSuite()) {
+        const WorkloadRuns runs = runWorkload(
+            w, {core::CompilerConfig::atomicAggressiveInline()});
+        const auto &m = runs.byConfig.at("atomic+aggr-inline");
+        for (const auto &[key, stats] : m.machine.regions) {
+            for (const auto &[v, c] : stats.dynamicSize.buckets())
+                sizes.add(v, c);
+            for (const auto &[v, c] :
+                 stats.footprintLines.buckets()) {
+                footprints.add(v, c);
+            }
+            total_regions += stats.commits;
+            overflow_aborts += stats.abortsByCause[
+                static_cast<int>(hw::AbortCause::Overflow)];
+        }
+    }
+
+    std::printf("Section 6.2: architectural analysis of atomic "
+                "regions\n(atomic+aggressive-inline across the "
+                "suite)\n\n");
+    TextTable table({"metric", "measured", "paper"});
+    table.addRow({"committed regions",
+                  std::to_string(total_regions), "~1.7M"});
+    table.addRow({"median region size (uops)",
+                  std::to_string(sizes.percentile(0.5)), "-"});
+    table.addRow({"mean region size (uops)",
+                  TextTable::fmt(sizes.mean(), 1), "-"});
+    table.addRow({"regions > 128-uop window",
+                  TextTable::pct(
+                      static_cast<double>(sizes.countAbove(128)) /
+                          std::max<double>(1.0, static_cast<double>(
+                              sizes.count())), 1),
+                  "~25%"});
+    table.addRow({"regions > 1000 uops",
+                  std::to_string(sizes.countAbove(1000)),
+                  "a small fraction"});
+    table.addRow({"median footprint (64B lines)",
+                  std::to_string(footprints.percentile(0.5)),
+                  "< 10"});
+    table.addRow({"99th pct footprint (lines)",
+                  std::to_string(footprints.percentile(0.99)),
+                  "<= 50"});
+    table.addRow({"regions > 100 lines",
+                  std::to_string(footprints.countAbove(100)),
+                  "110 of 1.7M"});
+    table.addRow({"L1 overflow aborts",
+                  std::to_string(overflow_aborts), "1"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Conclusion to check: register checkpoints are "
+                "needed (regions exceed the\nwindow) but the L1 "
+                "easily holds every read/write set.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-performance microbenchmarks (google-benchmark): throughput of
+ * the functional machine simulator, with and without the timing
+ * model attached, and of the optimizing compiler itself. These are
+ * about the simulator as an artifact (how long experiments take),
+ * not about the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "hw/codegen.hh"
+#include "hw/machine.hh"
+#include "hw/timing.hh"
+#include "vm/interpreter.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+
+namespace {
+
+struct Prepared
+{
+    vm::Program prog;
+    hw::MachineProgram machine;
+};
+
+const Prepared &
+prepared()
+{
+    // Filled in place: MachineProgram::prog points at p.prog, so the
+    // Program must already live at its final address when compiled.
+    static Prepared p = [] {
+        Prepared fresh;
+        fresh.prog = wl::workloadByName("xalan").build(false);
+        return fresh;
+    }();
+    static const bool initialized = [] {
+        vm::Profile profile(p.prog);
+        {
+            vm::Interpreter interp(p.prog, &profile);
+            interp.run();
+        }
+        core::Compiled compiled = core::compileProgram(
+            p.prog, profile,
+            core::CompilerConfig::atomicAggressiveInline());
+        vm::Heap layout_heap(p.prog, 1 << 16);
+        p.machine = hw::lowerModule(
+            compiled.mod, hw::LayoutInfo::fromHeap(layout_heap));
+        p.machine.prog = &p.prog;
+        return true;
+    }();
+    (void)initialized;
+    return p;
+}
+
+void
+BM_FunctionalSimulator(benchmark::State &state)
+{
+    const Prepared &p = prepared();
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        hw::Machine machine(p.machine, hw::HwConfig{});
+        const auto res = machine.run();
+        uops += res.allContextUops;
+        benchmark::DoNotOptimize(res.retiredUops);
+    }
+    state.counters["uops/s"] = benchmark::Counter(
+        static_cast<double>(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalPlusTiming(benchmark::State &state)
+{
+    const Prepared &p = prepared();
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        hw::TimingModel timing(hw::TimingConfig::baseline());
+        hw::Machine machine(p.machine, hw::HwConfig{}, &timing);
+        const auto res = machine.run();
+        uops += res.allContextUops;
+        benchmark::DoNotOptimize(timing.cycles());
+    }
+    state.counters["uops/s"] = benchmark::Counter(
+        static_cast<double>(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalPlusTiming)->Unit(benchmark::kMillisecond);
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    const Prepared &p = prepared();
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        vm::Interpreter interp(p.prog);
+        const auto res = interp.run();
+        instrs += res.instructions;
+        benchmark::DoNotOptimize(res.instructions);
+    }
+    state.counters["bytecodes/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Interpreter)->Unit(benchmark::kMillisecond);
+
+void
+BM_AtomicCompiler(benchmark::State &state)
+{
+    const auto &w = wl::workloadByName("xalan");
+    const vm::Program prog = w.build(false);
+    vm::Profile profile(prog);
+    {
+        vm::Interpreter interp(prog, &profile);
+        interp.run();
+    }
+    for (auto _ : state) {
+        core::Compiled compiled = core::compileProgram(
+            prog, profile,
+            core::CompilerConfig::atomicAggressiveInline());
+        benchmark::DoNotOptimize(compiled.stats.totalInstrs);
+    }
+}
+BENCHMARK(BM_AtomicCompiler)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table 2: the benchmarks used in the evaluation, their
+ * descriptions, and the number of samples per benchmark, plus the
+ * dynamic size of each workload as built.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+#include "vm/interpreter.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+
+int
+main()
+{
+    std::printf("Table 2: DaCapo benchmark analogs used in "
+                "evaluation\n");
+    std::printf("(# = samples, as in the paper; sizes are measured "
+                "on the measurement input)\n\n");
+    TextTable table({"bench", "description", "#", "(paper #)",
+                     "bytecodes", "methods"});
+    for (const auto &w : wl::dacapoSuite()) {
+        const vm::Program prog = w.build(false);
+        vm::Interpreter interp(prog);
+        const auto res = interp.run();
+        table.addRow({w.name, w.description,
+                      std::to_string(w.samples.size()),
+                      "(" + std::to_string(w.paperSamples) + ")",
+                      std::to_string(res.instructions),
+                      std::to_string(prog.numMethods())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Each analog reproduces the structural features the "
+                "paper attributes to the\noriginal benchmark (see "
+                "the per-workload headers in src/workloads/).\n");
+    return 0;
+}

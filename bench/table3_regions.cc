@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Table 3: atomic region statistics for the
+ * atomic+aggressive-inlining configuration — region coverage
+ * (fraction of retired uops inside regions), unique executed
+ * regions, average dynamic region size, abort percentage, and
+ * aborts per 1,000 uops.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/table.hh"
+
+using namespace aregion;
+using namespace aregion::bench;
+
+int
+main()
+{
+    std::printf("Table 3: atomic region statistics "
+                "(atomic+aggressive-inline)\n");
+    std::printf("(paper values in parentheses)\n\n");
+
+    TextTable table({"bench", "coverage", "(p)", "unique", "(p)",
+                     "size", "(p)", "abort%", "(p)", "per-1k",
+                     "(p)"});
+    for (const auto &w : wl::dacapoSuite()) {
+        const WorkloadRuns runs = runWorkload(
+            w, {core::CompilerConfig::atomicAggressiveInline()});
+        const auto &m = runs.byConfig.at("atomic+aggr-inline");
+        const auto &paper = paperTable3().at(w.name);
+        table.addRow({
+            w.name,
+            TextTable::pct(m.coverage, 0),
+            "(" + TextTable::fmt(paper.coveragePct, 0) + "%)",
+            std::to_string(m.uniqueRegions),
+            "(" + std::to_string(paper.unique) + ")",
+            TextTable::fmt(m.avgRegionSize, 0),
+            "(" + std::to_string(paper.size) + ")",
+            TextTable::pct(m.abortPct, 2),
+            "(" + TextTable::fmt(paper.abortPct, 2) + "%)",
+            TextTable::fmt(m.abortsPer1kUops, 3),
+            "(" + TextTable::fmt(paper.abortsPer1k, 4) + ")",
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("coverage: retired uops inside atomic regions.\n"
+                "size: mean dynamic uops per committed region.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's Section 5 sampling methodology, demonstrated: record a
+ * method-invocation trace, classify execution phases SimPoint-style
+ * (interval frequency vectors + k-means), pick an infrequent marker
+ * method per phase, and report phase weights — the machinery behind
+ * Table 2's per-benchmark sample counts.
+ */
+
+#include <cstdio>
+
+#include "runtime/sampling.hh"
+#include "vm/interpreter.hh"
+#include "workloads/workload.hh"
+
+using namespace aregion;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "bloat";
+    const auto &w = workloads::workloadByName(name);
+    const vm::Program prog = w.build(true);    // profiling input
+
+    vm::Interpreter interp(prog);
+    interp.logInvocations = true;
+    const auto res = interp.run();
+    AREGION_ASSERT(res.completed, "run failed");
+
+    std::printf("workload %s: %zu method invocations recorded\n",
+                name, interp.invocationLog.size());
+
+    const size_t interval =
+        std::max<size_t>(64, interp.invocationLog.size() / 40);
+    const auto phases = runtime::classifyPhases(
+        interp.invocationLog, prog.numMethods(), interval, 4);
+
+    std::printf("classified %d phase(s) over %zu-invocation "
+                "intervals:\n", phases.numPhases, interval);
+    for (int p = 0; p < phases.numPhases; ++p) {
+        const vm::MethodId marker =
+            phases.markerMethod[static_cast<size_t>(p)];
+        std::printf("  phase %d: weight %.2f, representative "
+                    "interval %d, marker method '%s'\n",
+                    p, phases.phaseWeight[static_cast<size_t>(p)],
+                    phases.representative[static_cast<size_t>(p)],
+                    marker == vm::NO_METHOD
+                        ? "<none>"
+                        : prog.method(marker).name.c_str());
+    }
+
+    std::printf("\ninterval -> phase: ");
+    for (size_t i = 0; i < phases.intervalPhase.size(); ++i)
+        std::printf("%d", phases.intervalPhase[i]);
+    std::printf("\n\nThe paper instruments the chosen marker "
+                "methods' prologues and uses three\ndynamic "
+                "crossings to bound warm-up and measurement; the "
+                "workloads in this\nrepository place equivalent "
+                "markers at their phase boundaries (Table 2's\n"
+                "sample counts).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "core/adaptive.hh"
+
+namespace aregion::core {
+
+std::set<std::pair<int, int>>
+AdaptiveController::computeOverrides(
+    const ir::Module &mod, const AbortTelemetry &telemetry) const
+{
+    std::set<std::pair<int, int>> overrides;
+    for (const auto &[key, stats] : telemetry) {
+        const auto &[method, region_id] = key;
+        if (stats.entries < minEntries)
+            continue;
+        uint64_t aborts = stats.implicitAborts;
+        for (const auto &[id, count] : stats.abortsByAssert)
+            aborts += count;
+        const double rate = static_cast<double>(aborts) /
+                            static_cast<double>(stats.entries);
+        if (rate < abortRateThreshold)
+            continue;
+
+        auto fit = mod.funcs.find(method);
+        if (fit == mod.funcs.end())
+            continue;
+        const ir::Function &func = fit->second;
+        if (region_id < 0 ||
+            static_cast<size_t>(region_id) >= func.regions.size()) {
+            continue;
+        }
+        const ir::RegionInfo &region =
+            func.regions[static_cast<size_t>(region_id)];
+
+        // Blame origin sites responsible for a meaningful share.
+        // Partial unrolling replicates one cold branch into several
+        // assert ids, so aggregate by (method, pc) first.
+        std::map<std::pair<int, int>, uint64_t> by_origin;
+        for (const auto &[assert_id, count] : stats.abortsByAssert) {
+            auto oit = region.abortOrigins.find(assert_id);
+            if (oit != region.abortOrigins.end())
+                by_origin[oit->second] += count;
+        }
+        for (const auto &[origin, count] : by_origin) {
+            if (static_cast<double>(count) >=
+                0.25 * static_cast<double>(aborts)) {
+                overrides.insert(origin);
+            }
+        }
+    }
+    return overrides;
+}
+
+} // namespace aregion::core

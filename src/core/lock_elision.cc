@@ -1,0 +1,87 @@
+#include "core/lock_elision.hh"
+
+#include <map>
+
+#include "vm/layout.hh"
+
+namespace aregion::core {
+
+using namespace aregion::ir;
+
+SleStats
+elideLocks(Function &func)
+{
+    SleStats stats;
+
+    // Continue abort ids from the formation pass.
+    int next_abort_id = 0;
+    for (const RegionInfo &r : func.regions) {
+        for (const auto &[id, origin] : r.abortOrigins)
+            next_abort_id = std::max(next_abort_id, id + 1);
+    }
+
+    for (RegionInfo &region : func.regions) {
+        // Count monitor ops per receiver vreg within this region.
+        std::map<Vreg, std::pair<int, int>> monitors; // enter, exit
+        for (int b = 0; b < func.numBlocks(); ++b) {
+            const Block &blk = func.block(b);
+            if (blk.regionId != region.id)
+                continue;
+            for (const Instr &in : blk.instrs) {
+                if (in.op == Op::MonitorEnter)
+                    monitors[in.s0()].first++;
+                else if (in.op == Op::MonitorExit)
+                    monitors[in.s0()].second++;
+            }
+        }
+
+        bool any = false;
+        for (const auto &[obj, counts] : monitors) {
+            if (counts.first == 0 || counts.first != counts.second)
+                continue;       // unbalanced: keep real locking
+            // Rewrite every enter into load+assert, drop every exit.
+            for (int b = 0; b < func.numBlocks(); ++b) {
+                Block &blk = func.block(b);
+                if (blk.regionId != region.id)
+                    continue;
+                std::vector<Instr> out;
+                out.reserve(blk.instrs.size());
+                for (Instr &in : blk.instrs) {
+                    if (in.op == Op::MonitorEnter && in.s0() == obj) {
+                        Instr load;
+                        load.op = Op::LoadRaw;
+                        load.dst = func.newVreg();
+                        load.srcs = {obj};
+                        load.imm = vm::layout::HDR_LOCK;
+                        load.bcPc = in.bcPc;
+                        load.bcMethod = in.bcMethod;
+                        Instr assert_in;
+                        assert_in.op = Op::Assert;
+                        assert_in.srcs = {load.dst};
+                        assert_in.imm = 0;  // abort if lock word != 0
+                        assert_in.aux = next_abort_id;
+                        assert_in.bcPc = in.bcPc;
+                        assert_in.bcMethod = in.bcMethod;
+                        region.abortOrigins[next_abort_id] =
+                            {in.bcMethod, in.bcPc};
+                        ++next_abort_id;
+                        out.push_back(std::move(load));
+                        out.push_back(std::move(assert_in));
+                        continue;
+                    }
+                    if (in.op == Op::MonitorExit && in.s0() == obj)
+                        continue;   // no action in the common case
+                    out.push_back(std::move(in));
+                }
+                blk.instrs = std::move(out);
+            }
+            stats.pairsElided += counts.first;
+            any = true;
+        }
+        if (any)
+            stats.regionsAffected++;
+    }
+    return stats;
+}
+
+} // namespace aregion::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Speculative lock elision inside atomic regions (paper Section 4).
+ *
+ * When a region contains balanced monitor enter/exit pairs on the
+ * same object, the fast path reduces to a single load of the lock
+ * word plus an assert that it is free: the region's read-set entry
+ * on the lock word makes any concurrent acquisition a conflict
+ * abort, and atomic commit makes the elision safe. The monitor exit
+ * needs no action at all.
+ */
+
+#ifndef AREGION_CORE_LOCK_ELISION_HH
+#define AREGION_CORE_LOCK_ELISION_HH
+
+#include "ir/ir.hh"
+
+namespace aregion::core {
+
+struct SleStats
+{
+    int pairsElided = 0;        ///< balanced enter/exit pairs removed
+    int regionsAffected = 0;
+};
+
+/**
+ * Elide balanced monitor pairs inside every atomic region of the
+ * function. Monitors are matched per receiver vreg; a vreg whose
+ * enter/exit counts differ within the region is left untouched
+ * (conservative: the non-speculative path still locks properly).
+ * Fresh abort ids continue from the function's current maximum.
+ */
+SleStats elideLocks(ir::Function &func);
+
+} // namespace aregion::core
+
+#endif // AREGION_CORE_LOCK_ELISION_HH

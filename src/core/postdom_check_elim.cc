@@ -1,0 +1,182 @@
+#include "core/postdom_check_elim.hh"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "ir/dominators.hh"
+
+namespace aregion::core {
+
+using namespace aregion::ir;
+
+namespace {
+
+struct CheckSite
+{
+    int block;
+    size_t index;
+    Vreg idx;
+    Vreg len;
+};
+
+} // namespace
+
+int
+postdomCheckElim(Function &func)
+{
+    if (func.regions.empty())
+        return 0;
+
+    // Single-def analysis: value identity by vreg is only stable for
+    // vregs with one static definition.
+    std::map<Vreg, int> def_count;
+    std::map<Vreg, const Instr *> def_of;
+    for (int b : func.reversePostOrder()) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (in.dst != NO_VREG) {
+                def_count[in.dst]++;
+                def_of[in.dst] = &in;
+            }
+        }
+    }
+    auto single_def = [&](Vreg v) {
+        auto it = def_count.find(v);
+        return it != def_count.end() && it->second == 1;
+    };
+
+    const DominatorTree pdoms(func, /*post=*/true);
+
+    int removed = 0;
+    for (const RegionInfo &region : func.regions) {
+        std::vector<CheckSite> checks;
+        for (int b = 0; b < func.numBlocks(); ++b) {
+            const Block &blk = func.block(b);
+            if (blk.regionId != region.id)
+                continue;
+            for (size_t i = 0; i < blk.instrs.size(); ++i) {
+                const Instr &in = blk.instrs[i];
+                if (in.op == Op::BoundsCheck) {
+                    checks.push_back({b, i, in.s0(), in.s1()});
+                }
+            }
+        }
+
+        // j subsumes i when j == i, or j := Add(i, k) with const
+        // k >= 0 (paper's check_bounds(len, i+1) example).
+        auto subsumes = [&](Vreg j, Vreg i) {
+            if (j == i)
+                return true;
+            if (!single_def(j) || !single_def(i))
+                return false;
+            const Instr *dj = def_of[j];
+            if (dj->op != Op::Add || dj->srcs.size() != 2)
+                return false;
+            Vreg base = NO_VREG, other = NO_VREG;
+            if (dj->s0() == i) {
+                base = i;
+                other = dj->s1();
+            } else if (dj->s1() == i) {
+                base = i;
+                other = dj->s0();
+            } else {
+                return false;
+            }
+            (void)base;
+            if (!single_def(other))
+                return false;
+            const Instr *dk = def_of[other];
+            return dk->op == Op::Const && dk->imm >= 0;
+        };
+
+        // Same-block variant (loop induction variables are multi-def,
+        // so the global single-def test is too strict here): between
+        // check A and check B, A's index and length must be stable,
+        // and B's index must be defined exactly once in between as
+        // A's index plus a non-negative constant.
+        auto same_block_subsumes = [&](const CheckSite &a,
+                                       const CheckSite &b) {
+            if (a.block != b.block || b.index <= a.index)
+                return false;
+            const Block &blk = func.block(a.block);
+            // Two shapes: a fresh index vreg defined once in between
+            // as idx + k, or the SAME vreg incremented exactly once
+            // (the unrolled `check(i); ++i; check(i)` pattern).
+            const bool same_vreg = a.idx == b.idx;
+            bool bound = false;
+            for (size_t i = a.index + 1; i < b.index; ++i) {
+                const Instr &in = blk.instrs[i];
+                if (in.dst == a.len)
+                    return false;
+                if (in.dst != b.idx) {
+                    if (in.dst == a.idx)
+                        return false;   // unrelated clobber
+                    continue;
+                }
+                if (bound || in.op != Op::Add ||
+                    in.srcs.size() != 2) {
+                    return false;
+                }
+                Vreg other;
+                if (in.s0() == a.idx)
+                    other = in.s1();
+                else if (in.s1() == a.idx)
+                    other = in.s0();
+                else
+                    return false;
+                if (!single_def(other))
+                    return false;
+                const Instr *dk = def_of[other];
+                if (dk->op != Op::Const || dk->imm < 0)
+                    return false;
+                bound = true;
+            }
+            // With distinct vregs the binding is required; with the
+            // same vreg an increment must have happened (otherwise
+            // the checks are identical and CSE owns them).
+            (void)same_vreg;
+            return bound;
+        };
+
+        std::vector<CheckSite> doomed;
+        for (const CheckSite &a : checks) {
+            for (const CheckSite &b : checks) {
+                if (a.block == b.block && a.index == b.index)
+                    continue;
+                if (a.len != b.len)
+                    continue;
+                const bool later_same_block =
+                    same_block_subsumes(a, b);
+                if (b.idx == a.idx && !later_same_block)
+                    continue;   // identical checks belong to CSE
+                const bool postdominated =
+                    a.block != b.block &&
+                    single_def(a.idx) && single_def(a.len) &&
+                    subsumes(b.idx, a.idx) &&
+                    pdoms.dominates(b.block, a.block) &&
+                    func.block(b.block).regionId == region.id;
+                if (later_same_block || postdominated) {
+                    doomed.push_back(a);
+                    break;
+                }
+            }
+        }
+
+        // Delete from the back so indices stay valid.
+        std::sort(doomed.begin(), doomed.end(),
+                  [](const CheckSite &x, const CheckSite &y) {
+                      if (x.block != y.block)
+                          return x.block > y.block;
+                      return x.index > y.index;
+                  });
+        for (const CheckSite &site : doomed) {
+            Block &blk = func.block(site.block);
+            blk.instrs.erase(blk.instrs.begin() +
+                             static_cast<long>(site.index));
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace aregion::core

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Post-dominance bounds-check elimination inside atomic regions —
+ * the paper's Section 7 extension.
+ *
+ * Inside a region, a bounds check A(i, len) may be removed when a
+ * subsuming check B(j, len) post-dominates it within the region,
+ * where j is defined as i + k for a constant k >= 0: if B fails,
+ * the region aborts and the non-speculative code re-executes both
+ * checks precisely.
+ *
+ * Caveat (documented in DESIGN.md): subsumption of the lower bound
+ * (i >= 0) by (i + k >= 0) is heuristic for k > 0, exactly as the
+ * paper's example assumes a non-negative induction variable; the
+ * pass is therefore opt-in (CompilerConfig::postdomCheckElim).
+ */
+
+#ifndef AREGION_CORE_POSTDOM_CHECK_ELIM_HH
+#define AREGION_CORE_POSTDOM_CHECK_ELIM_HH
+
+#include "ir/ir.hh"
+
+namespace aregion::core {
+
+/** Returns the number of checks removed. */
+int postdomCheckElim(ir::Function &func);
+
+} // namespace aregion::core
+
+#endif // AREGION_CORE_POSTDOM_CHECK_ELIM_HH

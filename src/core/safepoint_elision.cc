@@ -1,0 +1,29 @@
+#include "core/safepoint_elision.hh"
+
+#include <algorithm>
+
+namespace aregion::core {
+
+using namespace aregion::ir;
+
+int
+elideSafepoints(Function &func)
+{
+    int removed = 0;
+    for (int b = 0; b < func.numBlocks(); ++b) {
+        Block &blk = func.block(b);
+        if (blk.regionId < 0)
+            continue;
+        const auto before = blk.instrs.size();
+        blk.instrs.erase(
+            std::remove_if(blk.instrs.begin(), blk.instrs.end(),
+                           [](const Instr &in) {
+                               return in.op == Op::Safepoint;
+                           }),
+            blk.instrs.end());
+        removed += static_cast<int>(before - blk.instrs.size());
+    }
+    return removed;
+}
+
+} // namespace aregion::core

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Safepoint elision inside atomic regions (paper Section 6.4).
+ *
+ * The paper's authors tried removing the GC safe point from loops
+ * fully encapsulated in atomic regions, replacing it with a single
+ * poll outside — and were foiled by their register allocator. The
+ * transformation itself is sound on this substrate: a timer
+ * interrupt aborts any in-flight region, so preemption latency is
+ * bounded by the region size even with no polls inside, and the
+ * region's alternate (non-speculative) code keeps its polls.
+ */
+
+#ifndef AREGION_CORE_SAFEPOINT_ELISION_HH
+#define AREGION_CORE_SAFEPOINT_ELISION_HH
+
+#include "ir/ir.hh"
+
+namespace aregion::core {
+
+/** Remove Safepoint instructions from region blocks; returns the
+ *  number removed. */
+int elideSafepoints(ir::Function &func);
+
+} // namespace aregion::core
+
+#endif // AREGION_CORE_SAFEPOINT_ELISION_HH

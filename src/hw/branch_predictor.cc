@@ -1,0 +1,54 @@
+#include "hw/branch_predictor.hh"
+
+namespace aregion::hw {
+
+BranchPredictor::BranchPredictor(size_t gshare_entries,
+                                 size_t bimodal_entries,
+                                 size_t target_entries)
+    : gshare(gshare_entries), bimodal(bimodal_entries),
+      chooser(bimodal_entries), targets(target_entries, 0)
+{
+}
+
+size_t
+BranchPredictor::gshareIndex(uint64_t pc) const
+{
+    return static_cast<size_t>((pc) ^ history);
+}
+
+bool
+BranchPredictor::predictTaken(uint64_t pc) const
+{
+    const bool use_gshare =
+        chooser.taken(static_cast<size_t>(pc));
+    return use_gshare ? gshare.taken(gshareIndex(pc))
+                      : bimodal.taken(static_cast<size_t>(pc));
+}
+
+void
+BranchPredictor::update(uint64_t pc, bool taken)
+{
+    const bool g = gshare.taken(gshareIndex(pc));
+    const bool b = bimodal.taken(static_cast<size_t>(pc));
+    if (g != b)
+        chooser.update(static_cast<size_t>(pc), g == taken);
+    gshare.update(gshareIndex(pc), taken);
+    bimodal.update(static_cast<size_t>(pc), taken);
+    history = (history << 1 | (taken ? 1 : 0)) & 0xffff;
+}
+
+uint64_t
+BranchPredictor::predictTarget(uint64_t pc) const
+{
+    return targets[static_cast<size_t>(pc) &
+                   (targets.size() - 1)];
+}
+
+void
+BranchPredictor::updateTarget(uint64_t pc, uint64_t target)
+{
+    targets[static_cast<size_t>(pc) & (targets.size() - 1)] =
+        target;
+}
+
+} // namespace aregion::hw

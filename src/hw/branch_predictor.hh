@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch prediction: a combining (tournament) predictor with gshare
+ * and bimodal components (Table 1: "combine: 64K gshare/16K bimod"),
+ * plus a last-target table for indirect calls.
+ */
+
+#ifndef AREGION_HW_BRANCH_PREDICTOR_HH
+#define AREGION_HW_BRANCH_PREDICTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aregion::hw {
+
+/** Two-bit saturating counter table helper. */
+class CounterTable
+{
+  public:
+    explicit CounterTable(size_t entries)
+        : table(entries, 2)     // weakly taken
+    {
+    }
+
+    bool taken(size_t index) const { return table[mask(index)] >= 2; }
+
+    void
+    update(size_t index, bool taken_outcome)
+    {
+        uint8_t &c = table[mask(index)];
+        if (taken_outcome && c < 3)
+            ++c;
+        else if (!taken_outcome && c > 0)
+            --c;
+    }
+
+  private:
+    size_t mask(size_t index) const { return index & (table.size() - 1); }
+
+    std::vector<uint8_t> table;
+};
+
+/** The combining predictor. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(size_t gshare_entries = 64 * 1024,
+                    size_t bimodal_entries = 16 * 1024,
+                    size_t target_entries = 4 * 1024);
+
+    /** Predict the direction of the conditional branch at pc. */
+    bool predictTaken(uint64_t pc) const;
+
+    /** Train with the actual outcome. */
+    void update(uint64_t pc, bool taken);
+
+    /** Last-target prediction for indirect calls (0 = no entry). */
+    uint64_t predictTarget(uint64_t pc) const;
+    void updateTarget(uint64_t pc, uint64_t target);
+
+  private:
+    size_t gshareIndex(uint64_t pc) const;
+
+    CounterTable gshare;
+    CounterTable bimodal;
+    CounterTable chooser;       ///< >=2 selects gshare
+    uint64_t history = 0;
+    std::vector<uint64_t> targets;
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_BRANCH_PREDICTOR_HH

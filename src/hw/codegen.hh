@@ -1,0 +1,54 @@
+/**
+ * @file
+ * IR -> machine code lowering.
+ *
+ * Notable lowerings:
+ *  - safety checks become compare+branch to per-check trap stubs
+ *    (BoundsCheck uses a single unsigned compare),
+ *  - Assert becomes one conditional branch to an aregion_abort stub,
+ *  - virtual calls become classid load + vtable load + indirect call,
+ *  - monitor fast paths follow the paper's description (load, check,
+ *    CAS + store at enter; load, check, store at exit) with slow-path
+ *    stubs for contention and recursion,
+ *  - instanceof/checkcast index the heap's subtype matrix,
+ *  - aregion_begin carries its alternate pc from the region's
+ *    exception edge.
+ *
+ * Register allocation is the identity map over virtual registers:
+ * the modeled core renames registers, so register pressure is not a
+ * first-order effect (the paper's Section 6.4 spill anecdote is a
+ * compiler-quality observation we document rather than model).
+ */
+
+#ifndef AREGION_HW_CODEGEN_HH
+#define AREGION_HW_CODEGEN_HH
+
+#include "hw/isa.hh"
+#include "ir/ir.hh"
+#include "vm/heap.hh"
+
+namespace aregion::hw {
+
+/** Memory-layout constants codegen bakes into addresses. */
+struct LayoutInfo
+{
+    uint64_t vtableBase = 0;
+    int vtableSlots = vm::Program::maxVtableSlots;
+    uint64_t subtypeBase = 0;
+    int subtypeColumns = 0;
+
+    /** Derive from a heap built for the same program. */
+    static LayoutInfo fromHeap(const vm::Heap &heap);
+};
+
+/** Lower one function. */
+MachineFunction lower(const ir::Function &func,
+                      const LayoutInfo &layout);
+
+/** Lower a whole module. */
+MachineProgram lowerModule(const ir::Module &mod,
+                           const LayoutInfo &layout);
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_CODEGEN_HH

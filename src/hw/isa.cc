@@ -1,0 +1,76 @@
+#include "hw/isa.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace aregion::hw {
+
+const char *
+mkindName(MKind kind)
+{
+    switch (kind) {
+      case MKind::Imm: return "imm";
+      case MKind::Mov: return "mov";
+      case MKind::Alu: return "alu";
+      case MKind::Load: return "load";
+      case MKind::Store: return "store";
+      case MKind::Br: return "br";
+      case MKind::Jmp: return "jmp";
+      case MKind::CallDirect: return "call";
+      case MKind::CallIndirect: return "callind";
+      case MKind::Ret: return "ret";
+      case MKind::Cas: return "cas";
+      case MKind::TidWord: return "tidword";
+      case MKind::LockSlow: return "lockslow";
+      case MKind::UnlockSlow: return "unlockslow";
+      case MKind::Alloc: return "alloc";
+      case MKind::YieldLoad: return "yieldload";
+      case MKind::Print: return "print";
+      case MKind::Marker: return "marker";
+      case MKind::Spawn: return "spawn";
+      case MKind::Trap: return "trap";
+      case MKind::ABegin: return "aregion_begin";
+      case MKind::AEnd: return "aregion_end";
+      case MKind::AAbort: return "aregion_abort";
+      case MKind::Nop: return "nop";
+    }
+    return "<bad>";
+}
+
+std::string
+MUop::toString() const
+{
+    std::ostringstream os;
+    if (dst != NO_MREG)
+        os << "r" << dst << " = ";
+    os << mkindName(kind);
+    for (MReg s : srcs)
+        os << " r" << s;
+    if (imm)
+        os << " #" << imm;
+    if (target >= 0)
+        os << " ->" << target;
+    if (kind == MKind::Br)
+        os << (brIfZero ? " ifz" : " ifnz");
+    return os.str();
+}
+
+const MachineFunction &
+MachineProgram::func(vm::MethodId m) const
+{
+    auto it = funcs.find(m);
+    AREGION_ASSERT(it != funcs.end(), "no machine code for method ", m);
+    return it->second;
+}
+
+int
+MachineProgram::totalUops() const
+{
+    int total = 0;
+    for (const auto &[m, f] : funcs)
+        total += static_cast<int>(f.code.size());
+    return total;
+}
+
+} // namespace aregion::hw

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The machine instruction set, including the paper's three atomic
+ * execution primitives (Section 3.2):
+ *
+ *   aregion_begin <alt PC>  (MKind::ABegin, target = alternate pc)
+ *   aregion_end             (MKind::AEnd)
+ *   aregion_abort           (MKind::AAbort)
+ *
+ * Abort causes are exposed to software through two registers modeled
+ * as fields of the abort event: the cause and the pc of the
+ * responsible instruction, which the runtime maps back to the
+ * compiler's assert ids for adaptive recompilation.
+ *
+ * Machine code is a flat list of uops per method; the global pc of a
+ * uop is (methodId << 16 | offset), which the branch predictor and
+ * the diagnosis registers use.
+ */
+
+#ifndef AREGION_HW_ISA_HH
+#define AREGION_HW_ISA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/program.hh"
+
+namespace aregion::hw {
+
+/** Machine register index (virtual; frames are register files). */
+using MReg = int;
+constexpr MReg NO_MREG = -1;
+
+/** ALU operation for MKind::Alu. */
+enum class AluOp : uint8_t {
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    CmpULt,     ///< unsigned < (single-uop bounds checks)
+};
+
+/** Machine opcode. */
+enum class MKind : uint8_t {
+    Imm,        ///< dst = imm
+    Mov,        ///< dst = s0
+    Alu,        ///< dst = s0 alu s1 (Div/Rem trap on zero divisor)
+    Load,       ///< dst = mem[s0 + imm (+ s1)]
+    Store,      ///< mem[s0 + imm (+ s1 when 3 srcs)] = last src
+    Br,         ///< if s0 (!= 0, or == 0 when brIfZero) goto target
+    Jmp,        ///< goto target
+    CallDirect, ///< aux = callee method; srcs = args
+    CallIndirect,///< s0 holds callee method id; srcs[1..] = args
+    Ret,        ///< return s0 (if present)
+    Cas,        ///< dst = mem[s0+imm]; if dst==s1 store s2; serializing
+    TidWord,    ///< dst = lock word (current thread, depth 1)
+    LockSlow,   ///< contended/recursive monitor enter on s0; blocking
+    UnlockSlow, ///< recursive monitor exit on s0
+    Alloc,      ///< dst = new object (aux=class) or array (s0=len)
+    YieldLoad,  ///< dst = own safepoint flag (a real load)
+    Print,      ///< emit s0 to the observable output
+    Marker,     ///< sampling marker, id = imm
+    Spawn,      ///< start thread at method aux with args = srcs
+    Trap,       ///< raise trap aux (TrapKind); aborts active region
+    ABegin,     ///< begin region aux; alternate pc = target
+    AEnd,       ///< commit region aux
+    AAbort,     ///< explicit abort; aux = assert/abort id
+    Nop,
+};
+
+const char *mkindName(MKind kind);
+
+/** One machine uop. */
+struct MUop
+{
+    MKind kind = MKind::Nop;
+    AluOp alu = AluOp::Add;
+    MReg dst = NO_MREG;
+    std::vector<MReg> srcs;
+    int64_t imm = 0;        ///< immediate / address displacement
+    int target = -1;        ///< branch/alt target (uop offset)
+    int aux = 0;            ///< callee / class / region / abort / trap
+    bool brIfZero = false;  ///< Br polarity
+
+    /** Provenance for diagnosis and profiling. */
+    int bcMethod = -1;
+    int bcPc = -1;
+
+    std::string toString() const;
+};
+
+/** A compiled method. */
+struct MachineFunction
+{
+    vm::MethodId methodId = vm::NO_METHOD;
+    std::string name;
+    int numArgs = 0;
+    int numRegs = 0;
+    std::vector<MUop> code;
+
+    /** Static regions of the originating IR (id -> abort origins). */
+    std::map<int, std::map<int, std::pair<int, int>>> regionAborts;
+};
+
+/** Global pc helpers. */
+constexpr uint64_t
+globalPc(vm::MethodId method, int offset)
+{
+    return (static_cast<uint64_t>(method) << 16) |
+           static_cast<uint64_t>(offset);
+}
+
+constexpr vm::MethodId
+pcMethod(uint64_t pc)
+{
+    return static_cast<vm::MethodId>(pc >> 16);
+}
+
+constexpr int
+pcOffset(uint64_t pc)
+{
+    return static_cast<int>(pc & 0xffff);
+}
+
+/** A whole compiled program. */
+struct MachineProgram
+{
+    const vm::Program *prog = nullptr;
+    std::map<vm::MethodId, MachineFunction> funcs;
+
+    const MachineFunction &func(vm::MethodId m) const;
+
+    /** Total static uop count. */
+    int totalUops() const;
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_ISA_HH

@@ -1,0 +1,649 @@
+#include "hw/machine.hh"
+
+#include "support/logging.hh"
+#include "vm/arith.hh"
+#include "vm/layout.hh"
+
+namespace aregion::hw {
+
+namespace layout = vm::layout;
+using vm::Trap;
+using vm::TrapKind;
+
+const char *
+abortCauseName(AbortCause cause)
+{
+    switch (cause) {
+      case AbortCause::Explicit: return "explicit";
+      case AbortCause::Conflict: return "conflict";
+      case AbortCause::Overflow: return "overflow";
+      case AbortCause::Interrupt: return "interrupt";
+      case AbortCause::Exception: return "exception";
+      case AbortCause::Io: return "io";
+    }
+    return "<bad>";
+}
+
+uint64_t
+MachineResult::outputChecksum() const
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t v : output) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= static_cast<uint64_t>(v >> (b * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+Machine::Machine(const MachineProgram &prog, const HwConfig &config_,
+                 TraceSink *sink_, uint64_t max_words)
+    : mp(prog), config(config_), sink(sink_),
+      heapImpl(*prog.prog, max_words)
+{
+}
+
+RegionRuntime &
+Machine::regionStats(const Ctx &ctx)
+{
+    return result.regions[{ctx.spec->method, ctx.spec->regionId}];
+}
+
+void
+Machine::trackSpecLine(Ctx &ctx, uint64_t line)
+{
+    Spec &spec = *ctx.spec;
+    if (spec.readLines.count(line) || spec.writeLines.count(line))
+        return;
+    const int num_sets = config.l1Lines / config.l1Assoc;
+    const uint64_t set = line % static_cast<uint64_t>(num_sets);
+    const int occupancy = ++spec.setOccupancy[set];
+    const auto total = spec.readLines.size() + spec.writeLines.size();
+    if (occupancy > config.l1Assoc ||
+        total + 1 > static_cast<size_t>(config.l1Lines)) {
+        throw RegionAbort{AbortCause::Overflow, -1};
+    }
+}
+
+void
+Machine::signalConflicts(Ctx &writer_ctx, uint64_t line)
+{
+    for (Ctx &other : ctxs) {
+        if (other.id == writer_ctx.id || !other.spec ||
+            other.pendingAbort) {
+            continue;
+        }
+        if (other.spec->readLines.count(line) ||
+            other.spec->writeLines.count(line)) {
+            other.pendingAbort = AbortCause::Conflict;
+        }
+    }
+}
+
+int64_t
+Machine::memRead(Ctx &ctx, uint64_t addr)
+{
+    const uint64_t line = addr / static_cast<uint64_t>(
+        config.lineWords);
+    if (ctx.spec) {
+        trackSpecLine(ctx, line);
+        ctx.spec->readLines.insert(line);
+        auto it = ctx.spec->storeBuf.find(addr);
+        if (it != ctx.spec->storeBuf.end())
+            return it->second;
+        // Speculative wild loads (a postdominating check may not
+        // have run yet) read as zero.
+        if (!heapImpl.inBounds(addr))
+            return 0;
+        return heapImpl.load(addr);
+    }
+    return heapImpl.load(addr);
+}
+
+void
+Machine::memWrite(Ctx &ctx, uint64_t addr, int64_t value)
+{
+    const uint64_t line = addr / static_cast<uint64_t>(
+        config.lineWords);
+    if (ctx.spec) {
+        trackSpecLine(ctx, line);
+        ctx.spec->writeLines.insert(line);
+        ctx.spec->storeBuf[addr] = value;
+        signalConflicts(ctx, line);
+        return;
+    }
+    heapImpl.store(addr, value);
+    signalConflicts(ctx, line);
+}
+
+uint64_t
+Machine::checkRef(Ctx &ctx, int64_t value, const MUop &uop)
+{
+    if (value == 0)
+        raiseTrap(ctx, TrapKind::NullPointer, uop);
+    return static_cast<uint64_t>(value);
+}
+
+void
+Machine::raiseTrap(Ctx &ctx, TrapKind kind, const MUop &uop)
+{
+    if (ctx.spec) {
+        // Precise exceptions: abort first, re-raise non-speculatively.
+        throw RegionAbort{AbortCause::Exception, -1};
+    }
+    throw Trap(kind, uop.bcMethod, uop.bcPc);
+}
+
+void
+Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
+                 uint64_t resolve_pc)
+{
+    AREGION_ASSERT(ctx.spec.has_value(), "abort without region");
+    Spec &spec = *ctx.spec;
+
+    RegionRuntime &stats = regionStats(ctx);
+    stats.abortsByCause[static_cast<int>(cause)]++;
+    if (cause == AbortCause::Explicit && abort_id >= 0)
+        stats.abortsByAssert[abort_id]++;
+
+    Frame &frame = ctx.stack.back();
+    frame.regs = spec.regsSnapshot;
+    frame.lastWriter = spec.writersSnapshot;
+    frame.pc = spec.altPc;
+
+    result.regionAborts++;
+    if (ctx.id == 0) {
+        result.discardedUops += spec.uops;
+        if (sink)
+            sink->abortFlush({cause, spec.uops, resolve_pc});
+    }
+    ctx.spec.reset();
+}
+
+void
+Machine::commitRegion(Ctx &ctx)
+{
+    Spec &spec = *ctx.spec;
+    for (const auto &[addr, value] : spec.storeBuf) {
+        AREGION_ASSERT(heapImpl.inBounds(addr),
+                       "commit of wild speculative store at ", addr);
+        heapImpl.store(addr, value);
+    }
+    // Commit makes the region's writes visible: regions that started
+    // after our buffered stores and read those lines must conflict.
+    for (uint64_t line : spec.writeLines)
+        signalConflicts(ctx, line);
+
+    RegionRuntime &stats = regionStats(ctx);
+    stats.commits++;
+    stats.dynamicSize.add(static_cast<int64_t>(spec.uops));
+    stats.footprintLines.add(static_cast<int64_t>(
+        spec.readLines.size() + spec.writeLines.size()));
+    result.regionCommits++;
+    if (ctx.id == 0)
+        result.regionUopsRetired += spec.uops;
+    ctx.spec.reset();
+}
+
+void
+Machine::invoke(Ctx &ctx, vm::MethodId callee,
+                const std::vector<int64_t> &argv, MReg ret_dst,
+                uint64_t call_seq)
+{
+    const MachineFunction &fn = mp.func(callee);
+    AREGION_ASSERT(static_cast<int>(argv.size()) == fn.numArgs,
+                   "machine call arity mismatch into ", fn.name);
+    Frame frame;
+    frame.fn = &fn;
+    frame.regs.assign(static_cast<size_t>(fn.numRegs), 0);
+    frame.lastWriter.assign(static_cast<size_t>(fn.numRegs), 0);
+    for (size_t i = 0; i < argv.size(); ++i) {
+        frame.regs[i] = argv[i];
+        frame.lastWriter[i] = call_seq;
+    }
+    frame.retDst = ret_dst;
+    ctx.stack.push_back(std::move(frame));
+}
+
+void
+Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
+{
+    namespace arith = vm::arith;
+    Frame &frame = ctx.stack.back();
+    const bool traced = ctx.id == 0;
+
+    auto reg = [&](MReg r) -> int64_t & {
+        AREGION_ASSERT(r >= 0 &&
+                       static_cast<size_t>(r) < frame.regs.size(),
+                       "machine register out of range");
+        return frame.regs[static_cast<size_t>(r)];
+    };
+
+    TraceUop t;
+    if (traced) {
+        t.seq = ++tracedSeq;
+        t.pc = pc;
+        t.numSrcs = static_cast<int>(
+            std::min<size_t>(uop.srcs.size(), 3));
+        for (int i = 0; i < t.numSrcs; ++i) {
+            t.srcSeq[i] = frame.lastWriter[
+                static_cast<size_t>(uop.srcs[static_cast<size_t>(i)])];
+        }
+    }
+    auto writeDst = [&](MReg dst, int64_t value) {
+        reg(dst) = value;
+        frame.lastWriter[static_cast<size_t>(dst)] = t.seq;
+    };
+
+    int next_pc = frame.pc + 1;
+
+    switch (uop.kind) {
+      case MKind::Imm:
+        writeDst(uop.dst, uop.imm);
+        break;
+      case MKind::Mov:
+        writeDst(uop.dst, reg(uop.srcs[0]));
+        break;
+      case MKind::Alu: {
+        const int64_t a = reg(uop.srcs[0]);
+        const int64_t b = reg(uop.srcs[1]);
+        int64_t out = 0;
+        switch (uop.alu) {
+          case AluOp::Add: out = arith::javaAdd(a, b); break;
+          case AluOp::Sub: out = arith::javaSub(a, b); break;
+          case AluOp::Mul:
+            out = arith::javaMul(a, b);
+            t.lat = LatClass::Mul;
+            break;
+          case AluOp::Div:
+            if (b == 0)
+                raiseTrap(ctx, TrapKind::DivideByZero, uop);
+            out = arith::javaDiv(a, b);
+            t.lat = LatClass::Div;
+            break;
+          case AluOp::Rem:
+            if (b == 0)
+                raiseTrap(ctx, TrapKind::DivideByZero, uop);
+            out = arith::javaRem(a, b);
+            t.lat = LatClass::Div;
+            break;
+          case AluOp::And: out = a & b; break;
+          case AluOp::Or: out = a | b; break;
+          case AluOp::Xor: out = a ^ b; break;
+          case AluOp::Shl: out = arith::javaShl(a, b); break;
+          case AluOp::Shr: out = arith::javaShr(a, b); break;
+          case AluOp::CmpEq: out = a == b; break;
+          case AluOp::CmpNe: out = a != b; break;
+          case AluOp::CmpLt: out = a < b; break;
+          case AluOp::CmpLe: out = a <= b; break;
+          case AluOp::CmpGt: out = a > b; break;
+          case AluOp::CmpGe: out = a >= b; break;
+          case AluOp::CmpULt:
+            out = static_cast<uint64_t>(a) < static_cast<uint64_t>(b);
+            break;
+        }
+        writeDst(uop.dst, out);
+        break;
+      }
+
+      case MKind::Load: {
+        const auto base = checkRef(ctx, reg(uop.srcs[0]), uop);
+        uint64_t addr = base + static_cast<uint64_t>(uop.imm);
+        if (uop.srcs.size() > 1)
+            addr += static_cast<uint64_t>(reg(uop.srcs[1]));
+        t.isLoad = true;
+        t.lat = LatClass::Load;
+        t.memAddr = addr;
+        writeDst(uop.dst, memRead(ctx, addr));
+        break;
+      }
+      case MKind::Store: {
+        const auto base = checkRef(ctx, reg(uop.srcs[0]), uop);
+        uint64_t addr = base + static_cast<uint64_t>(uop.imm);
+        if (uop.srcs.size() > 2)
+            addr += static_cast<uint64_t>(reg(uop.srcs[1]));
+        const int64_t value = reg(uop.srcs.back());
+        t.isStore = true;
+        t.lat = LatClass::Store;
+        t.memAddr = addr;
+        AREGION_ASSERT(heapImpl.inBounds(addr) ||
+                       ctx.spec.has_value(),
+                       "non-speculative wild store");
+        memWrite(ctx, addr, value);
+        break;
+      }
+
+      case MKind::Br: {
+        const bool cond = reg(uop.srcs[0]) != 0;
+        const bool take = uop.brIfZero ? !cond : cond;
+        t.isBranch = true;
+        t.lat = LatClass::Branch;
+        t.taken = take;
+        if (take) {
+            next_pc = uop.target;
+            t.targetPc = globalPc(frame.fn->methodId, uop.target);
+        } else {
+            t.targetPc = pc + 1;
+        }
+        break;
+      }
+      case MKind::Jmp:
+        next_pc = uop.target;
+        break;
+
+      case MKind::CallDirect:
+      case MKind::CallIndirect: {
+        AREGION_ASSERT(!ctx.spec.has_value(),
+                       "call inside atomic region");
+        vm::MethodId callee;
+        std::vector<int64_t> argv;
+        if (uop.kind == MKind::CallDirect) {
+            callee = uop.aux;
+            argv.reserve(uop.srcs.size());
+            for (MReg r : uop.srcs)
+                argv.push_back(reg(r));
+        } else {
+            callee = static_cast<vm::MethodId>(reg(uop.srcs[0]));
+            AREGION_ASSERT(callee >= 0 &&
+                           callee < mp.prog->numMethods(),
+                           "indirect call to bad method id ", callee);
+            t.indirect = true;
+            t.targetPc = globalPc(callee, 0);
+            argv.reserve(uop.srcs.size() - 1);
+            for (size_t i = 1; i < uop.srcs.size(); ++i)
+                argv.push_back(reg(uop.srcs[i]));
+        }
+        frame.pc = next_pc;     // return continuation
+        if (traced && sink)
+            sink->uop(t);
+        invoke(ctx, callee, argv, uop.dst, t.seq);
+        return;
+      }
+      case MKind::Ret: {
+        AREGION_ASSERT(!ctx.spec.has_value(),
+                       "return inside atomic region");
+        std::optional<int64_t> value;
+        if (!uop.srcs.empty())
+            value = reg(uop.srcs[0]);
+        const MReg ret_dst = ctx.stack.back().retDst;
+        ctx.stack.pop_back();
+        if (ctx.stack.empty()) {
+            ctx.finished = true;
+        } else if (ret_dst != NO_MREG) {
+            AREGION_ASSERT(value.has_value(),
+                           "void return into destination");
+            Frame &caller = ctx.stack.back();
+            caller.regs[static_cast<size_t>(ret_dst)] = *value;
+            caller.lastWriter[static_cast<size_t>(ret_dst)] = t.seq;
+        }
+        if (traced && sink)
+            sink->uop(t);
+        return;
+      }
+
+      case MKind::Cas: {
+        const auto base = checkRef(ctx, reg(uop.srcs[0]), uop);
+        const uint64_t addr = base + static_cast<uint64_t>(uop.imm);
+        t.isLoad = true;
+        t.isStore = true;
+        t.serializing = true;
+        t.lat = LatClass::Serial;
+        t.memAddr = addr;
+        const int64_t old = memRead(ctx, addr);
+        if (old == 0) {
+            memWrite(ctx, addr, reg(uop.srcs[1]));
+            if (ctx.id == 0)
+                result.monitorFastEnters++;
+        }
+        writeDst(uop.dst, old);
+        break;
+      }
+      case MKind::TidWord:
+        writeDst(uop.dst, layout::lockWord(ctx.id, 1));
+        break;
+      case MKind::LockSlow: {
+        if (ctx.spec)
+            throw RegionAbort{AbortCause::Exception, -1};
+        const auto obj = checkRef(ctx, reg(uop.srcs[0]), uop);
+        const uint64_t lock_addr = obj + layout::HDR_LOCK;
+        const int64_t word = heapImpl.load(lock_addr);
+        const int owner = layout::lockOwner(word);
+        t.serializing = true;
+        t.lat = LatClass::Serial;
+        if (owner == -1) {
+            memWrite(ctx, lock_addr, layout::lockWord(ctx.id, 1));
+        } else if (owner == ctx.id) {
+            memWrite(ctx, lock_addr, layout::lockWord(
+                ctx.id, layout::lockDepth(word) + 1));
+        } else {
+            // Stay blocked at this uop; the scheduler retries.
+            ctx.blockedOn = obj;
+            return;
+        }
+        ctx.blockedOn = 0;
+        break;
+      }
+      case MKind::UnlockSlow: {
+        if (ctx.spec)
+            throw RegionAbort{AbortCause::Exception, -1};
+        const auto obj = checkRef(ctx, reg(uop.srcs[0]), uop);
+        const uint64_t lock_addr = obj + layout::HDR_LOCK;
+        const int64_t word = heapImpl.load(lock_addr);
+        AREGION_ASSERT(layout::lockOwner(word) == ctx.id,
+                       "unlock by non-owner");
+        const int64_t depth = layout::lockDepth(word) - 1;
+        t.serializing = true;
+        t.lat = LatClass::Serial;
+        memWrite(ctx, lock_addr,
+                 depth == 0 ? 0 : layout::lockWord(ctx.id, depth));
+        break;
+      }
+
+      case MKind::Alloc: {
+        uint64_t addr;
+        if (uop.imm == 0) {
+            const int fields = heapImpl.fieldCount(uop.aux);
+            addr = heapImpl.allocRaw(static_cast<uint64_t>(
+                layout::OBJ_FIELD_BASE + fields));
+            memWrite(ctx, addr + layout::HDR_CLASS, uop.aux);
+        } else {
+            const int64_t len = reg(uop.srcs[0]);
+            if (len < 0)
+                raiseTrap(ctx, TrapKind::NegativeArraySize, uop);
+            addr = heapImpl.allocRaw(static_cast<uint64_t>(
+                layout::ARR_ELEM_BASE + len));
+            memWrite(ctx, addr + layout::HDR_CLASS,
+                     layout::ARRAY_CLASS);
+            memWrite(ctx, addr + layout::ARR_LEN, len);
+        }
+        t.isStore = true;
+        t.lat = LatClass::Store;
+        t.memAddr = addr;
+        writeDst(uop.dst, static_cast<int64_t>(addr));
+        break;
+      }
+
+      case MKind::YieldLoad: {
+        const uint64_t addr = heapImpl.yieldFlagAddr(ctx.id);
+        t.isLoad = true;
+        t.lat = LatClass::Load;
+        t.memAddr = addr;
+        writeDst(uop.dst, memRead(ctx, addr));
+        break;
+      }
+
+      case MKind::Print:
+        if (ctx.spec)
+            throw RegionAbort{AbortCause::Io, -1};
+        result.output.push_back(reg(uop.srcs[0]));
+        break;
+      case MKind::Marker:
+        if (ctx.spec)
+            throw RegionAbort{AbortCause::Io, -1};
+        if (ctx.id == 0) {
+            result.markers.push_back(
+                {uop.imm,
+                 result.executedUops - result.discardedUops});
+            if (sink)
+                sink->marker(uop.imm);
+        }
+        break;
+      case MKind::Spawn: {
+        if (ctx.spec)
+            throw RegionAbort{AbortCause::Io, -1};
+        AREGION_ASSERT(ctxs.size() < layout::MAX_THREADS,
+                       "context limit exceeded");
+        std::vector<int64_t> argv;
+        for (MReg r : uop.srcs)
+            argv.push_back(reg(r));
+        Ctx fresh;
+        fresh.id = static_cast<int>(ctxs.size());
+        ctxs.push_back(std::move(fresh));
+        invoke(ctxs.back(), uop.aux, argv, NO_MREG, 0);
+        break;
+      }
+
+      case MKind::Trap:
+        raiseTrap(ctx, static_cast<TrapKind>(uop.aux), uop);
+        break;
+
+      case MKind::ABegin: {
+        AREGION_ASSERT(!ctx.spec.has_value(), "nested atomic region");
+        Spec spec;
+        spec.regionId = uop.aux;
+        spec.method = frame.fn->methodId;
+        spec.altPc = uop.target;
+        spec.beginPc = pc;
+        spec.regsSnapshot = frame.regs;
+        spec.writersSnapshot = frame.lastWriter;
+        ctx.spec = std::move(spec);
+        regionStats(ctx).entries++;
+        result.regionEntries++;
+        t.region = RegionEvent::Begin;
+        t.regionId = uop.aux;
+        break;
+      }
+      case MKind::AEnd:
+        AREGION_ASSERT(ctx.spec.has_value(),
+                       "aregion_end without begin");
+        t.region = RegionEvent::End;
+        t.regionId = uop.aux;
+        frame.pc = next_pc;
+        if (traced && sink)
+            sink->uop(t);
+        commitRegion(ctx);
+        return;
+      case MKind::AAbort:
+        throw RegionAbort{AbortCause::Explicit, uop.aux};
+
+      case MKind::Nop:
+        break;
+    }
+
+    frame.pc = next_pc;
+    if (traced && sink)
+        sink->uop(t);
+}
+
+void
+Machine::step(Ctx &ctx)
+{
+    // Asynchronous conflict aborts land between instructions.
+    if (ctx.pendingAbort) {
+        const AbortCause cause = *ctx.pendingAbort;
+        ctx.pendingAbort.reset();
+        if (ctx.spec) {
+            doAbort(ctx, cause, -1,
+                    globalPc(ctx.stack.back().fn->methodId,
+                             ctx.stack.back().pc));
+            return;
+        }
+    }
+
+    Frame &frame = ctx.stack.back();
+    const auto &code = frame.fn->code;
+    AREGION_ASSERT(frame.pc >= 0 &&
+                   static_cast<size_t>(frame.pc) < code.size(),
+                   "machine pc fell off ", frame.fn->name);
+    const MUop &uop = code[static_cast<size_t>(frame.pc)];
+
+    // Blocked on a monitor: retry only when it may be free.
+    if (ctx.blockedOn != 0) {
+        const int64_t word =
+            heapImpl.load(ctx.blockedOn + layout::HDR_LOCK);
+        const int owner = layout::lockOwner(word);
+        if (owner != -1 && owner != ctx.id)
+            return;             // still held elsewhere
+        ctx.blockedOn = 0;
+    }
+
+    const uint64_t pc = globalPc(frame.fn->methodId, frame.pc);
+    ++machineUops;
+    result.allContextUops++;
+    if (ctx.id == 0)
+        result.executedUops++;
+    if (ctx.spec)
+        ctx.spec->uops++;
+
+    try {
+        execute(ctx, uop, pc);
+    } catch (const RegionAbort &abort) {
+        AREGION_ASSERT(ctx.spec.has_value(),
+                       "region abort outside region");
+        doAbort(ctx, abort.cause, abort.abortId, pc);
+        return;
+    }
+
+    // Timer interrupt: aborts any in-flight region on this context.
+    if (machineUops % config.interruptPeriod == 0 && ctx.spec)
+        doAbort(ctx, AbortCause::Interrupt, -1, pc);
+}
+
+MachineResult
+Machine::run(uint64_t max_uops)
+{
+    result = MachineResult{};
+    ctxs.clear();
+    machineUops = 0;
+    tracedSeq = 0;
+
+    Ctx main;
+    main.id = 0;
+    ctxs.push_back(std::move(main));
+    invoke(ctxs[0], mp.prog->mainMethod, {}, NO_MREG, 0);
+
+    try {
+        while (!ctxs[0].finished && machineUops < max_uops) {
+            bool progressed = false;
+            for (size_t c = 0; c < ctxs.size(); ++c) {
+                const uint64_t before = machineUops;
+                for (uint64_t q = 0; q < config.quantum; ++q) {
+                    Ctx &ctx = ctxs[c];
+                    if (ctx.finished || ctxs[0].finished)
+                        break;
+                    step(ctx);
+                    if (ctx.blockedOn != 0)
+                        break;
+                }
+                if (machineUops != before)
+                    progressed = true;
+            }
+            if (!progressed && !ctxs[0].finished) {
+                throw Trap(TrapKind::Deadlock, mp.prog->mainMethod,
+                           0);
+            }
+        }
+    } catch (const Trap &trap) {
+        result.trap = trap;
+        result.retiredUops =
+            result.executedUops - result.discardedUops;
+        return result;
+    }
+
+    result.completed = ctxs[0].finished;
+    result.retiredUops = result.executedUops - result.discardedUops;
+    return result;
+}
+
+} // namespace aregion::hw

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Functional machine simulator with hardware atomicity.
+ *
+ * Implements the checkpoint substrate of Section 3: a register
+ * checkpoint at aregion_begin, store buffering with read/write-set
+ * tracking at L1-line granularity, ownership-style eager conflict
+ * detection against the other hardware contexts, best-effort limits
+ * (set-associativity overflow, timer interrupts, traps, blocking or
+ * irrevocable operations), and flash commit/abort.
+ *
+ * Threads are deterministic hardware contexts scheduled round-robin;
+ * context 0 (the benchmark thread) streams its uops to a TraceSink
+ * for timing simulation.
+ */
+
+#ifndef AREGION_HW_MACHINE_HH
+#define AREGION_HW_MACHINE_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hw/isa.hh"
+#include "hw/trace.hh"
+#include "support/statistics.hh"
+#include "vm/heap.hh"
+#include "vm/trap.hh"
+
+namespace aregion::hw {
+
+/** Architectural (functional) hardware parameters. */
+struct HwConfig
+{
+    /** L1 geometry bounding speculative footprints (32KB/4-way/64B
+     *  lines of Table 1 -> 512 lines, 128 sets, 8 words per line). */
+    int l1Lines = 512;
+    int l1Assoc = 4;
+    int lineWords = 8;
+
+    /** Executed uops between timer interrupts (machine-wide). */
+    uint64_t interruptPeriod = 4'000'000;
+
+    /** Scheduler quantum (uops) per context. */
+    uint64_t quantum = 50;
+};
+
+/** Runtime statistics for one static region. */
+struct RegionRuntime
+{
+    uint64_t entries = 0;
+    uint64_t commits = 0;
+    std::map<int, uint64_t> abortsByAssert;
+    uint64_t abortsByCause[6] = {0, 0, 0, 0, 0, 0};
+    aregion::Histogram dynamicSize;     ///< uops per committed region
+    aregion::Histogram footprintLines;  ///< lines touched at commit
+
+    uint64_t
+    totalAborts() const
+    {
+        uint64_t total = 0;
+        for (uint64_t c : abortsByCause)
+            total += c;
+        return total;
+    }
+};
+
+/** One sampling-marker crossing on the traced context. */
+struct MarkerHit
+{
+    int64_t id;
+    uint64_t retiredUops;   ///< traced context's retired uops so far
+};
+
+/** Results of a machine run. */
+struct MachineResult
+{
+    bool completed = false;
+    std::optional<vm::Trap> trap;
+
+    /** Traced context (0): committed + wasted work. */
+    uint64_t retiredUops = 0;       ///< excludes aborted-region uops
+    uint64_t executedUops = 0;      ///< includes them
+    uint64_t discardedUops = 0;
+    uint64_t regionUopsRetired = 0; ///< retired inside regions
+    uint64_t allContextUops = 0;
+
+    uint64_t regionEntries = 0;
+    uint64_t regionCommits = 0;
+    uint64_t regionAborts = 0;
+    uint64_t monitorFastEnters = 0; ///< CAS fast-path acquisitions
+
+    /** Per static region: (methodId, regionId) -> stats. */
+    std::map<std::pair<int, int>, RegionRuntime> regions;
+
+    std::vector<int64_t> output;
+    std::vector<MarkerHit> markers;
+
+    uint64_t outputChecksum() const;
+};
+
+/** The machine. */
+class Machine
+{
+  public:
+    Machine(const MachineProgram &prog, const HwConfig &config,
+            TraceSink *sink = nullptr,
+            uint64_t max_words = 1ull << 26);
+
+    Machine(MachineProgram &&, const HwConfig &, TraceSink * = nullptr,
+            uint64_t = 0) = delete;
+
+    /** Run main to completion (or until the uop budget is hit). */
+    MachineResult run(uint64_t max_uops = 1ull << 33);
+
+    const vm::Heap &heap() const { return heapImpl; }
+
+  private:
+    struct Frame
+    {
+        const MachineFunction *fn;
+        std::vector<int64_t> regs;
+        std::vector<uint64_t> lastWriter;   ///< reg -> producer seq
+        int pc = 0;
+        MReg retDst = NO_MREG;
+    };
+
+    /** Open speculation state (one region; no nesting). */
+    struct Spec
+    {
+        int regionId;
+        int method;
+        int altPc;
+        uint64_t beginPc;
+        std::vector<int64_t> regsSnapshot;
+        std::vector<uint64_t> writersSnapshot;
+        std::map<uint64_t, int64_t> storeBuf;
+        std::set<uint64_t> readLines;
+        std::set<uint64_t> writeLines;
+        std::map<uint64_t, int> setOccupancy;
+        uint64_t uops = 0;
+    };
+
+    struct Ctx
+    {
+        int id = 0;
+        std::vector<Frame> stack;
+        std::optional<Spec> spec;
+        bool finished = false;
+        uint64_t blockedOn = 0;             ///< monitor address or 0
+        std::optional<AbortCause> pendingAbort;
+    };
+
+    /** Thrown internally to unwind to the abort handler. */
+    struct RegionAbort
+    {
+        AbortCause cause;
+        int abortId = -1;
+    };
+
+    void step(Ctx &ctx);
+    void execute(Ctx &ctx, const MUop &uop, uint64_t pc);
+    void invoke(Ctx &ctx, vm::MethodId callee,
+                const std::vector<int64_t> &argv, MReg ret_dst,
+                uint64_t call_seq);
+    void doAbort(Ctx &ctx, AbortCause cause, int abort_id,
+                 uint64_t resolve_pc);
+    void commitRegion(Ctx &ctx);
+
+    int64_t memRead(Ctx &ctx, uint64_t addr);
+    void memWrite(Ctx &ctx, uint64_t addr, int64_t value);
+    void trackSpecLine(Ctx &ctx, uint64_t line);
+    void signalConflicts(Ctx &writer_ctx, uint64_t line);
+    RegionRuntime &regionStats(const Ctx &ctx);
+
+    uint64_t checkRef(Ctx &ctx, int64_t value, const MUop &uop);
+    void raiseTrap(Ctx &ctx, vm::TrapKind kind, const MUop &uop);
+
+    const MachineProgram &mp;
+    HwConfig config;
+    TraceSink *sink;
+    vm::Heap heapImpl;
+    std::deque<Ctx> ctxs;
+    MachineResult result;
+    uint64_t machineUops = 0;       ///< all contexts (interrupt clock)
+    uint64_t tracedSeq = 0;         ///< trace sequence for context 0
+    std::optional<vm::Trap> fatalTrap;
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_MACHINE_HH

@@ -1,0 +1,233 @@
+#include "hw/timing.hh"
+
+#include <algorithm>
+
+namespace aregion::hw {
+
+TimingConfig
+TimingConfig::baseline()
+{
+    return {};
+}
+
+TimingConfig
+TimingConfig::stallBegin()
+{
+    TimingConfig cfg;
+    cfg.name = "chkpt + 20-cycle overhead";
+    cfg.regionImpl = RegionImpl::StallBegin;
+    return cfg;
+}
+
+TimingConfig
+TimingConfig::singleInflight()
+{
+    TimingConfig cfg;
+    cfg.name = "chkpt, single-inflight";
+    cfg.regionImpl = RegionImpl::SingleInflight;
+    return cfg;
+}
+
+TimingConfig
+TimingConfig::twoWide()
+{
+    TimingConfig cfg;
+    cfg.name = "2-wide OOO";
+    cfg.width = 2;
+    return cfg;
+}
+
+TimingConfig
+TimingConfig::twoWideHalf()
+{
+    TimingConfig cfg;
+    cfg.name = "2-wide half OOO";
+    cfg.width = 2;
+    cfg.robSize = 64;
+    cfg.schedWindow = 32;
+    cfg.l1Lines = 256;          // 16 KB
+    cfg.l2Lines = 32768;        // 2 MB
+    return cfg;
+}
+
+TimingModel::TimingModel(const TimingConfig &config)
+    : cfg(config),
+      caches(config.l1Lines, config.l1Assoc, config.l2Lines,
+             config.l2Assoc, config.l1Latency, config.l2Latency,
+             config.memLatency, config.prefetcher),
+      completeRing(HIST, 0), retireRing(HIST, 0)
+{
+}
+
+uint64_t
+TimingModel::historyComplete(uint64_t seq) const
+{
+    if (seq == 0 || seq + HIST <= uopCount)
+        return 0;   // ancient producer: long since complete
+    return completeRing[seq % HIST];
+}
+
+void
+TimingModel::uop(const TraceUop &u)
+{
+    ++uopCount;
+
+    // --- Dispatch -------------------------------------------------
+    uint64_t d = dispatchCycle;
+    // ROB occupancy: wait for the uop robSize back to retire.
+    if (u.seq > static_cast<uint64_t>(cfg.robSize)) {
+        d = std::max(d,
+                     retireRing[(u.seq - static_cast<uint64_t>(
+                         cfg.robSize)) % HIST]);
+    }
+    // Scheduling window: bounded distance past incomplete uops.
+    if (u.seq > static_cast<uint64_t>(cfg.schedWindow)) {
+        d = std::max(d,
+                     completeRing[(u.seq - static_cast<uint64_t>(
+                         cfg.schedWindow)) % HIST]);
+    }
+    d = std::max(d, fetchResumeAt);
+    // A pending locked operation gates later memory operations (the
+    // store stream stays ordered); independent ALU work continues.
+    if (u.isLoad || u.isStore || u.serializing)
+        d = std::max(d, serialGate);
+    if (u.serializing) {
+        ++serializations;
+        // Locked operations drain the store stream (prior stores and
+        // serializing ops), not the whole instruction window.
+        d = std::max(d, maxStoreComplete);
+    }
+    if (u.region == RegionEvent::Begin) {
+        ++regionBegins;
+        regionOpen = true;
+        switch (cfg.regionImpl) {
+          case TimingConfig::RegionImpl::Checkpoint:
+            break;    // rename-table checkpoint: free
+          case TimingConfig::RegionImpl::StallBegin:
+            d += static_cast<uint64_t>(cfg.beginStallCycles);
+            break;
+          case TimingConfig::RegionImpl::SingleInflight:
+            d = std::max(d, lastRegionEndRetire);
+            break;
+        }
+    }
+    // Width-limited dispatch.
+    if (d > dispatchCycle) {
+        dispatchCycle = d;
+        dispatchedInCycle = 0;
+    }
+    if (++dispatchedInCycle > cfg.width) {
+        ++dispatchCycle;
+        dispatchedInCycle = 1;
+        d = dispatchCycle;
+    }
+
+    // --- Execute --------------------------------------------------
+    uint64_t ready = d;
+    for (int i = 0; i < u.numSrcs; ++i)
+        ready = std::max(ready, historyComplete(u.srcSeq[i]));
+
+    uint64_t latency = 1;
+    switch (u.lat) {
+      case LatClass::Int:
+      case LatClass::Branch:
+      case LatClass::Store:
+        latency = 1;
+        break;
+      case LatClass::Mul:
+        latency = static_cast<uint64_t>(cfg.mulLatency);
+        break;
+      case LatClass::Div:
+        latency = static_cast<uint64_t>(cfg.divLatency);
+        break;
+      case LatClass::Load:
+        latency = static_cast<uint64_t>(
+            caches.accessLatency(u.memAddr, cfg.lineWords));
+        break;
+      case LatClass::Serial:
+        latency = static_cast<uint64_t>(cfg.serialLatency);
+        if (u.isLoad || u.isStore)
+            caches.accessLatency(u.memAddr, cfg.lineWords);
+        break;
+    }
+    if (u.isStore && u.lat == LatClass::Store)
+        caches.accessLatency(u.memAddr, cfg.lineWords);
+
+    const uint64_t complete = ready + latency;
+    completeRing[u.seq % HIST] = complete;
+    lastUopComplete = complete;
+    maxComplete = std::max(maxComplete, complete);
+    if (u.isStore || u.serializing)
+        maxStoreComplete = std::max(maxStoreComplete, complete);
+    if (u.serializing)
+        serialGate = std::max(serialGate, complete);
+
+    // --- Branch resolution ----------------------------------------
+    if (u.isBranch) {
+        ++branches;
+        const bool predicted = predictor.predictTaken(u.pc);
+        if (predicted != u.taken) {
+            ++mispredicts;
+            fetchResumeAt = std::max(
+                fetchResumeAt,
+                complete + static_cast<uint64_t>(
+                    cfg.mispredictPenalty));
+        }
+        predictor.update(u.pc, u.taken);
+    } else if (u.indirect) {
+        ++indirects;
+        if (predictor.predictTarget(u.pc) != u.targetPc) {
+            ++indirectMispredicts;
+            fetchResumeAt = std::max(
+                fetchResumeAt,
+                complete + static_cast<uint64_t>(
+                    cfg.mispredictPenalty));
+        }
+        predictor.updateTarget(u.pc, u.targetPc);
+    }
+
+    // --- Retire (in order, width per cycle) -----------------------
+    uint64_t r = std::max(complete, lastRetire);
+    if (r > retireCycle) {
+        retireCycle = r;
+        retiredInCycle = 0;
+    }
+    if (++retiredInCycle > cfg.width) {
+        ++retireCycle;
+        retiredInCycle = 1;
+        r = retireCycle;
+    }
+    retireRing[u.seq % HIST] = r;
+    lastRetire = std::max(lastRetire, r);
+
+    if (u.region == RegionEvent::End) {
+        regionOpen = false;
+        lastRegionEndRetire = r;
+    }
+}
+
+void
+TimingModel::abortFlush(const AbortEvent &event)
+{
+    (void)event;
+    ++abortFlushes;
+    regionOpen = false;
+    // The pipeline flushes and redirects once the aborting
+    // instruction (the last uop streamed) resolves, like a branch
+    // mispredict (Section 6.1: early aborts cost little more than a
+    // pipeline flush).
+    fetchResumeAt = std::max(
+        fetchResumeAt,
+        lastUopComplete + static_cast<uint64_t>(
+            cfg.mispredictPenalty));
+    lastRegionEndRetire =
+        std::max(lastRegionEndRetire, lastUopComplete);
+}
+
+void
+TimingModel::marker(int64_t id)
+{
+    markerCycles.emplace_back(id, lastRetire);
+}
+
+} // namespace aregion::hw

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trace-driven out-of-order timing model.
+ *
+ * Consumes the functional simulator's uop trace and models the
+ * first-order performance effects the paper measures: issue width,
+ * window/ROB occupancy, data-dependence latencies, branch
+ * misprediction penalties, serializing operations, the memory
+ * hierarchy, and — crucially — the cost of the atomic-region
+ * primitives under the three hardware implementations of Figure 9
+ * (checkpoint substrate, 20-cycle aregion_begin stall, and
+ * single-in-flight regions).
+ */
+
+#ifndef AREGION_HW_TIMING_HH
+#define AREGION_HW_TIMING_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/branch_predictor.hh"
+#include "hw/cache.hh"
+#include "hw/trace.hh"
+
+namespace aregion::hw {
+
+/** Microarchitectural parameters (Table 1 defaults). */
+struct TimingConfig
+{
+    std::string name = "4-wide OOO";
+
+    int width = 4;              ///< rename/issue/retire
+    int robSize = 128;          ///< instruction window
+    int schedWindow = 64;       ///< scheduling window
+    int mispredictPenalty = 20;
+
+    /** Atomic-primitive implementation (Figure 9). */
+    enum class RegionImpl { Checkpoint, StallBegin, SingleInflight };
+    RegionImpl regionImpl = RegionImpl::Checkpoint;
+    int beginStallCycles = 20;
+
+    /** Memory hierarchy (line = 64B = 8 words). */
+    int lineWords = 8;
+    int l1Lines = 512;          ///< 32 KB
+    int l1Assoc = 4;
+    int l2Lines = 65536;        ///< 4 MB
+    int l2Assoc = 8;
+    int l1Latency = 4;
+    int l2Latency = 20;
+    int memLatency = 400;       ///< 100 ns at 4 GHz
+    bool prefetcher = true;
+
+    /** Latencies by class. */
+    int mulLatency = 3;
+    int divLatency = 20;
+    int serialLatency = 6;      ///< CAS / locked ops
+
+    static TimingConfig baseline();            ///< Table 1
+    static TimingConfig stallBegin();          ///< Figure 9 middle
+    static TimingConfig singleInflight();      ///< Figure 9 right
+    static TimingConfig twoWide();             ///< Section 6.3
+    static TimingConfig twoWideHalf();         ///< Section 6.3
+};
+
+/** The model; plug it into a Machine as the TraceSink. */
+class TimingModel : public TraceSink
+{
+  public:
+    explicit TimingModel(const TimingConfig &config);
+
+    void uop(const TraceUop &u) override;
+    void abortFlush(const AbortEvent &event) override;
+    void marker(int64_t id) override;
+
+    /** Total cycles to retire everything seen so far. */
+    uint64_t cycles() const { return lastRetire; }
+
+    uint64_t uopCount = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t indirects = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t serializations = 0;
+    uint64_t regionBegins = 0;
+    uint64_t abortFlushes = 0;
+
+    uint64_t l1Misses() const { return caches.l1Misses(); }
+    uint64_t l2Misses() const { return caches.l2Misses(); }
+
+    /** Cycle counter value at each marker crossing. */
+    std::vector<std::pair<int64_t, uint64_t>> markerCycles;
+
+  private:
+    uint64_t historyComplete(uint64_t seq) const;
+
+    TimingConfig cfg;
+    BranchPredictor predictor;
+    CacheHierarchy caches;
+
+    static constexpr size_t HIST = 8192;
+    std::vector<uint64_t> completeRing;     ///< seq % HIST -> cycle
+    std::vector<uint64_t> retireRing;       ///< seq % HIST -> cycle
+
+    uint64_t dispatchCycle = 0;
+    int dispatchedInCycle = 0;
+    uint64_t retireCycle = 0;
+    int retiredInCycle = 0;
+    uint64_t fetchResumeAt = 0;
+    uint64_t serialGate = 0;
+    uint64_t maxComplete = 0;
+    uint64_t maxStoreComplete = 0;
+    uint64_t lastUopComplete = 0;
+    uint64_t lastRetire = 0;
+    uint64_t lastRegionEndRetire = 0;
+    bool regionOpen = false;
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_TIMING_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dynamic uop trace: the interface between the functional machine
+ * simulator (producer) and the timing model (consumer).
+ *
+ * Each executed uop of the traced hardware context becomes one
+ * TraceUop carrying its data dependences (producer sequence numbers),
+ * memory address, branch outcome, and region events. Aborted regions'
+ * uops are streamed as they execute (they occupy the pipeline) and
+ * reconciled by the AbortEvent that follows.
+ */
+
+#ifndef AREGION_HW_TRACE_HH
+#define AREGION_HW_TRACE_HH
+
+#include <cstdint>
+
+namespace aregion::hw {
+
+/** Latency/issue class of a uop. */
+enum class LatClass : uint8_t {
+    Int,        ///< 1-cycle ALU
+    Mul,        ///< 3-cycle multiply
+    Div,        ///< 20-cycle divide
+    Load,
+    Store,
+    Branch,
+    Serial,     ///< serializing (CAS, slow locks)
+};
+
+/** Why a region aborted (the cause register of Section 3.2). */
+enum class AbortCause : uint8_t {
+    Explicit,   ///< aregion_abort (a compiler assert fired)
+    Conflict,   ///< coherence conflict with another context
+    Overflow,   ///< speculative footprint exceeded the L1 way limit
+    Interrupt,  ///< timer interrupt while speculative
+    Exception,  ///< trap or blocking operation while speculative
+    Io,         ///< irrevocable operation reached speculatively
+};
+
+const char *abortCauseName(AbortCause cause);
+
+/** Region lifecycle markers attached to trace uops. */
+enum class RegionEvent : uint8_t { None, Begin, End, Abort };
+
+/** One executed uop of the traced context. */
+struct TraceUop
+{
+    uint64_t seq = 0;           ///< 1-based sequence number
+    uint64_t pc = 0;
+    LatClass lat = LatClass::Int;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;      ///< conditional branch
+    bool taken = false;
+    bool indirect = false;      ///< indirect call (target prediction)
+    bool serializing = false;
+    uint64_t targetPc = 0;      ///< branch/indirect actual target
+    uint64_t memAddr = 0;       ///< word address for loads/stores
+
+    /** Producer seqs of the register sources (0 = no producer). */
+    uint64_t srcSeq[3] = {0, 0, 0};
+    int numSrcs = 0;
+
+    RegionEvent region = RegionEvent::None;
+    int regionId = -1;
+};
+
+/** Emitted when the traced context's region aborts. */
+struct AbortEvent
+{
+    AbortCause cause;
+    uint64_t discardedUops;     ///< uops since the aregion_begin
+    uint64_t resolvePc;         ///< pc of the aborting instruction
+};
+
+/** Consumer interface (the timing model; tests use mock sinks). */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void uop(const TraceUop &u) = 0;
+    virtual void abortFlush(const AbortEvent &event) { (void)event; }
+    virtual void marker(int64_t id) { (void)id; }
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_TRACE_HH

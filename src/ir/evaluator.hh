@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Direct IR execution, including atomic-region semantics.
+ *
+ * The evaluator is a testing tool: optimization passes and region
+ * formation must preserve a function's observable behaviour, and the
+ * cheapest way to check that is to execute the IR before and after a
+ * transformation and compare outputs against the bytecode
+ * interpreter. Single-threaded only (Spawn is rejected); the machine
+ * simulator covers multi-threaded execution.
+ *
+ * Atomic regions execute with full rollback: AtomicBegin snapshots
+ * registers and opens a memory undo log; a firing Assert (or a trap,
+ * or a forced abort at AtomicEnd) restores the snapshot and transfers
+ * control to the region's alternate block, exactly as the proposed
+ * hardware does.
+ */
+
+#ifndef AREGION_IR_EVALUATOR_HH
+#define AREGION_IR_EVALUATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "vm/heap.hh"
+#include "vm/trap.hh"
+
+namespace aregion::ir {
+
+/** Result of an IR evaluation run. */
+struct EvalResult
+{
+    bool completed = false;
+    uint64_t instrs = 0;            ///< IR instructions executed
+    uint64_t regionEntries = 0;
+    uint64_t regionCommits = 0;
+    uint64_t regionAborts = 0;
+    std::optional<vm::Trap> trap;
+    /** Aborts per assert id (function, abort id) for diagnostics. */
+    std::map<std::pair<int, int>, uint64_t> abortCounts;
+};
+
+/** IR module executor. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const Module &mod, uint64_t max_words = 1ull << 26);
+
+    Evaluator(Module &&, uint64_t = 0) = delete;
+
+    /** Run the module's main function. */
+    EvalResult run(uint64_t max_steps = 1ull << 28);
+
+    const std::vector<int64_t> &output() const { return outputStream; }
+
+    /**
+     * Fault injection: when > 0, every Nth AtomicEnd aborts instead
+     * of committing (exercising the abort path even when no assert
+     * fires). Observable behaviour must not change.
+     */
+    uint64_t forceAbortPeriod = 0;
+
+  private:
+    struct Frame
+    {
+        const Function *func;
+        std::vector<int64_t> regs;
+        int block;
+        size_t idx = 0;
+        Vreg retDst = NO_VREG;
+    };
+
+    /** Open checkpoint for the innermost (only) active region. */
+    struct Checkpoint
+    {
+        int regionId;
+        std::vector<int64_t> regs;
+        std::vector<std::pair<uint64_t, int64_t>> undoLog;
+        uint64_t allocMark;
+    };
+
+    int64_t &reg(Vreg v);
+    uint64_t checkRef(int64_t value, int bc_pc) const;
+    void store(uint64_t addr, int64_t value);
+    void rollbackToAlt();
+    void execute(const Instr &in, bool &advanced);
+
+    const Module &mod;
+    vm::Heap heap;
+    std::vector<Frame> stack;
+    std::optional<Checkpoint> checkpoint;
+    std::vector<int64_t> outputStream;
+    EvalResult result;
+    uint64_t atomicEnds = 0;
+};
+
+} // namespace aregion::ir
+
+#endif // AREGION_IR_EVALUATOR_HH

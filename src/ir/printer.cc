@@ -1,0 +1,38 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+namespace aregion::ir {
+
+std::string
+toString(const Function &func)
+{
+    std::ostringstream os;
+    os << "function " << func.name << " (args=" << func.numArgs
+       << ", entry=b" << func.entry << ")\n";
+    for (const RegionInfo &r : func.regions) {
+        os << "  region " << r.id << ": entry=b" << r.entryBlock
+           << " alt=b" << r.altBlock << "\n";
+    }
+    for (int b = 0; b < func.numBlocks(); ++b) {
+        const Block &blk = func.block(b);
+        os << "b" << b;
+        if (blk.regionId >= 0)
+            os << " [region " << blk.regionId << "]";
+        os << " (exec=" << blk.execCount << "):\n";
+        for (const Instr &in : blk.instrs)
+            os << "    " << in.toString() << "\n";
+        if (!blk.succs.empty()) {
+            os << "    -> ";
+            for (size_t i = 0; i < blk.succs.size(); ++i) {
+                os << (i ? ", " : "") << "b" << blk.succs[i];
+                if (i < blk.succCount.size())
+                    os << " (" << blk.succCount[i] << ")";
+            }
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace aregion::ir

@@ -1,0 +1,438 @@
+#include "ir/translate.hh"
+
+#include <map>
+
+#include "vm/layout.hh"
+
+namespace aregion::ir {
+
+namespace {
+
+using vm::Bc;
+using vm::BcInstr;
+using vm::MethodInfo;
+
+/** Stateful translator for one method. */
+class Translator
+{
+  public:
+    Translator(const vm::Program &prog_, vm::MethodId method_,
+               const vm::Profile *profile_)
+        : prog(prog_), info(prog_.method(method_)), profile(profile_)
+    {
+        func.name = info.name;
+        func.methodId = method_;
+        func.numArgs = info.numArgs;
+        func.ensureVregsAtLeast(info.numRegs);
+    }
+
+    Function run();
+
+  private:
+    /** Execution count of a bytecode pc (0 without a profile). */
+    double
+    execOf(size_t pc) const
+    {
+        return profile ? static_cast<double>(
+            profile->execCount(func.methodId, static_cast<int>(pc))) : 0;
+    }
+
+    double
+    takenOf(size_t pc) const
+    {
+        return profile ? static_cast<double>(
+            profile->takenCount(func.methodId, static_cast<int>(pc))) : 0;
+    }
+
+    void
+    emit(Instr instr)
+    {
+        cur->instrs.push_back(std::move(instr));
+    }
+
+    Instr
+    make(Op op, Vreg dst, std::vector<Vreg> srcs, int64_t imm = 0,
+         int aux = 0)
+    {
+        Instr in;
+        in.op = op;
+        in.dst = dst;
+        in.srcs = std::move(srcs);
+        in.imm = imm;
+        in.aux = aux;
+        in.bcPc = static_cast<int>(curPc);
+        in.bcMethod = func.methodId;
+        return in;
+    }
+
+    Vreg
+    constVreg(int64_t value)
+    {
+        const Vreg v = func.newVreg();
+        emit(make(Op::Const, v, {}, value));
+        return v;
+    }
+
+    /** End `cur` with a terminator and optionally link successors. */
+    void
+    setTerm(Instr term, std::vector<int> succs,
+            std::vector<double> succ_counts)
+    {
+        cur->instrs.push_back(std::move(term));
+        cur->succs = std::move(succs);
+        cur->succCount = std::move(succ_counts);
+        cur = nullptr;
+    }
+
+    /** Start an auxiliary block (lowering diamonds). */
+    Block &
+    auxBlock(double exec)
+    {
+        Block &b = func.newBlock();
+        b.execCount = exec;
+        return b;
+    }
+
+    void translateOne(const BcInstr &in);
+
+    const vm::Program &prog;
+    const MethodInfo &info;
+    const vm::Profile *profile;
+
+    Function func;
+    std::map<size_t, int> leaderBlock;  ///< leader pc -> block id
+    Block *cur = nullptr;
+    size_t curPc = 0;
+};
+
+Function
+Translator::run()
+{
+    const auto &code = info.code;
+
+    // Pass 1: identify block leaders.
+    std::map<size_t, bool> leader;
+    leader[0] = true;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        const BcInstr &in = code[pc];
+        switch (in.op) {
+          case Bc::Branch:
+            leader[static_cast<size_t>(in.imm)] = true;
+            leader[pc + 1] = true;
+            break;
+          case Bc::Jump:
+            leader[static_cast<size_t>(in.imm)] = true;
+            if (pc + 1 < code.size())
+                leader[pc + 1] = true;
+            break;
+          case Bc::CallStatic:
+          case Bc::CallVirtual:
+            // Calls end blocks: atomic regions terminate at
+            // non-inlined calls and resume at call continuations.
+            leader[pc + 1] = true;
+            break;
+          case Bc::Ret:
+          case Bc::RetVoid:
+            if (pc + 1 < code.size())
+                leader[pc + 1] = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Pass 2: create one block per leader, in pc order. The entry
+    // block is leader 0 (plus a synchronized prologue, added below).
+    for (const auto &[pc, is_leader] : leader) {
+        if (!is_leader || pc >= code.size())
+            continue;
+        Block &b = func.newBlock();
+        b.execCount = execOf(pc);
+        leaderBlock[pc] = b.id;
+    }
+    func.entry = leaderBlock.at(0);
+
+    // Pass 3: translate each block's instruction run.
+    for (const auto &[leader_pc, block_id] : leaderBlock) {
+        cur = &func.block(block_id);
+        size_t pc = leader_pc;
+        while (true) {
+            curPc = pc;
+            const BcInstr &in = code[pc];
+            translateOne(in);
+            ++pc;
+            if (cur == nullptr)
+                break;      // terminator emitted
+            const bool next_is_leader =
+                pc < code.size() && leader.count(pc) && leader.at(pc);
+            if (next_is_leader) {
+                // Fall through into the next block.
+                const int next = leaderBlock.at(pc);
+                const double flow = cur->execCount;
+                setTerm(make(Op::Jump, NO_VREG, {}), {next}, {flow});
+                break;
+            }
+            AREGION_ASSERT(pc < code.size(),
+                           "translation ran off method ", info.name);
+        }
+    }
+
+    // Synchronized methods: monitor the receiver around the body.
+    if (info.isSynchronized) {
+        Block &prologue = func.newBlock();
+        prologue.execCount = func.block(func.entry).execCount;
+        curPc = 0;
+        const Vreg self = 0;
+        prologue.instrs.push_back(make(Op::NullCheck, NO_VREG, {self}));
+        prologue.instrs.push_back(
+            make(Op::MonitorEnter, NO_VREG, {self}));
+        prologue.instrs.push_back(make(Op::Jump, NO_VREG, {}));
+        prologue.succs = {func.entry};
+        prologue.succCount = {prologue.execCount};
+        func.entry = prologue.id;
+
+        // The monitor-exit epilogue gets its own block (separate
+        // from the Ret): atomic region formation stops at Ret blocks
+        // but replicates epilogues, so a region formed inside a
+        // synchronized method contains the balanced monitor pair and
+        // speculative lock elision applies.
+        const int blocks_before = func.numBlocks();
+        for (int b = 0; b < blocks_before; ++b) {
+            Block &blk = func.block(b);
+            if (blk.instrs.empty() || blk.terminator().op != Op::Ret)
+                continue;
+            Instr ret = blk.terminator();
+            Block &ret_blk = func.newBlock();
+            ret_blk.execCount = blk.execCount;
+            ret_blk.instrs.push_back(std::move(ret));
+
+            Block &owner = func.block(b);   // re-fetch (newBlock)
+            owner.instrs.pop_back();
+            Instr exit_monitor = make(Op::MonitorExit, NO_VREG,
+                                      {self});
+            exit_monitor.bcPc = ret_blk.instrs.back().bcPc;
+            owner.instrs.push_back(std::move(exit_monitor));
+            Instr jump = make(Op::Jump, NO_VREG, {});
+            jump.bcPc = ret_blk.instrs.back().bcPc;
+            owner.instrs.push_back(std::move(jump));
+            owner.succs = {ret_blk.id};
+            owner.succCount = {owner.execCount};
+        }
+    }
+
+    return std::move(func);
+}
+
+void
+Translator::translateOne(const BcInstr &in)
+{
+    auto binop = [&](Op op) {
+        emit(make(op, in.a, {in.b, static_cast<Vreg>(in.c)}));
+    };
+
+    switch (in.op) {
+      case Bc::Const:
+        emit(make(Op::Const, in.a, {}, in.imm));
+        break;
+      case Bc::Mov:
+        emit(make(Op::Mov, in.a, {in.b}));
+        break;
+
+      case Bc::Add: binop(Op::Add); break;
+      case Bc::Sub: binop(Op::Sub); break;
+      case Bc::Mul: binop(Op::Mul); break;
+      case Bc::And: binop(Op::And); break;
+      case Bc::Or: binop(Op::Or); break;
+      case Bc::Xor: binop(Op::Xor); break;
+      case Bc::Shl: binop(Op::Shl); break;
+      case Bc::Shr: binop(Op::Shr); break;
+      case Bc::CmpEq: binop(Op::CmpEq); break;
+      case Bc::CmpNe: binop(Op::CmpNe); break;
+      case Bc::CmpLt: binop(Op::CmpLt); break;
+      case Bc::CmpLe: binop(Op::CmpLe); break;
+      case Bc::CmpGt: binop(Op::CmpGt); break;
+      case Bc::CmpGe: binop(Op::CmpGe); break;
+
+      case Bc::Div:
+      case Bc::Rem:
+        emit(make(Op::DivCheck, NO_VREG, {static_cast<Vreg>(in.c)}));
+        binop(in.op == Bc::Div ? Op::Div : Op::Rem);
+        break;
+
+      case Bc::Branch: {
+        const size_t pc = curPc;
+        const double exec = execOf(pc);
+        const double taken = takenOf(pc);
+        const int t = leaderBlock.at(static_cast<size_t>(in.imm));
+        const int f = leaderBlock.at(pc + 1);
+        setTerm(make(Op::Branch, NO_VREG, {in.a}), {t, f},
+                {taken, exec - taken});
+        break;
+      }
+      case Bc::Jump: {
+        const double exec = execOf(curPc);
+        const int t = leaderBlock.at(static_cast<size_t>(in.imm));
+        setTerm(make(Op::Jump, NO_VREG, {}), {t}, {exec});
+        break;
+      }
+
+      case Bc::NewObject:
+        emit(make(Op::NewObject, in.a, {}, 0, in.c));
+        break;
+      case Bc::NewArray:
+        emit(make(Op::SizeCheck, NO_VREG, {in.b}));
+        emit(make(Op::NewArray, in.a, {in.b}));
+        break;
+
+      case Bc::GetField:
+        emit(make(Op::NullCheck, NO_VREG, {in.b}));
+        emit(make(Op::LoadField, in.a, {in.b}, 0, in.c));
+        break;
+      case Bc::PutField:
+        emit(make(Op::NullCheck, NO_VREG, {in.a}));
+        emit(make(Op::StoreField, NO_VREG, {in.a, in.b}, 0, in.c));
+        break;
+
+      case Bc::ALoad: {
+        emit(make(Op::NullCheck, NO_VREG, {in.b}));
+        const Vreg len = func.newVreg();
+        emit(make(Op::LoadRaw, len, {in.b}, vm::layout::ARR_LEN));
+        emit(make(Op::BoundsCheck, NO_VREG,
+                  {static_cast<Vreg>(in.c), len}));
+        emit(make(Op::LoadElem, in.a, {in.b, static_cast<Vreg>(in.c)}));
+        break;
+      }
+      case Bc::AStore: {
+        emit(make(Op::NullCheck, NO_VREG, {in.a}));
+        const Vreg len = func.newVreg();
+        emit(make(Op::LoadRaw, len, {in.a}, vm::layout::ARR_LEN));
+        emit(make(Op::BoundsCheck, NO_VREG, {in.b, len}));
+        emit(make(Op::StoreElem, NO_VREG,
+                  {in.a, in.b, static_cast<Vreg>(in.c)}));
+        break;
+      }
+      case Bc::ALength:
+        emit(make(Op::NullCheck, NO_VREG, {in.b}));
+        emit(make(Op::LoadRaw, in.a, {in.b}, vm::layout::ARR_LEN));
+        break;
+
+      case Bc::CallStatic: {
+        std::vector<Vreg> srcs(in.args.begin(), in.args.end());
+        const Vreg dst = in.a == vm::NO_REG ? NO_VREG : in.a;
+        emit(make(Op::CallStatic, dst, std::move(srcs), 0,
+                  static_cast<int>(in.imm)));
+        // Calls end the block; the run loop links the continuation.
+        break;
+      }
+      case Bc::CallVirtual: {
+        std::vector<Vreg> srcs(in.args.begin(), in.args.end());
+        emit(make(Op::NullCheck, NO_VREG, {srcs.at(0)}));
+        const Vreg dst = in.a == vm::NO_REG ? NO_VREG : in.a;
+        emit(make(Op::CallVirtual, dst, std::move(srcs), 0, in.b));
+        break;
+      }
+
+      case Bc::Ret:
+        setTerm(make(Op::Ret, NO_VREG, {in.a}), {}, {});
+        break;
+      case Bc::RetVoid:
+        setTerm(make(Op::Ret, NO_VREG, {}), {}, {});
+        break;
+
+      case Bc::MonitorEnter:
+        emit(make(Op::NullCheck, NO_VREG, {in.a}));
+        emit(make(Op::MonitorEnter, NO_VREG, {in.a}));
+        break;
+      case Bc::MonitorExit:
+        emit(make(Op::NullCheck, NO_VREG, {in.a}));
+        emit(make(Op::MonitorExit, NO_VREG, {in.a}));
+        break;
+
+      case Bc::InstanceOf: {
+        // dst = (obj != null) && subtype[classof(obj)][cls].
+        // Lowered to a diamond; the null edge profiles as cold.
+        const double exec = cur->execCount;
+        const Vreg zero = constVreg(0);
+        const Vreg is_null = func.newVreg();
+        emit(make(Op::CmpEq, is_null, {in.b, zero}));
+        Block &null_blk = auxBlock(0);
+        Block &load_blk = auxBlock(exec);
+        Block &cont_blk = auxBlock(exec);
+        setTerm(make(Op::Branch, NO_VREG, {is_null}),
+                {null_blk.id, load_blk.id}, {0, exec});
+
+        cur = &null_blk;
+        emit(make(Op::Const, in.a, {}, 0));
+        setTerm(make(Op::Jump, NO_VREG, {}), {cont_blk.id}, {0});
+
+        cur = &load_blk;
+        const Vreg cls = func.newVreg();
+        emit(make(Op::LoadRaw, cls, {in.b}, vm::layout::HDR_CLASS));
+        emit(make(Op::LoadSubtype, in.a, {cls}, 0, in.c));
+        setTerm(make(Op::Jump, NO_VREG, {}), {cont_blk.id}, {exec});
+
+        cur = &cont_blk;
+        break;
+      }
+      case Bc::CheckCast: {
+        // Null passes; otherwise TypeCheck(subtype flag).
+        const double exec = cur->execCount;
+        const Vreg zero = constVreg(0);
+        const Vreg is_null = func.newVreg();
+        emit(make(Op::CmpEq, is_null, {in.a, zero}));
+        Block &check_blk = auxBlock(exec);
+        Block &cont_blk = auxBlock(exec);
+        setTerm(make(Op::Branch, NO_VREG, {is_null}),
+                {cont_blk.id, check_blk.id}, {0, exec});
+
+        cur = &check_blk;
+        const Vreg cls = func.newVreg();
+        emit(make(Op::LoadRaw, cls, {in.a}, vm::layout::HDR_CLASS));
+        const Vreg flag = func.newVreg();
+        emit(make(Op::LoadSubtype, flag, {cls}, 0, in.c));
+        emit(make(Op::TypeCheck, NO_VREG, {flag}));
+        setTerm(make(Op::Jump, NO_VREG, {}), {cont_blk.id}, {exec});
+
+        cur = &cont_blk;
+        break;
+      }
+
+      case Bc::Safepoint:
+        emit(make(Op::Safepoint, NO_VREG, {}));
+        break;
+      case Bc::Print:
+        emit(make(Op::Print, NO_VREG, {in.a}));
+        break;
+      case Bc::Marker:
+        emit(make(Op::Marker, NO_VREG, {}, in.imm));
+        break;
+      case Bc::Spawn: {
+        std::vector<Vreg> srcs(in.args.begin(), in.args.end());
+        emit(make(Op::Spawn, NO_VREG, std::move(srcs), 0,
+                  static_cast<int>(in.imm)));
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Function
+translate(const vm::Program &prog, vm::MethodId method,
+          const vm::Profile *profile)
+{
+    Translator tr(prog, method, profile);
+    return tr.run();
+}
+
+Module
+translateProgram(const vm::Program &prog, const vm::Profile *profile)
+{
+    Module mod;
+    mod.prog = &prog;
+    for (vm::MethodId m = 0; m < prog.numMethods(); ++m)
+        mod.funcs.emplace(m, translate(prog, m, profile));
+    return mod;
+}
+
+} // namespace aregion::ir

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bytecode -> IR translation.
+ *
+ * Mirrors a JVM front end: safety checks become explicit IR check
+ * instructions (so redundancy elimination can remove them), virtual
+ * calls get explicit receiver null checks, synchronized methods are
+ * wrapped in monitor enter/exit, calls terminate blocks (region
+ * formation reasons about call continuations), and profile counts are
+ * attached to blocks and edges.
+ */
+
+#ifndef AREGION_IR_TRANSLATE_HH
+#define AREGION_IR_TRANSLATE_HH
+
+#include "ir/ir.hh"
+#include "vm/profile.hh"
+#include "vm/program.hh"
+
+namespace aregion::ir {
+
+/** Translate one method. Profile may be nullptr (counts stay zero). */
+Function translate(const vm::Program &prog, vm::MethodId method,
+                   const vm::Profile *profile = nullptr);
+
+/** Translate every method of the program into a Module. */
+Module translateProgram(const vm::Program &prog,
+                        const vm::Profile *profile = nullptr);
+
+} // namespace aregion::ir
+
+#endif // AREGION_IR_TRANSLATE_HH

@@ -1,0 +1,155 @@
+#include "ir/verifier.hh"
+
+#include <sstream>
+
+namespace aregion::ir {
+
+namespace {
+
+size_t
+expectedSuccs(Op op)
+{
+    switch (op) {
+      case Op::Branch: return 2;
+      case Op::Jump: return 1;
+      case Op::Ret: return 0;
+      default: return SIZE_MAX;
+    }
+}
+
+size_t
+expectedSrcs(Op op)
+{
+    switch (op) {
+      case Op::Const: case Op::NewObject: case Op::Safepoint:
+      case Op::Marker: case Op::AtomicBegin: case Op::AtomicEnd:
+      case Op::Jump:
+        return 0;
+      case Op::Mov: case Op::LoadField: case Op::LoadRaw:
+      case Op::LoadSubtype: case Op::NullCheck: case Op::DivCheck:
+      case Op::SizeCheck: case Op::TypeCheck: case Op::NewArray:
+      case Op::MonitorEnter: case Op::MonitorExit: case Op::Print:
+      case Op::Assert: case Op::Branch:
+        return 1;
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr:
+      case Op::CmpEq: case Op::CmpNe: case Op::CmpLt: case Op::CmpLe:
+      case Op::CmpGt: case Op::CmpGe:
+      case Op::StoreField: case Op::LoadElem: case Op::StoreRaw:
+      case Op::BoundsCheck:
+        return 2;
+      case Op::StoreElem:
+        return 3;
+      case Op::CallStatic: case Op::CallVirtual: case Op::Spawn:
+      case Op::Ret:
+        return SIZE_MAX;    // variable arity
+      default:
+        return SIZE_MAX;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Function &func)
+{
+    std::vector<std::string> problems;
+    auto report = [&](int block, size_t idx, const std::string &what) {
+        std::ostringstream os;
+        os << func.name << " b" << block << "[" << idx << "]: " << what;
+        problems.push_back(os.str());
+    };
+
+    if (func.numBlocks() == 0) {
+        problems.push_back(func.name + ": no blocks");
+        return problems;
+    }
+
+    for (int b : func.reversePostOrder()) {
+        const Block &blk = func.block(b);
+        if (blk.instrs.empty()) {
+            report(b, 0, "empty block");
+            continue;
+        }
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            const bool last = i + 1 == blk.instrs.size();
+            if (isTerminator(in.op) != last) {
+                report(b, i, last ? "block does not end in terminator"
+                                  : "terminator before end of block");
+            }
+            const size_t want = expectedSrcs(in.op);
+            if (want != SIZE_MAX && in.srcs.size() != want)
+                report(b, i, std::string("bad source arity for ") +
+                              opName(in.op));
+            if (in.op == Op::Ret && in.srcs.size() > 1)
+                report(b, i, "ret with more than one value");
+            if (in.dst != NO_VREG &&
+                (in.dst < 0 || in.dst >= func.numVregs())) {
+                report(b, i, "dst vreg out of range");
+            }
+            for (Vreg s : in.srcs) {
+                if (s < 0 || s >= func.numVregs())
+                    report(b, i, "src vreg out of range");
+            }
+            if (in.op == Op::AtomicBegin && i != 0)
+                report(b, i, "aregion_begin not first in block");
+            if (in.op == Op::Assert && blk.regionId < 0)
+                report(b, i, "assert outside atomic region");
+            if (blk.regionId >= 0 &&
+                (in.op == Op::CallStatic || in.op == Op::CallVirtual)) {
+                report(b, i, "call inside atomic region");
+            }
+            if (blk.regionId >= 0 && in.op == Op::AtomicBegin &&
+                b != func.regions.at(
+                    static_cast<size_t>(blk.regionId)).entryBlock) {
+                report(b, i, "nested aregion_begin");
+            }
+        }
+        size_t want_succs = expectedSuccs(blk.terminator().op);
+        // A region entry block is [AtomicBegin, Jump] with two
+        // successors: the region body and the abort exception edge.
+        if (blk.instrs.front().op == Op::AtomicBegin &&
+            blk.terminator().op == Op::Jump) {
+            want_succs = 2;
+        }
+        if (want_succs != SIZE_MAX && blk.succs.size() != want_succs)
+            report(b, blk.instrs.size() - 1,
+                   "successor arity does not match terminator");
+        for (int s : blk.succs) {
+            if (s < 0 || s >= func.numBlocks())
+                report(b, blk.instrs.size() - 1,
+                       "successor id out of range");
+        }
+    }
+
+    for (const RegionInfo &r : func.regions) {
+        if (r.entryBlock < 0 || r.entryBlock >= func.numBlocks()) {
+            problems.push_back(func.name + ": region entry out of range");
+            continue;
+        }
+        const Block &entry = func.block(r.entryBlock);
+        if (entry.instrs.empty() ||
+            entry.instrs.front().op != Op::AtomicBegin) {
+            problems.push_back(
+                func.name + ": region entry lacks aregion_begin");
+        }
+        if (r.altBlock < 0 || r.altBlock >= func.numBlocks())
+            problems.push_back(func.name + ": region alt out of range");
+    }
+
+    return problems;
+}
+
+void
+verifyOrDie(const Function &func)
+{
+    const auto problems = verify(func);
+    if (!problems.empty()) {
+        AREGION_PANIC("IR verifier: ", problems.front(), " (",
+                      problems.size(), " problems total)");
+    }
+}
+
+} // namespace aregion::ir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * IR structural verifier: run between passes in debug pipelines.
+ */
+
+#ifndef AREGION_IR_VERIFIER_HH
+#define AREGION_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+
+namespace aregion::ir {
+
+/**
+ * Check structural invariants:
+ *  - every reachable block ends in exactly one terminator,
+ *  - successor arity matches the terminator kind,
+ *  - vregs are within bounds,
+ *  - AtomicBegin appears only as the first instruction of a region
+ *    entry block; regions are not nested; Assert appears only inside
+ *    a region; region blocks cannot contain calls or AtomicBegin.
+ */
+std::vector<std::string> verify(const Function &func);
+
+void verifyOrDie(const Function &func);
+
+} // namespace aregion::ir
+
+#endif // AREGION_IR_VERIFIER_HH

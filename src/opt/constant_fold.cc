@@ -1,0 +1,294 @@
+#include "opt/pass.hh"
+
+#include <optional>
+
+#include "vm/arith.hh"
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+
+namespace {
+
+/** Three-level constant lattice. */
+struct LatVal
+{
+    enum Kind : uint8_t { Top, Const, Bot };
+    Kind kind = Top;
+    int64_t value = 0;
+
+    static LatVal top() { return {}; }
+    static LatVal bot() { return {Bot, 0}; }
+    static LatVal c(int64_t v) { return {Const, v}; }
+
+    bool
+    operator==(const LatVal &o) const
+    {
+        return kind == o.kind && (kind != Const || value == o.value);
+    }
+};
+
+LatVal
+meet(const LatVal &a, const LatVal &b)
+{
+    if (a.kind == LatVal::Top)
+        return b;
+    if (b.kind == LatVal::Top)
+        return a;
+    if (a.kind == LatVal::Bot || b.kind == LatVal::Bot)
+        return LatVal::bot();
+    return a.value == b.value ? a : LatVal::bot();
+}
+
+/** Fold a pure binop; nullopt when not foldable (e.g. div by 0). */
+std::optional<int64_t>
+foldBinop(Op op, int64_t a, int64_t b)
+{
+    namespace arith = vm::arith;
+    switch (op) {
+      case Op::Add: return arith::javaAdd(a, b);
+      case Op::Sub: return arith::javaSub(a, b);
+      case Op::Mul: return arith::javaMul(a, b);
+      case Op::Div:
+        if (b == 0)
+            return std::nullopt;
+        return arith::javaDiv(a, b);
+      case Op::Rem:
+        if (b == 0)
+            return std::nullopt;
+        return arith::javaRem(a, b);
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Shl: return arith::javaShl(a, b);
+      case Op::Shr: return arith::javaShr(a, b);
+      case Op::CmpEq: return a == b;
+      case Op::CmpNe: return a != b;
+      case Op::CmpLt: return a < b;
+      case Op::CmpLe: return a <= b;
+      case Op::CmpGt: return a > b;
+      case Op::CmpGe: return a >= b;
+      default: return std::nullopt;
+    }
+}
+
+bool
+isBinop(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::Rem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::Shr:
+      case Op::CmpEq: case Op::CmpNe: case Op::CmpLt: case Op::CmpLe:
+      case Op::CmpGt: case Op::CmpGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** State transfer for one instruction. */
+void
+transfer(const Instr &in, std::vector<LatVal> &state)
+{
+    if (in.dst == NO_VREG)
+        return;
+    auto get = [&](Vreg v) { return state[static_cast<size_t>(v)]; };
+    LatVal out = LatVal::bot();
+    if (in.op == Op::Const) {
+        out = LatVal::c(in.imm);
+    } else if (in.op == Op::Mov) {
+        out = get(in.s0());
+    } else if (isBinop(in.op)) {
+        const LatVal a = get(in.s0());
+        const LatVal b = get(in.s1());
+        if (a.kind == LatVal::Const && b.kind == LatVal::Const) {
+            const auto folded = foldBinop(in.op, a.value, b.value);
+            out = folded ? LatVal::c(*folded) : LatVal::bot();
+        } else if (a.kind == LatVal::Top || b.kind == LatVal::Top) {
+            out = LatVal::top();
+        }
+    }
+    state[static_cast<size_t>(in.dst)] = out;
+}
+
+} // namespace
+
+bool
+constantFold(Function &func)
+{
+    const int nv = func.numVregs();
+    const auto rpo = func.reversePostOrder();
+    const auto preds = func.computePreds();
+    std::vector<uint8_t> reachable(static_cast<size_t>(func.numBlocks()),
+                                   0);
+    for (int b : rpo)
+        reachable[static_cast<size_t>(b)] = 1;
+
+    // IN states per block. Entry: args unknown, others zero (frames
+    // are zero-initialised by every executor).
+    std::vector<std::vector<LatVal>> in_state(
+        static_cast<size_t>(func.numBlocks()));
+    std::vector<LatVal> entry_state(static_cast<size_t>(nv),
+                                    LatVal::c(0));
+    for (int a = 0; a < func.numArgs; ++a)
+        entry_state[static_cast<size_t>(a)] = LatVal::bot();
+    in_state[static_cast<size_t>(func.entry)] = entry_state;
+
+    // Iterate to fixpoint over RPO.
+    bool dirty = true;
+    int rounds = 0;
+    while (dirty && ++rounds < 64) {
+        dirty = false;
+        for (int b : rpo) {
+            auto &in = in_state[static_cast<size_t>(b)];
+            if (b != func.entry) {
+                std::vector<LatVal> merged(static_cast<size_t>(nv));
+                bool first = true;
+                for (int p : preds[static_cast<size_t>(b)]) {
+                    if (!reachable[static_cast<size_t>(p)])
+                        continue;
+                    // OUT(p) recomputed on the fly.
+                    auto out = in_state[static_cast<size_t>(p)];
+                    if (out.empty())
+                        continue;   // pred not yet visited
+                    for (const Instr &pin : func.block(p).instrs)
+                        transfer(pin, out);
+                    if (first) {
+                        merged = out;
+                        first = false;
+                    } else {
+                        for (size_t v = 0; v < merged.size(); ++v)
+                            merged[v] = meet(merged[v], out[v]);
+                    }
+                }
+                if (first)
+                    continue;       // no visited preds yet
+                if (merged != in)
+                    dirty = true;
+                in = std::move(merged);
+            }
+        }
+    }
+
+    // Rewrite using the converged IN states.
+    bool changed = false;
+    for (int b : rpo) {
+        auto state = in_state[static_cast<size_t>(b)];
+        if (state.empty())
+            continue;
+        Block &blk = func.block(b);
+        for (Instr &in : blk.instrs) {
+            auto cst = [&](Vreg v) -> std::optional<int64_t> {
+                const LatVal &lv = state[static_cast<size_t>(v)];
+                if (lv.kind == LatVal::Const)
+                    return lv.value;
+                return std::nullopt;
+            };
+            auto to_const = [&](Instr &target, int64_t value) {
+                target.op = Op::Const;
+                target.srcs.clear();
+                target.imm = value;
+                changed = true;
+            };
+            auto to_mov = [&](Instr &target, Vreg src) {
+                target.op = Op::Mov;
+                target.srcs = {src};
+                target.imm = 0;
+                changed = true;
+            };
+
+            if (isBinop(in.op)) {
+                const auto a = cst(in.s0());
+                const auto b2 = cst(in.s1());
+                if (a && b2) {
+                    if (const auto f = foldBinop(in.op, *a, *b2))
+                        to_const(in, *f);
+                } else if (b2) {
+                    // Algebraic identities with a constant rhs.
+                    if ((in.op == Op::Add || in.op == Op::Sub ||
+                         in.op == Op::Or || in.op == Op::Xor ||
+                         in.op == Op::Shl || in.op == Op::Shr) &&
+                        *b2 == 0) {
+                        to_mov(in, in.s0());
+                    } else if (in.op == Op::Mul && *b2 == 1) {
+                        to_mov(in, in.s0());
+                    } else if ((in.op == Op::Mul || in.op == Op::And) &&
+                               *b2 == 0) {
+                        to_const(in, 0);
+                    }
+                } else if (a) {
+                    if (in.op == Op::Add && *a == 0)
+                        to_mov(in, in.s1());
+                    else if (in.op == Op::Mul && *a == 1)
+                        to_mov(in, in.s1());
+                    else if ((in.op == Op::Mul || in.op == Op::And) &&
+                             *a == 0)
+                        to_const(in, 0);
+                }
+            } else if (in.op == Op::Mov) {
+                if (const auto a = cst(in.s0()))
+                    to_const(in, *a);
+            } else if (in.op == Op::Assert) {
+                // An assert that provably never fires (respecting
+                // its polarity) is dropped via a DCE-able rewrite.
+                const auto a = cst(in.s0());
+                if (a && (in.imm ? *a != 0 : *a == 0)) {
+                    in.op = Op::Const;
+                    in.dst = func.newVreg();
+                    in.srcs.clear();
+                    in.imm = 0;
+                    changed = true;
+                    // dst grew past `state`; extend.
+                    state.resize(static_cast<size_t>(func.numVregs()),
+                                 LatVal::bot());
+                }
+            } else if (in.op == Op::BoundsCheck) {
+                const auto idx = cst(in.s0());
+                const auto len = cst(in.s1());
+                if (idx && len && *idx >= 0 && *idx < *len) {
+                    in.op = Op::Const;
+                    in.dst = func.newVreg();
+                    in.srcs.clear();
+                    in.imm = 0;
+                    changed = true;
+                    state.resize(static_cast<size_t>(func.numVregs()),
+                                 LatVal::bot());
+                }
+            } else if (in.op == Op::DivCheck || in.op == Op::SizeCheck) {
+                const auto a = cst(in.s0());
+                const bool passes =
+                    a && ((in.op == Op::DivCheck && *a != 0) ||
+                          (in.op == Op::SizeCheck && *a >= 0));
+                if (passes) {
+                    in.op = Op::Const;
+                    in.dst = func.newVreg();
+                    in.srcs.clear();
+                    in.imm = 0;
+                    changed = true;
+                    state.resize(static_cast<size_t>(func.numVregs()),
+                                 LatVal::bot());
+                }
+            } else if (in.op == Op::Branch) {
+                if (const auto a = cst(in.s0())) {
+                    const int keep = *a != 0 ? 0 : 1;
+                    Block &owner = blk;
+                    const int target = owner.succs[
+                        static_cast<size_t>(keep)];
+                    in.op = Op::Jump;
+                    in.srcs.clear();
+                    owner.succs = {target};
+                    owner.succCount = {owner.execCount};
+                    changed = true;
+                }
+            }
+            transfer(in, state);
+        }
+    }
+
+    if (changed)
+        func.compact();
+    return changed;
+}
+
+} // namespace aregion::opt

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Global copy propagation over available copies (meet = intersect).
+ * Cleans up the Mov chains that CSE and inlining introduce so DCE can
+ * delete the copies themselves.
+ */
+
+#include "opt/pass.hh"
+
+#include <map>
+#include <set>
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+
+namespace {
+
+using CopyPair = std::pair<Vreg, Vreg>;    // dst <- src
+
+/** Per-block copy state: dst -> src for active copies. */
+using CopyMap = std::map<Vreg, Vreg>;
+
+/** Remove every pair mentioning v (as dst or src). */
+void
+killVreg(CopyMap &state, Vreg v)
+{
+    state.erase(v);
+    for (auto it = state.begin(); it != state.end();) {
+        if (it->second == v)
+            it = state.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+transfer(const Instr &in, CopyMap &state)
+{
+    if (in.dst == NO_VREG)
+        return;
+    if (in.op == Op::Mov && in.s0() != in.dst) {
+        const Vreg src = in.s0();
+        killVreg(state, in.dst);
+        state[in.dst] = src;
+    } else {
+        killVreg(state, in.dst);
+    }
+}
+
+CopyMap
+meet(const CopyMap &a, const CopyMap &b)
+{
+    CopyMap out;
+    for (const auto &[dst, src] : a) {
+        auto it = b.find(dst);
+        if (it != b.end() && it->second == src)
+            out.emplace(dst, src);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+copyPropagate(Function &func)
+{
+    const auto rpo = func.reversePostOrder();
+    const auto preds = func.computePreds();
+    std::vector<uint8_t> reachable(
+        static_cast<size_t>(func.numBlocks()), 0);
+    for (int b : rpo)
+        reachable[static_cast<size_t>(b)] = 1;
+
+    // IN maps per block; std::optional-like via a "visited" flag.
+    std::vector<CopyMap> in_maps(static_cast<size_t>(func.numBlocks()));
+    std::vector<uint8_t> visited(
+        static_cast<size_t>(func.numBlocks()), 0);
+    visited[static_cast<size_t>(func.entry)] = 1;
+
+    bool dirty = true;
+    int rounds = 0;
+    while (dirty && ++rounds < 32) {
+        dirty = false;
+        for (int b : rpo) {
+            if (b == func.entry)
+                continue;
+            CopyMap merged;
+            bool first = true;
+            bool any = false;
+            for (int p : preds[static_cast<size_t>(b)]) {
+                if (!reachable[static_cast<size_t>(p)] ||
+                    !visited[static_cast<size_t>(p)]) {
+                    continue;
+                }
+                CopyMap out = in_maps[static_cast<size_t>(p)];
+                for (const Instr &in : func.block(p).instrs)
+                    transfer(in, out);
+                if (first) {
+                    merged = std::move(out);
+                    first = false;
+                } else {
+                    merged = meet(merged, out);
+                }
+                any = true;
+            }
+            if (!any)
+                continue;
+            if (!visited[static_cast<size_t>(b)] ||
+                merged != in_maps[static_cast<size_t>(b)]) {
+                in_maps[static_cast<size_t>(b)] = std::move(merged);
+                visited[static_cast<size_t>(b)] = 1;
+                dirty = true;
+            }
+        }
+    }
+
+    // Rewrite uses; follow copy chains a bounded number of steps.
+    bool changed = false;
+    for (int b : rpo) {
+        if (!visited[static_cast<size_t>(b)])
+            continue;
+        Block &blk = func.block(b);
+        CopyMap state = in_maps[static_cast<size_t>(b)];
+        std::vector<Instr> out;
+        out.reserve(blk.instrs.size());
+        for (Instr &in : blk.instrs) {
+            for (Vreg &src : in.srcs) {
+                int hops = 0;
+                while (hops++ < 4) {
+                    auto it = state.find(src);
+                    if (it == state.end())
+                        break;
+                    src = it->second;
+                    changed = true;
+                }
+            }
+            transfer(in, state);
+            if (in.op == Op::Mov && in.dst == in.s0()) {
+                changed = true;     // self-move: drop
+                continue;
+            }
+            out.push_back(std::move(in));
+        }
+        blk.instrs = std::move(out);
+    }
+
+    return changed;
+}
+
+} // namespace aregion::opt

@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Global common-subexpression elimination over available expressions.
+ *
+ * The formulation is the textbook non-speculative one (bitvector
+ * AVAIL dataflow, meet = intersection): an expression is redundant at
+ * a site only if it was computed on EVERY path reaching the site with
+ * no intervening kill. This is exactly why cold-path join edges block
+ * optimization in baseline code, and why replacing those edges with
+ * Asserts (which have no control-flow join) lets this very pass
+ * perform the speculative optimizations of the paper.
+ *
+ * Expression classes handled:
+ *  - pure arithmetic/comparisons (commutative ops canonicalised),
+ *  - loads, with field-sensitive kills and store-to-load forwarding,
+ *  - safety checks (redundant checks are deleted outright),
+ *  - asserts (redundant asserts are deleted; paper Section 4).
+ *
+ * Memory kill rules encode the paper's isolation guarantee: monitor
+ * operations and safepoints invalidate loads only OUTSIDE atomic
+ * regions, because within a region the hardware guarantees isolation
+ * from other threads.
+ */
+
+#include "opt/pass.hh"
+
+#include <functional>
+#include <map>
+
+#include "vm/layout.hh"
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+
+namespace {
+
+/** Canonical key identifying a syntactic expression. */
+struct ExprKey
+{
+    Op op;
+    std::vector<Vreg> srcs;
+    int64_t imm = 0;
+    int aux = 0;
+
+    bool
+    operator<(const ExprKey &o) const
+    {
+        if (op != o.op)
+            return op < o.op;
+        if (imm != o.imm)
+            return imm < o.imm;
+        if (aux != o.aux)
+            return aux < o.aux;
+        return srcs < o.srcs;
+    }
+};
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Mul: case Op::And: case Op::Or:
+      case Op::Xor: case Op::CmpEq: case Op::CmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Is this op an expression we track? */
+bool
+isExpr(Op op)
+{
+    if (isPureValue(op) && op != Op::Const && op != Op::Mov)
+        return true;
+    if (isLoad(op))
+        return true;
+    if (isCheck(op))
+        return true;
+    return op == Op::Assert;
+}
+
+ExprKey
+keyOf(const Instr &in)
+{
+    ExprKey key;
+    key.op = in.op;
+    key.srcs = in.srcs;
+    switch (in.op) {
+      case Op::LoadField:
+        key.aux = in.aux;
+        break;
+      case Op::LoadRaw:
+        key.imm = in.imm;
+        break;
+      case Op::LoadSubtype:
+        key.aux = in.aux;
+        break;
+      case Op::Assert:
+        // Asserts with the same condition and polarity are
+        // interchangeable even when their abort ids differ.
+        key.imm = in.imm;
+        break;
+      default:
+        break;
+    }
+    if (isCommutative(in.op) && key.srcs.size() == 2 &&
+        key.srcs[0] > key.srcs[1]) {
+        std::swap(key.srcs[0], key.srcs[1]);
+    }
+    return key;
+}
+
+/** Dense bitset sized to the expression universe. */
+class BitSet
+{
+  public:
+    explicit BitSet(size_t bits = 0)
+        : words((bits + 63) / 64, 0), numBits(bits)
+    {
+    }
+
+    void set(size_t i) { words[i / 64] |= 1ull << (i % 64); }
+    void clear(size_t i) { words[i / 64] &= ~(1ull << (i % 64)); }
+    bool test(size_t i) const
+    {
+        return words[i / 64] >> (i % 64) & 1;
+    }
+
+    void
+    setAll()
+    {
+        for (auto &w : words)
+            w = ~0ull;
+        trim();
+    }
+
+    void
+    intersect(const BitSet &o)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] &= o.words[i];
+    }
+
+    void
+    subtract(const BitSet &o)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] &= ~o.words[i];
+    }
+
+    void
+    unite(const BitSet &o)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] |= o.words[i];
+    }
+
+    bool operator==(const BitSet &o) const { return words == o.words; }
+
+  private:
+    void
+    trim()
+    {
+        if (numBits % 64 && !words.empty())
+            words.back() &= (1ull << (numBits % 64)) - 1;
+    }
+
+    std::vector<uint64_t> words;
+    size_t numBits;
+};
+
+/** Everything the pass knows about the expression universe. */
+struct Universe
+{
+    std::map<ExprKey, int> index;
+    std::vector<ExprKey> exprs;
+    /** vreg -> expressions using it as an operand. */
+    std::map<Vreg, std::vector<int>> usedBy;
+    /** Expression ids per kill class. */
+    std::vector<int> loadsField;    // per field idx: flattened below
+    std::map<int, std::vector<int>> loadFieldByAux;
+    std::vector<int> loadElem;
+    std::map<int64_t, std::vector<int>> loadRawByImm;
+    std::vector<int> allLoads;      // excludes LoadSubtype
+
+    int
+    idOf(const Instr &in)
+    {
+        const ExprKey key = keyOf(in);
+        auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        const int id = static_cast<int>(exprs.size());
+        index.emplace(key, id);
+        exprs.push_back(key);
+        for (Vreg v : key.srcs)
+            usedBy[v].push_back(id);
+        switch (key.op) {
+          case Op::LoadField:
+            loadFieldByAux[key.aux].push_back(id);
+            allLoads.push_back(id);
+            break;
+          case Op::LoadElem:
+            loadElem.push_back(id);
+            allLoads.push_back(id);
+            break;
+          case Op::LoadRaw:
+            loadRawByImm[key.imm].push_back(id);
+            allLoads.push_back(id);
+            break;
+          default:
+            break;
+        }
+        return id;
+    }
+};
+
+/** Kill ids produced by the side effects of one instruction
+ *  (excluding the dst-vreg kill, handled separately). */
+void
+memoryKills(const Instr &in, bool in_region, const Universe &uni,
+            std::vector<int> &out)
+{
+    auto addAll = [&](const std::vector<int> &ids) {
+        out.insert(out.end(), ids.begin(), ids.end());
+    };
+    switch (in.op) {
+      case Op::StoreField: {
+        auto it = uni.loadFieldByAux.find(in.aux);
+        if (it != uni.loadFieldByAux.end())
+            addAll(it->second);
+        break;
+      }
+      case Op::StoreElem:
+        addAll(uni.loadElem);
+        break;
+      case Op::StoreRaw: {
+        auto it = uni.loadRawByImm.find(in.imm);
+        if (it != uni.loadRawByImm.end())
+            addAll(it->second);
+        break;
+      }
+      case Op::CallStatic:
+      case Op::CallVirtual:
+      case Op::Spawn:
+      case Op::AtomicBegin:
+      case Op::AtomicEnd:
+        addAll(uni.allLoads);
+        break;
+      case Op::MonitorEnter:
+      case Op::MonitorExit:
+        if (in_region) {
+            // Isolation: within a region only the lock word itself
+            // is written.
+            auto it = uni.loadRawByImm.find(vm::layout::HDR_LOCK);
+            if (it != uni.loadRawByImm.end())
+                addAll(it->second);
+        } else {
+            addAll(uni.allLoads);
+        }
+        break;
+      case Op::Safepoint:
+        if (!in_region)
+            addAll(uni.allLoads);
+        break;
+      case Op::NewObject:
+      case Op::NewArray:
+        // Fresh memory: existing loads unaffected.
+        break;
+      default:
+        break;
+    }
+}
+
+/** Store-to-load forwarding: the expression this store makes
+ *  available (with its value held in a source vreg), or -1. */
+int
+forwardedExpr(const Instr &in, Universe &uni, Vreg &value_out)
+{
+    Instr load;
+    switch (in.op) {
+      case Op::StoreField:
+        load.op = Op::LoadField;
+        load.srcs = {in.s0()};
+        load.aux = in.aux;
+        value_out = in.s1();
+        break;
+      case Op::StoreElem:
+        load.op = Op::LoadElem;
+        load.srcs = {in.s0(), in.s1()};
+        value_out = in.s2();
+        break;
+      case Op::StoreRaw:
+        load.op = Op::LoadRaw;
+        load.srcs = {in.s0()};
+        load.imm = in.imm;
+        value_out = in.s1();
+        break;
+      default:
+        return -1;
+    }
+    return uni.idOf(load);
+}
+
+} // namespace
+
+bool
+commonSubexpressionElim(Function &func)
+{
+    const auto rpo = func.reversePostOrder();
+    const auto preds = func.computePreds();
+    std::vector<uint8_t> reachable(
+        static_cast<size_t>(func.numBlocks()), 0);
+    for (int b : rpo)
+        reachable[static_cast<size_t>(b)] = 1;
+
+    // Build the universe by scanning every expression-shaped
+    // instruction plus forwarded stores.
+    Universe uni;
+    for (int b : rpo) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (isExpr(in.op))
+                uni.idOf(in);
+            Vreg ignored;
+            forwardedExpr(in, uni, ignored);
+        }
+    }
+    const size_t n = uni.exprs.size();
+    if (n == 0)
+        return false;
+
+    // Local GEN/KILL via simulation, shared with the rewrite phase.
+    auto simulate = [&](int b, BitSet &avail,
+                        const std::function<void(size_t, BitSet &)>
+                            &visit) {
+        Block &blk = func.block(b);
+        const bool in_region = blk.regionId >= 0;
+        std::vector<int> kills;
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            if (visit)
+                visit(i, avail);
+            const Instr &in = blk.instrs[i];
+            // 1. Generate this expression.
+            if (isExpr(in.op))
+                avail.set(static_cast<size_t>(uni.idOf(in)));
+            // 2. Memory kills.
+            kills.clear();
+            memoryKills(in, in_region, uni, kills);
+            for (int k : kills)
+                avail.clear(static_cast<size_t>(k));
+            // 3. Store-to-load forwarding gen.
+            Vreg fwd_value;
+            const int fwd = forwardedExpr(in, uni, fwd_value);
+            if (fwd >= 0)
+                avail.set(static_cast<size_t>(fwd));
+            // 4. Register kill for the destination.
+            if (in.dst != NO_VREG) {
+                auto it = uni.usedBy.find(in.dst);
+                if (it != uni.usedBy.end()) {
+                    for (int k : it->second)
+                        avail.clear(static_cast<size_t>(k));
+                }
+            }
+        }
+    };
+
+    // GEN/OUT dataflow: OUT = sim(IN). Compute by iterating; IN of
+    // entry is empty, IN of others starts full (optimistic).
+    std::vector<BitSet> in_sets(static_cast<size_t>(func.numBlocks()),
+                                BitSet(n));
+    for (int b : rpo) {
+        if (b != func.entry)
+            in_sets[static_cast<size_t>(b)].setAll();
+    }
+    bool dirty = true;
+    int rounds = 0;
+    while (dirty && ++rounds < 64) {
+        dirty = false;
+        for (int b : rpo) {
+            if (b == func.entry)
+                continue;
+            BitSet merged(n);
+            merged.setAll();
+            bool any = false;
+            for (int p : preds[static_cast<size_t>(b)]) {
+                if (!reachable[static_cast<size_t>(p)])
+                    continue;
+                BitSet out = in_sets[static_cast<size_t>(p)];
+                simulate(p, out, nullptr);
+                merged.intersect(out);
+                any = true;
+            }
+            if (!any)
+                merged = BitSet(n);
+            if (!(merged == in_sets[static_cast<size_t>(b)])) {
+                in_sets[static_cast<size_t>(b)] = merged;
+                dirty = true;
+            }
+        }
+    }
+
+    // Phase A: find expressions redundant somewhere.
+    std::vector<uint8_t> redundant(n, 0);
+    for (int b : rpo) {
+        BitSet avail = in_sets[static_cast<size_t>(b)];
+        simulate(b, avail, [&](size_t i, BitSet &state) {
+            const Instr &in = func.block(b).instrs[i];
+            if (isExpr(in.op)) {
+                const auto id =
+                    static_cast<size_t>(uni.idOf(in));
+                if (state.test(id))
+                    redundant[id] = 1;
+            }
+        });
+    }
+
+    bool any_redundant = false;
+    for (uint8_t r : redundant)
+        any_redundant |= r;
+    if (!any_redundant)
+        return false;
+
+    // Allocate holding temps for redundant value-producing exprs.
+    std::vector<Vreg> home(n, NO_VREG);
+    for (size_t e = 0; e < n; ++e) {
+        const Op op = uni.exprs[e].op;
+        if (redundant[e] && !isCheck(op) && op != Op::Assert)
+            home[e] = func.newVreg();
+    }
+
+    // Phase B: rewrite.
+    bool changed = false;
+    for (int b : rpo) {
+        Block &blk = func.block(b);
+        const bool in_region = blk.regionId >= 0;
+        BitSet avail = in_sets[static_cast<size_t>(b)];
+        std::vector<Instr> out;
+        out.reserve(blk.instrs.size());
+        std::vector<int> kills;
+        for (Instr &in : blk.instrs) {
+            bool drop = false;
+            if (isExpr(in.op)) {
+                const int id_i = uni.idOf(in);
+                const auto id = static_cast<size_t>(id_i);
+                if (avail.test(id)) {
+                    if (isCheck(in.op) || in.op == Op::Assert) {
+                        drop = true;        // redundant check/assert
+                        changed = true;
+                    } else if (home[id] != NO_VREG) {
+                        Instr mov;
+                        mov.op = Op::Mov;
+                        mov.dst = in.dst;
+                        mov.srcs = {home[id]};
+                        mov.bcPc = in.bcPc;
+                        mov.bcMethod = in.bcMethod;
+                        in = std::move(mov);
+                        changed = true;
+                    }
+                } else if (home[id] != NO_VREG &&
+                           in.dst != home[id]) {
+                    // Generating site of a redundant expr: compute
+                    // into the home temp, copy to the original dst.
+                    Instr compute = in;
+                    compute.dst = home[id];
+                    Instr mov;
+                    mov.op = Op::Mov;
+                    mov.dst = in.dst;
+                    mov.srcs = {home[id]};
+                    mov.bcPc = in.bcPc;
+                    mov.bcMethod = in.bcMethod;
+                    out.push_back(std::move(compute));
+                    in = std::move(mov);
+                    changed = true;
+                    // Fall through to push `in` (the Mov) below; the
+                    // avail updates use the original expression via
+                    // the pushed compute instr, handled in the state
+                    // updates beneath (we replay them manually).
+                    avail.set(id);
+                }
+                // Note: the dst-kill below still runs for the final
+                // pushed instruction.
+            }
+
+            if (!drop) {
+                // State updates mirroring `simulate`.
+                const Instr &fin = in;
+                if (isExpr(fin.op))
+                    avail.set(static_cast<size_t>(uni.idOf(fin)));
+                kills.clear();
+                memoryKills(fin, in_region, uni, kills);
+                for (int k : kills)
+                    avail.clear(static_cast<size_t>(k));
+                Vreg fwd_value = NO_VREG;
+                const int fwd = forwardedExpr(fin, uni, fwd_value);
+                if (fwd >= 0)
+                    avail.set(static_cast<size_t>(fwd));
+                if (fin.dst != NO_VREG) {
+                    auto it = uni.usedBy.find(fin.dst);
+                    if (it != uni.usedBy.end()) {
+                        for (int k : it->second)
+                            avail.clear(static_cast<size_t>(k));
+                    }
+                }
+                const int pc = in.bcPc;
+                const int method = in.bcMethod;
+                out.push_back(std::move(in));
+                // Forwarded stores must also materialise the load's
+                // value into its home temp, or a later "redundant"
+                // load would read an unwritten register.
+                if (fwd >= 0 &&
+                    home[static_cast<size_t>(fwd)] != NO_VREG) {
+                    Instr keep;
+                    keep.op = Op::Mov;
+                    keep.dst = home[static_cast<size_t>(fwd)];
+                    keep.srcs = {fwd_value};
+                    keep.bcPc = pc;
+                    keep.bcMethod = method;
+                    out.push_back(std::move(keep));
+                }
+            }
+        }
+        blk.instrs = std::move(out);
+    }
+
+    return changed;
+}
+
+} // namespace aregion::opt

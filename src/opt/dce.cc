@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Liveness-based dead code elimination.
+ *
+ * Only pure value producers and loads are removable. Asserts and
+ * checks are essential side effects — the single piece of
+ * region-awareness the paper says DCE needs ("Only dead code
+ * elimination needs to be informed that these operations are
+ * essential", Section 4) — and that is already encoded in
+ * ir::hasSideEffect.
+ */
+
+#include "opt/pass.hh"
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+
+namespace {
+
+bool
+removableIfDead(Op op)
+{
+    return isPureValue(op) || isLoad(op);
+}
+
+} // namespace
+
+bool
+deadCodeElim(Function &func)
+{
+    const auto rpo = func.reversePostOrder();
+    const size_t nv = static_cast<size_t>(func.numVregs());
+    const size_t words = (nv + 63) / 64;
+
+    auto set_bit = [&](std::vector<uint64_t> &bs, Vreg v) {
+        bs[static_cast<size_t>(v) / 64] |=
+            1ull << (static_cast<size_t>(v) % 64);
+    };
+    auto clear_bit = [&](std::vector<uint64_t> &bs, Vreg v) {
+        bs[static_cast<size_t>(v) / 64] &=
+            ~(1ull << (static_cast<size_t>(v) % 64));
+    };
+    auto test_bit = [&](const std::vector<uint64_t> &bs, Vreg v) {
+        return bs[static_cast<size_t>(v) / 64] >>
+               (static_cast<size_t>(v) % 64) & 1;
+    };
+
+    // live-in per block; iterate backward over RPO until stable.
+    std::vector<std::vector<uint64_t>> live_in(
+        static_cast<size_t>(func.numBlocks()),
+        std::vector<uint64_t>(words, 0));
+
+    bool dirty = true;
+    int rounds = 0;
+    while (dirty && ++rounds < 64) {
+        dirty = false;
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            const int b = *it;
+            const Block &blk = func.block(b);
+            std::vector<uint64_t> live(words, 0);
+            for (int s : blk.succs) {
+                const auto &succ_in = live_in[static_cast<size_t>(s)];
+                for (size_t w = 0; w < words; ++w)
+                    live[w] |= succ_in[w];
+            }
+            for (auto iit = blk.instrs.rbegin();
+                 iit != blk.instrs.rend(); ++iit) {
+                const Instr &in = *iit;
+                if (in.dst != NO_VREG)
+                    clear_bit(live, in.dst);
+                for (Vreg s : in.srcs)
+                    set_bit(live, s);
+            }
+            if (live != live_in[static_cast<size_t>(b)]) {
+                live_in[static_cast<size_t>(b)] = std::move(live);
+                dirty = true;
+            }
+        }
+    }
+
+    // Sweep: remove dead removable instructions (backward walk).
+    bool changed = false;
+    for (int b : rpo) {
+        Block &blk = func.block(b);
+        std::vector<uint64_t> live(words, 0);
+        for (int s : blk.succs) {
+            const auto &succ_in = live_in[static_cast<size_t>(s)];
+            for (size_t w = 0; w < words; ++w)
+                live[w] |= succ_in[w];
+        }
+        std::vector<Instr> kept;
+        kept.reserve(blk.instrs.size());
+        for (auto it = blk.instrs.rbegin(); it != blk.instrs.rend();
+             ++it) {
+            Instr &in = *it;
+            const bool dead = in.dst != NO_VREG &&
+                              !test_bit(live, in.dst) &&
+                              removableIfDead(in.op);
+            if (dead) {
+                changed = true;
+                continue;
+            }
+            if (in.dst != NO_VREG)
+                clear_bit(live, in.dst);
+            for (Vreg s : in.srcs)
+                set_bit(live, s);
+            kept.push_back(std::move(in));
+        }
+        std::reverse(kept.begin(), kept.end());
+        blk.instrs = std::move(kept);
+    }
+
+    return changed;
+}
+
+} // namespace aregion::opt

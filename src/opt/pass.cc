@@ -1,0 +1,48 @@
+#include "opt/pass.hh"
+
+namespace aregion::opt {
+
+bool
+runScalarPipeline(ir::Function &func, const OptContext &ctx)
+{
+    bool changed_any = false;
+    for (int round = 0; round < ctx.maxScalarIters; ++round) {
+        bool changed = false;
+        changed |= simplifyCfg(func);
+        changed |= constantFold(func);
+        changed |= commonSubexpressionElim(func);
+        changed |= copyPropagate(func);
+        changed |= deadCodeElim(func);
+        changed_any |= changed;
+        if (!changed)
+            break;
+    }
+    return changed_any;
+}
+
+void
+optimizeModule(ir::Module &mod, const OptContext &ctx)
+{
+    // Inline/devirtualize to a fixpoint, cleaning between sweeps so
+    // size estimates see optimized callees.
+    for (int round = 0; round < 4; ++round) {
+        const bool inlined = inlineCalls(mod, ctx);
+        for (auto &[mid, func] : mod.funcs)
+            runScalarPipeline(func, ctx);
+        if (!inlined)
+            break;
+    }
+    for (auto &[mid, func] : mod.funcs) {
+        if (unrollLoops(func, ctx))
+            runScalarPipeline(func, ctx);
+    }
+}
+
+std::vector<std::string>
+pipelinePassNames()
+{
+    return {"simplify-cfg", "constant-fold", "cse", "copy-prop",
+            "dce", "inline+devirt", "unroll"};
+}
+
+} // namespace aregion::opt

@@ -1,0 +1,155 @@
+#include "opt/pass.hh"
+
+#include "ir/cfg.hh"
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+
+namespace {
+
+bool
+isRegionEntry(const Block &blk)
+{
+    return !blk.instrs.empty() &&
+           blk.instrs.front().op == Op::AtomicBegin;
+}
+
+/** A block containing only a jump (threading candidate). */
+bool
+isTrivialJump(const Block &blk)
+{
+    return blk.instrs.size() == 1 && blk.terminator().op == Op::Jump &&
+           blk.succs.size() == 1 && blk.succs[0] != blk.id;
+}
+
+/** Calls terminate blocks (region formation relies on it): a block
+ *  whose penultimate instruction is a call must not absorb more
+ *  instructions. */
+bool
+endsWithCall(const Block &blk)
+{
+    if (blk.instrs.size() < 2)
+        return false;
+    const Op op = blk.instrs[blk.instrs.size() - 2].op;
+    return op == Op::CallStatic || op == Op::CallVirtual;
+}
+
+} // namespace
+
+bool
+simplifyCfg(Function &func)
+{
+    bool changed_any = false;
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 64) {
+        changed = false;
+
+        // Collapse branches whose arms agree.
+        for (int b : func.reversePostOrder()) {
+            Block &blk = func.block(b);
+            if (blk.terminator().op == Op::Branch &&
+                blk.succs.size() == 2 && blk.succs[0] == blk.succs[1]) {
+                Instr jump;
+                jump.op = Op::Jump;
+                jump.bcPc = blk.terminator().bcPc;
+                jump.bcMethod = blk.terminator().bcMethod;
+                blk.instrs.back() = std::move(jump);
+                blk.succs.pop_back();
+                const double total =
+                    blk.succCount.size() == 2
+                        ? blk.succCount[0] + blk.succCount[1]
+                        : blk.execCount;
+                blk.succCount = {total};
+                changed = true;
+            }
+        }
+
+        // Thread edges through trivial jump blocks. Region entries
+        // are skipped: their second successor is the abort exception
+        // edge and must stay equal to RegionInfo::altBlock.
+        for (int b : func.reversePostOrder()) {
+            Block &blk = func.block(b);
+            if (isRegionEntry(blk))
+                continue;
+            for (int &s : blk.succs) {
+                int hops = 0;
+                while (hops++ < 8) {
+                    Block &target = func.block(s);
+                    if (!isTrivialJump(target) || target.id == blk.id)
+                        break;
+                    s = target.succs[0];
+                    changed = true;
+                }
+            }
+        }
+        if (isTrivialJump(func.block(func.entry)) &&
+            !isRegionEntry(func.block(func.entry))) {
+            func.entry = func.block(func.entry).succs[0];
+            changed = true;
+        }
+
+        // Merge straight-line pairs b -> s where s has b as its only
+        // predecessor. Region boundaries are kept intact.
+        const auto preds = func.computePreds();
+        for (int b : func.reversePostOrder()) {
+            Block &blk = func.block(b);
+            if (blk.succs.size() != 1 ||
+                blk.terminator().op != Op::Jump) {
+                continue;
+            }
+            const int s = blk.succs[0];
+            if (s == b || s == func.entry)
+                continue;
+            Block &next = func.block(s);
+            if (preds[static_cast<size_t>(s)].size() != 1)
+                continue;
+            if (isRegionEntry(blk) || isRegionEntry(next))
+                continue;
+            if (blk.regionId != next.regionId)
+                continue;
+            if (endsWithCall(blk))
+                continue;
+            // Keep synchronized-method epilogues (MonitorExit blocks)
+            // separate from their Ret blocks: region formation stops
+            // at Ret blocks but must replicate the epilogue so SLE
+            // sees balanced monitor pairs.
+            bool has_monitor_exit = false;
+            for (const Instr &in : blk.instrs)
+                has_monitor_exit |= in.op == Op::MonitorExit;
+            if (has_monitor_exit && next.terminator().op == Op::Ret)
+                continue;
+            // Don't merge into a region alt block (reached by the
+            // abort exception edge, which preds don't see).
+            bool is_alt = false;
+            for (const RegionInfo &r : func.regions)
+                is_alt |= r.altBlock == s;
+            if (is_alt)
+                continue;
+
+            blk.instrs.pop_back();      // drop the jump
+            blk.instrs.insert(blk.instrs.end(), next.instrs.begin(),
+                              next.instrs.end());
+            blk.succs = next.succs;
+            blk.succCount = next.succCount;
+            next.instrs.clear();
+            next.succs.clear();
+            {
+                Instr ret;
+                ret.op = Op::Ret;
+                next.instrs.push_back(std::move(ret)); // dead tombstone
+            }
+            changed = true;
+            break;  // preds are stale; restart the sweep
+        }
+
+        changed_any |= changed;
+    }
+
+    if (changed_any)
+        func.compact();
+    return changed_any;
+}
+
+} // namespace aregion::opt

@@ -1,0 +1,188 @@
+#include "runtime/jit.hh"
+
+#include "support/logging.hh"
+#include "vm/interpreter.hh"
+
+namespace aregion::runtime {
+
+namespace {
+
+/** hw runtime stats -> core adaptive telemetry. */
+core::AbortTelemetry
+toTelemetry(const hw::MachineResult &res)
+{
+    core::AbortTelemetry telemetry;
+    for (const auto &[key, stats] : res.regions) {
+        core::RegionTelemetry t;
+        t.entries = stats.entries;
+        t.commits = stats.commits;
+        t.abortsByAssert = stats.abortsByAssert;
+        t.implicitAborts = stats.totalAborts();
+        for (const auto &[id, count] : stats.abortsByAssert)
+            t.implicitAborts -= count;
+        telemetry[key] = t;
+    }
+    return telemetry;
+}
+
+struct MachineRun
+{
+    hw::MachineResult result;
+    uint64_t cycles = 0;
+    uint64_t mispredicts = 0;
+    uint64_t serializations = 0;
+    uint64_t l1Misses = 0;
+    std::vector<std::pair<int64_t, uint64_t>> markerCycles;
+};
+
+MachineRun
+executeCompiled(const core::Compiled &compiled,
+                const vm::Program &measure_prog,
+                const ExperimentConfig &config)
+{
+    vm::Heap layout_heap(measure_prog, 1 << 16);
+    const hw::MachineProgram mp = hw::lowerModule(
+        compiled.mod, hw::LayoutInfo::fromHeap(layout_heap));
+    hw::TimingModel timing(config.timing);
+    hw::Machine machine(mp, config.hw, &timing);
+    MachineRun run;
+    run.result = machine.run();
+    run.cycles = timing.cycles();
+    run.mispredicts =
+        timing.mispredicts + timing.indirectMispredicts;
+    run.serializations = timing.serializations;
+    run.l1Misses = timing.l1Misses();
+    run.markerCycles = timing.markerCycles;
+    return run;
+}
+
+} // namespace
+
+RunMetrics
+runExperiment(const vm::Program &profile_prog,
+              const vm::Program &measure_prog,
+              const ExperimentConfig &config,
+              const std::vector<SampleSpec> &samples)
+{
+    // Stage 1: first-pass profiling (interpreter).
+    vm::Profile profile(profile_prog);
+    {
+        vm::Interpreter interp(profile_prog, &profile);
+        const auto res = interp.run();
+        AREGION_ASSERT(res.completed || res.trap.has_value(),
+                       "profiling run hit the step budget");
+    }
+
+    // Stage 2: optimizing compilation.
+    core::Compiled compiled =
+        core::compileProgram(measure_prog, profile, config.compiler);
+
+    // Stage 3: machine + timing execution.
+    MachineRun run = executeCompiled(compiled, measure_prog, config);
+
+    // Stage 4: adaptive recompilation on abort feedback.
+    bool recompiled = false;
+    if (config.adaptiveRecompile && run.result.completed) {
+        const auto overrides = config.controller.computeOverrides(
+            compiled.mod, toTelemetry(run.result));
+        if (!overrides.empty()) {
+            core::CompilerConfig updated = config.compiler;
+            updated.region.warmOverrides = overrides;
+            compiled = core::compileProgram(measure_prog, profile,
+                                            updated);
+            run = executeCompiled(compiled, measure_prog, config);
+            recompiled = true;
+        }
+    }
+
+    // Stage 5: metrics.
+    RunMetrics metrics;
+    metrics.completed = run.result.completed;
+    metrics.machine = run.result;
+    metrics.recompiled = recompiled;
+    metrics.cycles = run.cycles;
+    metrics.retiredUops = run.result.retiredUops;
+    metrics.executedUops = run.result.executedUops;
+    metrics.mispredicts = run.mispredicts;
+    metrics.serializations = run.serializations;
+    metrics.l1Misses = run.l1Misses;
+    metrics.monitorFastEnters = run.result.monitorFastEnters;
+    metrics.outputChecksum = run.result.outputChecksum();
+
+    metrics.regionEntries = run.result.regionEntries;
+    metrics.regionAborts = run.result.regionAborts;
+    if (run.result.retiredUops > 0) {
+        metrics.coverage =
+            static_cast<double>(run.result.regionUopsRetired) /
+            static_cast<double>(run.result.retiredUops);
+        metrics.abortsPer1kUops =
+            1000.0 * static_cast<double>(run.result.regionAborts) /
+            static_cast<double>(run.result.retiredUops);
+    }
+    if (run.result.regionEntries > 0) {
+        metrics.abortPct =
+            static_cast<double>(run.result.regionAborts) /
+            static_cast<double>(run.result.regionEntries);
+    }
+    double size_sum = 0;
+    uint64_t size_count = 0;
+    for (const auto &[key, stats] : run.result.regions) {
+        if (stats.entries > 0)
+            metrics.uniqueRegions++;
+        size_sum += stats.dynamicSize.mean() *
+                    static_cast<double>(stats.dynamicSize.count());
+        size_count += stats.dynamicSize.count();
+    }
+    metrics.avgRegionSize =
+        size_count ? size_sum / static_cast<double>(size_count) : 0;
+
+    // Marker-delimited samples.
+    auto marker_uops = [&](int64_t id) -> std::optional<uint64_t> {
+        for (const auto &hit : run.result.markers) {
+            if (hit.id == id)
+                return hit.retiredUops;
+        }
+        return std::nullopt;
+    };
+    auto marker_cycles = [&](int64_t id) -> std::optional<uint64_t> {
+        for (const auto &[mid, cyc] : run.markerCycles) {
+            if (mid == id)
+                return cyc;
+        }
+        return std::nullopt;
+    };
+    double weight_total = 0;
+    double weighted_cycles = 0;
+    double weighted_uops = 0;
+    for (const SampleSpec &spec : samples) {
+        const auto u0 = marker_uops(spec.beginMarker);
+        const auto u1 = marker_uops(spec.endMarker);
+        const auto c0 = marker_cycles(spec.beginMarker);
+        const auto c1 = marker_cycles(spec.endMarker);
+        if (!u0 || !u1 || !c0 || !c1)
+            continue;
+        SampleMetrics sample;
+        sample.beginMarker = spec.beginMarker;
+        sample.endMarker = spec.endMarker;
+        sample.weight = spec.weight;
+        sample.cycles = *c1 - *c0;
+        sample.uops = *u1 - *u0;
+        metrics.samples.push_back(sample);
+        weight_total += spec.weight;
+        weighted_cycles += spec.weight *
+                           static_cast<double>(sample.cycles);
+        weighted_uops += spec.weight *
+                         static_cast<double>(sample.uops);
+    }
+    if (weight_total > 0) {
+        metrics.weightedCycles = weighted_cycles / weight_total;
+        metrics.weightedUops = weighted_uops / weight_total;
+    } else {
+        metrics.weightedCycles = static_cast<double>(metrics.cycles);
+        metrics.weightedUops =
+            static_cast<double>(metrics.retiredUops);
+    }
+    return metrics;
+}
+
+} // namespace aregion::runtime

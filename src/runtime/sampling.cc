@@ -1,0 +1,159 @@
+#include "runtime/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace aregion::runtime {
+
+namespace {
+
+double
+distance2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+PhaseClassification
+classifyPhases(const std::vector<vm::MethodId> &invocations,
+               int num_methods, size_t interval, int max_phases)
+{
+    PhaseClassification out;
+    if (invocations.empty() || num_methods <= 0)
+        return out;
+
+    // Frequency vectors per interval (normalised).
+    std::vector<std::vector<double>> vectors;
+    for (size_t start = 0; start < invocations.size();
+         start += interval) {
+        const size_t end =
+            std::min(start + interval, invocations.size());
+        std::vector<double> v(static_cast<size_t>(num_methods), 0.0);
+        for (size_t i = start; i < end; ++i)
+            v[static_cast<size_t>(invocations[i])] += 1.0;
+        const auto n = static_cast<double>(end - start);
+        for (double &x : v)
+            x /= n;
+        vectors.push_back(std::move(v));
+    }
+
+    const int k = std::min<int>(max_phases,
+                                static_cast<int>(vectors.size()));
+    // Deterministic init: k-means++-like farthest-point seeding.
+    std::vector<std::vector<double>> centers{vectors[0]};
+    while (static_cast<int>(centers.size()) < k) {
+        size_t farthest = 0;
+        double best = -1;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            double nearest = 1e300;
+            for (const auto &c : centers)
+                nearest = std::min(nearest, distance2(vectors[i], c));
+            if (nearest > best) {
+                best = nearest;
+                farthest = i;
+            }
+        }
+        if (best <= 1e-12)
+            break;      // fewer distinct behaviours than k
+        centers.push_back(vectors[farthest]);
+    }
+
+    std::vector<int> assign(vectors.size(), 0);
+    for (int round = 0; round < 32; ++round) {
+        bool moved = false;
+        for (size_t i = 0; i < vectors.size(); ++i) {
+            int best_c = 0;
+            double best_d = 1e300;
+            for (size_t c = 0; c < centers.size(); ++c) {
+                const double d = distance2(vectors[i], centers[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best_c = static_cast<int>(c);
+                }
+            }
+            if (assign[i] != best_c) {
+                assign[i] = best_c;
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+        for (size_t c = 0; c < centers.size(); ++c) {
+            std::vector<double> mean(
+                static_cast<size_t>(num_methods), 0.0);
+            int members = 0;
+            for (size_t i = 0; i < vectors.size(); ++i) {
+                if (assign[i] == static_cast<int>(c)) {
+                    ++members;
+                    for (size_t m = 0; m < mean.size(); ++m)
+                        mean[m] += vectors[i][m];
+                }
+            }
+            if (members > 0) {
+                for (double &x : mean)
+                    x /= members;
+                centers[c] = std::move(mean);
+            }
+        }
+    }
+
+    // Compact phase ids (drop empty clusters).
+    std::vector<int> remap(centers.size(), -1);
+    for (int a : assign) {
+        if (remap[static_cast<size_t>(a)] == -1) {
+            remap[static_cast<size_t>(a)] = out.numPhases++;
+        }
+    }
+    out.intervalPhase.resize(vectors.size());
+    for (size_t i = 0; i < vectors.size(); ++i)
+        out.intervalPhase[i] = remap[static_cast<size_t>(assign[i])];
+
+    out.phaseWeight.assign(static_cast<size_t>(out.numPhases), 0.0);
+    for (int p : out.intervalPhase)
+        out.phaseWeight[static_cast<size_t>(p)] +=
+            1.0 / static_cast<double>(vectors.size());
+
+    // Representative interval: closest to its phase's center.
+    out.representative.assign(static_cast<size_t>(out.numPhases), 0);
+    std::vector<double> best_dist(
+        static_cast<size_t>(out.numPhases), 1e300);
+    for (size_t i = 0; i < vectors.size(); ++i) {
+        const int phase = out.intervalPhase[i];
+        const int raw = assign[i];
+        const double d = distance2(vectors[i],
+                                   centers[static_cast<size_t>(raw)]);
+        if (d < best_dist[static_cast<size_t>(phase)]) {
+            best_dist[static_cast<size_t>(phase)] = d;
+            out.representative[static_cast<size_t>(phase)] =
+                static_cast<int>(i);
+        }
+    }
+
+    // Marker method: least-frequent method present in the
+    // representative interval.
+    out.markerMethod.assign(static_cast<size_t>(out.numPhases),
+                            vm::NO_METHOD);
+    for (int p = 0; p < out.numPhases; ++p) {
+        const auto &v = vectors[static_cast<size_t>(
+            out.representative[static_cast<size_t>(p)])];
+        double best = 1e300;
+        for (size_t m = 0; m < v.size(); ++m) {
+            if (v[m] > 0 && v[m] < best) {
+                best = v[m];
+                out.markerMethod[static_cast<size_t>(p)] =
+                    static_cast<vm::MethodId>(m);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace aregion::runtime

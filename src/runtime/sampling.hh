@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SimPoint-style phase classification (paper Section 5).
+ *
+ * The method-invocation trace is cut into fixed-size intervals; each
+ * interval becomes a method-frequency vector; k-means clustering
+ * (deterministic seeding) groups intervals into phases. For each
+ * phase the most representative interval is chosen, and within it an
+ * infrequently-invoked method is selected as the sampling marker (so
+ * marker instrumentation minimally perturbs execution).
+ */
+
+#ifndef AREGION_RUNTIME_SAMPLING_HH
+#define AREGION_RUNTIME_SAMPLING_HH
+
+#include <vector>
+
+#include "vm/program.hh"
+
+namespace aregion::runtime {
+
+struct PhaseClassification
+{
+    int numPhases = 0;
+    std::vector<int> intervalPhase;     ///< interval -> phase
+    std::vector<double> phaseWeight;    ///< fraction of intervals
+    std::vector<int> representative;    ///< phase -> interval index
+    std::vector<vm::MethodId> markerMethod; ///< phase -> marker
+};
+
+/**
+ * Classify execution phases.
+ *
+ * @param invocations  time-ordered method ids (one per invocation)
+ * @param num_methods  method-id space size
+ * @param interval     invocations per interval (paper: 10,000)
+ * @param max_phases   cluster budget (paper: up to 4 per benchmark)
+ */
+PhaseClassification classifyPhases(
+    const std::vector<vm::MethodId> &invocations, int num_methods,
+    size_t interval = 10000, int max_phases = 4);
+
+} // namespace aregion::runtime
+
+#endif // AREGION_RUNTIME_SAMPLING_HH

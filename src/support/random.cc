@@ -1,0 +1,26 @@
+#include "support/random.hh"
+
+namespace aregion {
+
+size_t
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    AREGION_ASSERT(!weights.empty(), "pickWeighted on empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        AREGION_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        return below(weights.size());
+    double draw = toDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (draw < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace aregion

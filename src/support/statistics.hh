@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulators and the
+ * benchmark harnesses: scalar counters, running averages, and
+ * fixed-bucket histograms with percentile queries.
+ */
+
+#ifndef AREGION_SUPPORT_STATISTICS_HH
+#define AREGION_SUPPORT_STATISTICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aregion {
+
+/** Running mean/min/max over a stream of samples. */
+class RunningStat
+{
+  public:
+    void add(double sample);
+    void merge(const RunningStat &other);
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+  private:
+    uint64_t n = 0;
+    double total = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Sparse histogram over integer sample values.
+ *
+ * Used for region-size and cache-footprint distributions (Section 6.2
+ * of the paper), where exact small counts matter and the domain is
+ * unbounded.
+ */
+class Histogram
+{
+  public:
+    void add(int64_t value, uint64_t weight = 1);
+
+    uint64_t count() const { return n; }
+    double mean() const;
+    int64_t min() const;
+    int64_t max() const;
+
+    /** Smallest value v such that at least frac of samples are <= v. */
+    int64_t percentile(double frac) const;
+
+    /** Fraction of samples <= value. */
+    double fractionAtOrBelow(int64_t value) const;
+
+    /** Number of samples strictly above value. */
+    uint64_t countAbove(int64_t value) const;
+
+    const std::map<int64_t, uint64_t> &buckets() const { return data; }
+
+  private:
+    std::map<int64_t, uint64_t> data;
+    uint64_t n = 0;
+};
+
+/** Geometric mean of a vector of positive ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+} // namespace aregion
+
+#endif // AREGION_SUPPORT_STATISTICS_HH

@@ -1,0 +1,92 @@
+#include "support/table.hh"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace aregion {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    AREGION_ASSERT(!head.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    AREGION_ASSERT(row.size() == head.size(),
+                   "row arity ", row.size(), " != header ", head.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double ratio, int precision)
+{
+    return fmt(ratio * 100.0, precision) + "%";
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << "  ";
+            const auto pad = widths[c] - cells[c].size();
+            if (looksNumeric(cells[c])) {
+                os << std::string(pad, ' ') << cells[c];
+            } else {
+                os << cells[c] << std::string(pad, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    size_t total = head.size() > 1 ? 2 * (head.size() - 1) : 0;
+    for (size_t w : widths)
+        total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+} // namespace aregion

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Java-style 64-bit integer arithmetic, defined for all inputs.
+ *
+ * Shared by every executor (interpreter, IR evaluator, machine
+ * simulator) so observable results agree bit-for-bit.
+ */
+
+#ifndef AREGION_VM_ARITH_HH
+#define AREGION_VM_ARITH_HH
+
+#include <cstdint>
+
+namespace aregion::vm::arith {
+
+/** Wrapping add/sub/mul (Java semantics; avoids C++ signed-overflow
+ *  undefined behaviour). */
+inline int64_t
+javaAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+javaSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+inline int64_t
+javaMul(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+}
+
+/** Truncating division; INT64_MIN / -1 wraps to INT64_MIN. The
+ *  caller checks for a zero divisor (DivCheck / trap). */
+inline int64_t
+javaDiv(int64_t a, int64_t b)
+{
+    if (a == INT64_MIN && b == -1)
+        return INT64_MIN;
+    return a / b;
+}
+
+/** Remainder matching javaDiv; INT64_MIN % -1 is 0. */
+inline int64_t
+javaRem(int64_t a, int64_t b)
+{
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+/** Left shift with Java's 6-bit count masking. */
+inline int64_t
+javaShl(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) << (b & 63));
+}
+
+/** Arithmetic right shift with 6-bit count masking. */
+inline int64_t
+javaShr(int64_t a, int64_t b)
+{
+    return a >> (b & 63);
+}
+
+} // namespace aregion::vm::arith
+
+#endif // AREGION_VM_ARITH_HH

@@ -1,0 +1,75 @@
+#include "vm/bytecode.hh"
+
+#include <sstream>
+
+namespace aregion::vm {
+
+const char *
+bcName(Bc op)
+{
+    switch (op) {
+      case Bc::Const: return "const";
+      case Bc::Mov: return "mov";
+      case Bc::Add: return "add";
+      case Bc::Sub: return "sub";
+      case Bc::Mul: return "mul";
+      case Bc::Div: return "div";
+      case Bc::Rem: return "rem";
+      case Bc::And: return "and";
+      case Bc::Or: return "or";
+      case Bc::Xor: return "xor";
+      case Bc::Shl: return "shl";
+      case Bc::Shr: return "shr";
+      case Bc::CmpEq: return "cmpeq";
+      case Bc::CmpNe: return "cmpne";
+      case Bc::CmpLt: return "cmplt";
+      case Bc::CmpLe: return "cmple";
+      case Bc::CmpGt: return "cmpgt";
+      case Bc::CmpGe: return "cmpge";
+      case Bc::Branch: return "branch";
+      case Bc::Jump: return "jump";
+      case Bc::NewObject: return "newobject";
+      case Bc::NewArray: return "newarray";
+      case Bc::GetField: return "getfield";
+      case Bc::PutField: return "putfield";
+      case Bc::ALoad: return "aload";
+      case Bc::AStore: return "astore";
+      case Bc::ALength: return "alength";
+      case Bc::CallStatic: return "callstatic";
+      case Bc::CallVirtual: return "callvirtual";
+      case Bc::Ret: return "ret";
+      case Bc::RetVoid: return "retvoid";
+      case Bc::MonitorEnter: return "monitorenter";
+      case Bc::MonitorExit: return "monitorexit";
+      case Bc::InstanceOf: return "instanceof";
+      case Bc::CheckCast: return "checkcast";
+      case Bc::Safepoint: return "safepoint";
+      case Bc::Print: return "print";
+      case Bc::Marker: return "marker";
+      case Bc::Spawn: return "spawn";
+    }
+    return "<bad>";
+}
+
+bool
+bcIsTerminator(Bc op)
+{
+    return op == Bc::Jump || op == Bc::Ret || op == Bc::RetVoid;
+}
+
+std::string
+BcInstr::toString() const
+{
+    std::ostringstream os;
+    os << bcName(op) << " a=" << a << " b=" << b << " c=" << c
+       << " imm=" << imm;
+    if (!args.empty()) {
+        os << " args=[";
+        for (size_t i = 0; i < args.size(); ++i)
+            os << (i ? "," : "") << args[i];
+        os << "]";
+    }
+    return os.str();
+}
+
+} // namespace aregion::vm

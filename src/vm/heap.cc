@@ -1,0 +1,136 @@
+#include "vm/heap.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace aregion::vm {
+
+Heap::Heap(const Program &prog, uint64_t max_words)
+    : maxWords(max_words)
+{
+    fieldCounts.reserve(static_cast<size_t>(prog.numClasses()));
+    for (ClassId c = 0; c < prog.numClasses(); ++c)
+        fieldCounts.push_back(prog.cls(c).numFields());
+
+    numClassesTotal = prog.numClasses();
+    vtableBase = layout::POISON_WORDS;
+    const auto vt_words = static_cast<uint64_t>(prog.numClasses()) *
+                          Program::maxVtableSlots;
+    subtypeBaseAddr = vtableBase + vt_words;
+    const auto st_words =
+        static_cast<uint64_t>(prog.numClasses() + 2) *
+        static_cast<uint64_t>(std::max(prog.numClasses(), 1));
+    yieldBase = subtypeBaseAddr + st_words;
+    heapBaseAddr = yieldBase + layout::MAX_THREADS;
+    allocPtr = heapBaseAddr;
+    mem.assign(heapBaseAddr, 0);
+
+    // Subtype matrix (rows 0/1 stay zero for pseudo-classes).
+    for (ClassId c = 0; c < prog.numClasses(); ++c) {
+        for (ClassId t = 0; t < prog.numClasses(); ++t) {
+            mem[subtypeBaseAddr +
+                static_cast<uint64_t>(c + 2) *
+                    static_cast<uint64_t>(prog.numClasses()) +
+                static_cast<uint64_t>(t)] = prog.isSubclassOf(c, t);
+        }
+    }
+
+    // Lay out vtable metadata: entry = resolved MethodId (walking the
+    // superclass chain so inherited slots are flattened) or NO_METHOD.
+    for (ClassId c = 0; c < prog.numClasses(); ++c) {
+        for (int s = 0; s < Program::maxVtableSlots; ++s) {
+            mem[vtableBase +
+                static_cast<uint64_t>(c) * Program::maxVtableSlots +
+                static_cast<uint64_t>(s)] =
+                prog.tryResolveVirtual(c, s);
+        }
+    }
+}
+
+uint64_t
+Heap::bump(uint64_t words)
+{
+    const uint64_t addr = allocPtr;
+    allocPtr += words;
+    if (allocPtr > maxWords) {
+        AREGION_FATAL("heap exhausted: ", allocPtr, " > cap ", maxWords,
+                      " words");
+    }
+    if (allocPtr > mem.size()) {
+        // Grow in large steps to amortise reallocation.
+        uint64_t target = mem.size() + mem.size() / 2 + 4096;
+        if (target < allocPtr)
+            target = allocPtr;
+        if (target > maxWords)
+            target = maxWords;
+        mem.resize(target, 0);
+    }
+    return addr;
+}
+
+uint64_t
+Heap::allocObject(ClassId cls)
+{
+    AREGION_ASSERT(cls >= 0 &&
+                   static_cast<size_t>(cls) < fieldCounts.size(),
+                   "bad class id in allocObject: ", cls);
+    const uint64_t addr = bump(static_cast<uint64_t>(
+        layout::OBJ_FIELD_BASE + fieldCounts[static_cast<size_t>(cls)]));
+    mem[addr + layout::HDR_CLASS] = cls;
+    mem[addr + layout::HDR_LOCK] = 0;
+    return addr;
+}
+
+uint64_t
+Heap::allocArray(int64_t length)
+{
+    AREGION_ASSERT(length >= 0, "negative array length reached heap");
+    const uint64_t addr = bump(static_cast<uint64_t>(
+        layout::ARR_ELEM_BASE + length));
+    mem[addr + layout::HDR_CLASS] = layout::ARRAY_CLASS;
+    mem[addr + layout::HDR_LOCK] = 0;
+    mem[addr + layout::ARR_LEN] = length;
+    return addr;
+}
+
+int64_t
+Heap::load(uint64_t addr) const
+{
+    AREGION_ASSERT(inBounds(addr), "load out of bounds: ", addr);
+    return mem[addr];
+}
+
+void
+Heap::store(uint64_t addr, int64_t value)
+{
+    AREGION_ASSERT(inBounds(addr), "store out of bounds: ", addr);
+    mem[addr] = value;
+}
+
+void
+Heap::allocReset(uint64_t mark)
+{
+    AREGION_ASSERT(mark >= heapBaseAddr && mark <= allocPtr,
+                   "bad alloc mark ", mark);
+    for (uint64_t a = mark; a < allocPtr && a < mem.size(); ++a)
+        mem[a] = 0;
+    allocPtr = mark;
+}
+
+uint64_t
+Heap::vtableAddr(ClassId cls, int slot) const
+{
+    return vtableBase + static_cast<uint64_t>(cls) *
+           Program::maxVtableSlots + static_cast<uint64_t>(slot);
+}
+
+uint64_t
+Heap::yieldFlagAddr(int thread) const
+{
+    AREGION_ASSERT(thread >= 0 && thread < layout::MAX_THREADS,
+                   "bad thread id ", thread);
+    return yieldBase + static_cast<uint64_t>(thread);
+}
+
+} // namespace aregion::vm

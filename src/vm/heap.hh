@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Flat word-addressed memory with bump allocation and vtable metadata.
+ */
+
+#ifndef AREGION_VM_HEAP_HH
+#define AREGION_VM_HEAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/layout.hh"
+#include "vm/program.hh"
+
+namespace aregion::vm {
+
+/**
+ * The managed memory image. One instance backs one execution (the
+ * interpreter and the machine simulator each build their own, from the
+ * same Program, so results are directly comparable).
+ *
+ * There is no garbage collector; workloads are written to bound their
+ * live-heap growth, as the paper's sampling windows do.
+ */
+class Heap
+{
+  public:
+    explicit Heap(const Program &prog, uint64_t max_words = 1ull << 26);
+
+    /** Allocate an instance of the class; fields zero-initialised. */
+    uint64_t allocObject(ClassId cls);
+
+    /** Allocate an int/ref array; elements zero-initialised. */
+    uint64_t allocArray(int64_t length);
+
+    /** Raw zeroed allocation: the machine simulator writes headers
+     *  itself so the writes flow through speculative buffering. */
+    uint64_t allocRaw(uint64_t words) { return bump(words); }
+
+    /** Flattened instance field count of a class. */
+    int
+    fieldCount(ClassId cls) const
+    {
+        return fieldCounts[static_cast<size_t>(cls)];
+    }
+
+    int64_t load(uint64_t addr) const;
+    void store(uint64_t addr, int64_t value);
+
+    /** True if addr points into mapped memory (metadata or heap). */
+    bool inBounds(uint64_t addr) const
+    {
+        return addr >= layout::POISON_WORDS && addr < mem.size();
+    }
+
+    /** Address of the vtable entry for (class, slot). */
+    uint64_t vtableAddr(ClassId cls, int slot) const;
+
+    /**
+     * Subtype matrix metadata: row (classId + 2) x column (classId)
+     * holds 1 when the row's class is a subclass of the column's.
+     * Rows 0 and 1 (array and reserved pseudo-classes) are zero, so
+     * compiled instanceof/checkcast can index with classId + 2
+     * without branching on arrays.
+     */
+    uint64_t subtypeBase() const { return subtypeBaseAddr; }
+    int subtypeColumns() const { return numClassesTotal; }
+
+    /** Address of a thread's safepoint/yield poll flag. */
+    uint64_t yieldFlagAddr(int thread) const;
+
+    /**
+     * Allocation watermark, for atomic-region rollback: objects
+     * allocated inside an aborted region are reclaimed by resetting
+     * the bump pointer to the mark (the reclaimed range is re-zeroed
+     * so re-allocation sees fresh memory).
+     */
+    uint64_t allocMark() const { return allocPtr; }
+    void allocReset(uint64_t mark);
+
+    uint64_t heapBase() const { return heapBaseAddr; }
+    uint64_t allocated() const { return allocPtr; }
+    uint64_t wordsUsed() const { return allocPtr - heapBaseAddr; }
+
+  private:
+    uint64_t bump(uint64_t words);
+
+    std::vector<int> fieldCounts;   ///< per-class flattened field count
+    std::vector<int64_t> mem;
+    uint64_t maxWords;
+    int numClassesTotal = 0;
+    uint64_t vtableBase = 0;
+    uint64_t subtypeBaseAddr = 0;
+    uint64_t yieldBase = 0;
+    uint64_t heapBaseAddr = 0;
+    uint64_t allocPtr = 0;
+};
+
+} // namespace aregion::vm
+
+#endif // AREGION_VM_HEAP_HH

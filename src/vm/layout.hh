@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flat-memory layout shared by the interpreter and the hardware
+ * simulator.
+ *
+ * All managed state lives in one word-addressed (64-bit words) flat
+ * memory so that compiled code's loads and stores carry real addresses
+ * for the cache model and for atomic-region read/write-set tracking.
+ *
+ * Memory map:
+ *   [0, POISON_WORDS)            unmapped; null-adjacent accesses trap
+ *   [vtableBase, yieldBase)      read-only vtable metadata
+ *   [yieldBase, heapBase)        per-thread yield/safepoint flags
+ *   [heapBase, ...)              bump-allocated objects and arrays
+ *
+ * Object layout:   [classId][lockWord][field 0][field 1]...
+ * Array layout:    [classId = ARRAY_CLASS][lockWord][length][elem 0]...
+ * Lock word:       owner (threadId + 1) in the low 32 bits, recursion
+ *                  depth in the high 32 bits; 0 means unlocked.
+ */
+
+#ifndef AREGION_VM_LAYOUT_HH
+#define AREGION_VM_LAYOUT_HH
+
+#include <cstdint>
+
+namespace aregion::vm::layout {
+
+/** The null reference. */
+constexpr uint64_t NULL_REF = 0;
+
+/** Words at the bottom of memory that are never mapped. */
+constexpr uint64_t POISON_WORDS = 16;
+
+/** Offsets from an object/array base address. */
+constexpr int64_t HDR_CLASS = 0;
+constexpr int64_t HDR_LOCK = 1;
+constexpr int64_t OBJ_FIELD_BASE = 2;
+constexpr int64_t ARR_LEN = 2;
+constexpr int64_t ARR_ELEM_BASE = 3;
+
+/** Pseudo class id stored in array headers. */
+constexpr int64_t ARRAY_CLASS = -2;
+
+/** Maximum hardware/interpreter thread contexts. */
+constexpr int MAX_THREADS = 8;
+
+/** Lock word encoding helpers. */
+constexpr int64_t
+lockWord(int owner_thread, int64_t depth)
+{
+    return (static_cast<int64_t>(owner_thread) + 1) |
+           (depth << 32);
+}
+
+constexpr int
+lockOwner(int64_t word)
+{
+    return static_cast<int>(word & 0xffffffff) - 1;
+}
+
+constexpr int64_t
+lockDepth(int64_t word)
+{
+    return word >> 32;
+}
+
+} // namespace aregion::vm::layout
+
+#endif // AREGION_VM_LAYOUT_HH

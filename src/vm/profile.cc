@@ -1,0 +1,73 @@
+#include "vm/profile.hh"
+
+#include "support/logging.hh"
+
+namespace aregion::vm {
+
+ClassId
+CallSiteProfile::dominantReceiver(double bias) const
+{
+    if (total == 0)
+        return NO_CLASS;
+    for (const auto &[cls, count] : receivers) {
+        if (static_cast<double>(count) >=
+            bias * static_cast<double>(total)) {
+            return cls;
+        }
+    }
+    return NO_CLASS;
+}
+
+Profile::Profile(const Program &prog)
+{
+    perMethod.resize(static_cast<size_t>(prog.numMethods()));
+    for (MethodId m = 0; m < prog.numMethods(); ++m) {
+        perMethod[static_cast<size_t>(m)].execCount.assign(
+            prog.method(m).code.size(), 0);
+    }
+}
+
+MethodProfile &
+Profile::forMethod(MethodId m)
+{
+    AREGION_ASSERT(m >= 0 && static_cast<size_t>(m) < perMethod.size(),
+                   "bad method id ", m);
+    return perMethod[static_cast<size_t>(m)];
+}
+
+const MethodProfile &
+Profile::forMethod(MethodId m) const
+{
+    AREGION_ASSERT(m >= 0 && static_cast<size_t>(m) < perMethod.size(),
+                   "bad method id ", m);
+    return perMethod[static_cast<size_t>(m)];
+}
+
+uint64_t
+Profile::execCount(MethodId m, int pc) const
+{
+    const auto &prof = forMethod(m);
+    if (pc < 0 || static_cast<size_t>(pc) >= prof.execCount.size())
+        return 0;
+    return prof.execCount[static_cast<size_t>(pc)];
+}
+
+uint64_t
+Profile::takenCount(MethodId m, int pc) const
+{
+    const auto &prof = forMethod(m);
+    auto it = prof.branchTaken.find(pc);
+    return it == prof.branchTaken.end() ? 0 : it->second;
+}
+
+double
+Profile::takenBias(MethodId m, int pc) const
+{
+    const uint64_t executed = execCount(m, pc);
+    if (executed == 0)
+        return 0.5;
+    return static_cast<double>(takenCount(m, pc)) /
+           static_cast<double>(executed);
+}
+
+} // namespace aregion::vm

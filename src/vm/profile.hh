@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Execution profiles gathered by the first-pass (interpreted) run.
+ *
+ * The paper's JVM "inserts instrumentation to profile program
+ * behaviors (e.g., branches, virtual calls)"; region formation then
+ * treats paths with branch bias below 1% as cold. We record, per
+ * method: per-bytecode execution counts (giving block counts),
+ * branch taken counts, virtual call receiver distributions, and
+ * invocation counts.
+ */
+
+#ifndef AREGION_VM_PROFILE_HH
+#define AREGION_VM_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "vm/program.hh"
+
+namespace aregion::vm {
+
+/** Receiver class distribution observed at one virtual call site. */
+struct CallSiteProfile
+{
+    std::map<ClassId, uint64_t> receivers;
+    uint64_t total = 0;
+
+    /** The single receiver covering at least the given bias, or
+     *  NO_CLASS if the site is effectively polymorphic. */
+    ClassId dominantReceiver(double bias = 0.90) const;
+};
+
+/** Per-method profile. */
+struct MethodProfile
+{
+    std::vector<uint64_t> execCount;    ///< per bytecode index
+    std::map<int, uint64_t> branchTaken;///< bytecode index -> taken
+    std::map<int, CallSiteProfile> callSites;
+    uint64_t invocations = 0;
+};
+
+/** Whole-program profile, indexed by MethodId. */
+class Profile
+{
+  public:
+    explicit Profile(const Program &prog);
+
+    MethodProfile &forMethod(MethodId m);
+    const MethodProfile &forMethod(MethodId m) const;
+
+    /** Execution count of a bytecode index (0 if never run). */
+    uint64_t execCount(MethodId m, int pc) const;
+
+    /** Count of times the branch at pc was taken. */
+    uint64_t takenCount(MethodId m, int pc) const;
+
+    /** Probability the branch at pc is taken (0.5 if unobserved). */
+    double takenBias(MethodId m, int pc) const;
+
+  private:
+    std::vector<MethodProfile> perMethod;
+};
+
+} // namespace aregion::vm
+
+#endif // AREGION_VM_PROFILE_HH

@@ -1,0 +1,103 @@
+#include "vm/program.hh"
+
+#include "support/logging.hh"
+
+namespace aregion::vm {
+
+ClassId
+Program::addClass(ClassInfo info)
+{
+    info.id = static_cast<ClassId>(classes.size());
+    if (info.superId != NO_CLASS) {
+        const ClassInfo &super = cls(info.superId);
+        // Flatten: inherited fields first, then own fields; inherit
+        // vtable entries not explicitly overridden.
+        std::vector<std::string> merged = super.fields;
+        merged.insert(merged.end(), info.fields.begin(), info.fields.end());
+        info.fields = std::move(merged);
+        if (info.vtable.size() < super.vtable.size())
+            info.vtable.resize(super.vtable.size(), NO_METHOD);
+        for (size_t s = 0; s < super.vtable.size(); ++s) {
+            if (info.vtable[s] == NO_METHOD)
+                info.vtable[s] = super.vtable[s];
+        }
+    }
+    AREGION_ASSERT(static_cast<int>(info.vtable.size()) <= maxVtableSlots,
+                   "class ", info.name, " exceeds vtable slot budget");
+    classes.push_back(std::move(info));
+    return classes.back().id;
+}
+
+MethodId
+Program::addMethod(MethodInfo info)
+{
+    info.id = static_cast<MethodId>(methods.size());
+    methods.push_back(std::move(info));
+    return methods.back().id;
+}
+
+const ClassInfo &
+Program::cls(ClassId id) const
+{
+    AREGION_ASSERT(id >= 0 && id < numClasses(), "bad class id ", id);
+    return classes[static_cast<size_t>(id)];
+}
+
+ClassInfo &
+Program::classMutable(ClassId id)
+{
+    AREGION_ASSERT(id >= 0 && id < numClasses(), "bad class id ", id);
+    return classes[static_cast<size_t>(id)];
+}
+
+const MethodInfo &
+Program::method(MethodId id) const
+{
+    AREGION_ASSERT(id >= 0 && id < numMethods(), "bad method id ", id);
+    return methods[static_cast<size_t>(id)];
+}
+
+MethodInfo &
+Program::methodMutable(MethodId id)
+{
+    AREGION_ASSERT(id >= 0 && id < numMethods(), "bad method id ", id);
+    return methods[static_cast<size_t>(id)];
+}
+
+bool
+Program::isSubclassOf(ClassId sub, ClassId ancestor) const
+{
+    while (sub != NO_CLASS) {
+        if (sub == ancestor)
+            return true;
+        sub = cls(sub).superId;
+    }
+    return false;
+}
+
+MethodId
+Program::resolveVirtual(ClassId receiver, int slot) const
+{
+    const MethodId m = tryResolveVirtual(receiver, slot);
+    if (m == NO_METHOD) {
+        AREGION_PANIC("unresolved vtable slot ", slot, " on class ",
+                      cls(receiver).name);
+    }
+    return m;
+}
+
+MethodId
+Program::tryResolveVirtual(ClassId receiver, int slot) const
+{
+    AREGION_ASSERT(slot >= 0, "negative vtable slot");
+    for (ClassId c = receiver; c != NO_CLASS; c = cls(c).superId) {
+        const ClassInfo &info = cls(c);
+        if (slot < static_cast<int>(info.vtable.size()) &&
+            info.vtable[static_cast<size_t>(slot)] != NO_METHOD) {
+            return info.vtable[static_cast<size_t>(slot)];
+        }
+    }
+    return NO_METHOD;
+}
+
+} // namespace aregion::vm

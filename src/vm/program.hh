@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Whole-program container: classes (single inheritance, vtables,
+ * instance fields) and methods (bytecode bodies).
+ */
+
+#ifndef AREGION_VM_PROGRAM_HH
+#define AREGION_VM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/bytecode.hh"
+
+namespace aregion::vm {
+
+using ClassId = int;
+using MethodId = int;
+
+constexpr ClassId NO_CLASS = -1;
+constexpr MethodId NO_METHOD = -1;
+
+/** A class: fields are flattened (superclass fields first). */
+struct ClassInfo
+{
+    std::string name;
+    ClassId id = NO_CLASS;
+    ClassId superId = NO_CLASS;
+
+    /** All instance field names, including inherited ones. */
+    std::vector<std::string> fields;
+
+    /** Virtual dispatch table: slot -> MethodId (NO_METHOD if empty). */
+    std::vector<MethodId> vtable;
+
+    int numFields() const { return static_cast<int>(fields.size()); }
+};
+
+/** A method: register-based bytecode body plus metadata. */
+struct MethodInfo
+{
+    std::string name;
+    MethodId id = NO_METHOD;
+    ClassId classId = NO_CLASS;     ///< NO_CLASS for static helpers
+    int numArgs = 0;                ///< includes receiver for virtuals
+    int numRegs = 0;                ///< frame size; args live in [0,numArgs)
+    bool isSynchronized = false;    ///< monitor on receiver around body
+    std::vector<BcInstr> code;
+};
+
+/**
+ * A complete program. Built via vm::ProgramBuilder; immutable during
+ * execution except that the JIT may attach compiled code elsewhere.
+ */
+class Program
+{
+  public:
+    /** Number of vtable slots reserved per class in metadata memory. */
+    static constexpr int maxVtableSlots = 16;
+
+    ClassId addClass(ClassInfo info);
+    MethodId addMethod(MethodInfo info);
+
+    const ClassInfo &cls(ClassId id) const;
+    ClassInfo &classMutable(ClassId id);
+    const MethodInfo &method(MethodId id) const;
+    MethodInfo &methodMutable(MethodId id);
+
+    int numClasses() const { return static_cast<int>(classes.size()); }
+    int numMethods() const { return static_cast<int>(methods.size()); }
+
+    /** True if sub is cls or a transitive subclass of ancestor. */
+    bool isSubclassOf(ClassId sub, ClassId ancestor) const;
+
+    /** Resolve a virtual slot for a dynamic receiver class. */
+    MethodId resolveVirtual(ClassId receiver, int slot) const;
+
+    /** As resolveVirtual, but NO_METHOD instead of panicking. */
+    MethodId tryResolveVirtual(ClassId receiver, int slot) const;
+
+    MethodId mainMethod = NO_METHOD;
+
+  private:
+    std::vector<ClassInfo> classes;
+    std::vector<MethodInfo> methods;
+};
+
+} // namespace aregion::vm
+
+#endif // AREGION_VM_PROGRAM_HH

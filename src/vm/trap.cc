@@ -1,0 +1,40 @@
+#include "vm/trap.hh"
+
+#include <sstream>
+
+namespace aregion::vm {
+
+const char *
+trapName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::NullPointer: return "NullPointer";
+      case TrapKind::ArrayBounds: return "ArrayBounds";
+      case TrapKind::NegativeArraySize: return "NegativeArraySize";
+      case TrapKind::DivideByZero: return "DivideByZero";
+      case TrapKind::ClassCast: return "ClassCast";
+      case TrapKind::Deadlock: return "Deadlock";
+    }
+    return "<bad>";
+}
+
+namespace {
+
+std::string
+describe(TrapKind kind, int method, int pc)
+{
+    std::ostringstream os;
+    os << "trap " << trapName(kind) << " at method " << method
+       << " pc " << pc;
+    return os.str();
+}
+
+} // namespace
+
+Trap::Trap(TrapKind kind_, int method_, int pc_)
+    : std::runtime_error(describe(kind_, method_, pc_)),
+      kind(kind_), method(method_), pc(pc_)
+{
+}
+
+} // namespace aregion::vm

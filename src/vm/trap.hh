@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Runtime traps: the managed language's safety-check failures.
+ *
+ * Thrown by the interpreter, the IR evaluator, and the machine
+ * simulator alike, so equivalence tests can compare trapping behaviour
+ * across all three executors.
+ */
+
+#ifndef AREGION_VM_TRAP_HH
+#define AREGION_VM_TRAP_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace aregion::vm {
+
+enum class TrapKind {
+    NullPointer,
+    ArrayBounds,
+    NegativeArraySize,
+    DivideByZero,
+    ClassCast,
+    Deadlock,
+};
+
+const char *trapName(TrapKind kind);
+
+/** A safety-check failure; carries the faulting method and pc. */
+class Trap : public std::runtime_error
+{
+  public:
+    Trap(TrapKind kind, int method, int pc);
+
+    TrapKind kind;
+    int method;
+    int pc;
+};
+
+} // namespace aregion::vm
+
+#endif // AREGION_VM_TRAP_HH

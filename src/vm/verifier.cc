@@ -1,0 +1,208 @@
+#include "vm/verifier.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace aregion::vm {
+
+namespace {
+
+class MethodChecker
+{
+  public:
+    MethodChecker(const Program &prog_, const MethodInfo &info_,
+                  std::vector<std::string> &problems_)
+        : prog(prog_), info(info_), problems(problems_)
+    {
+    }
+
+    void
+    report(size_t pc, const std::string &what)
+    {
+        std::ostringstream os;
+        os << "method " << info.name << " pc " << pc << ": " << what;
+        problems.push_back(os.str());
+    }
+
+    void
+    checkReg(size_t pc, Reg r, const char *role)
+    {
+        if (r >= info.numRegs)
+            report(pc, std::string("register out of range for ") + role);
+    }
+
+    void
+    checkTarget(size_t pc, int64_t target)
+    {
+        if (target < 0 ||
+            target >= static_cast<int64_t>(info.code.size())) {
+            report(pc, "branch target out of range");
+        }
+    }
+
+    void
+    checkCallee(size_t pc, int64_t callee, size_t argc)
+    {
+        if (callee < 0 || callee >= prog.numMethods()) {
+            report(pc, "callee method id out of range");
+            return;
+        }
+        const MethodInfo &ci = prog.method(static_cast<MethodId>(callee));
+        if (static_cast<size_t>(ci.numArgs) != argc)
+            report(pc, "call arity mismatch for " + ci.name);
+    }
+
+    void
+    checkClass(size_t pc, int64_t cls)
+    {
+        if (cls < 0 || cls >= prog.numClasses())
+            report(pc, "class id out of range");
+    }
+
+    void
+    run()
+    {
+        if (info.code.empty()) {
+            report(0, "empty body");
+            return;
+        }
+        if (!bcIsTerminator(info.code.back().op))
+            report(info.code.size() - 1, "body does not end in terminator");
+        if (info.numArgs > info.numRegs)
+            report(0, "more args than registers");
+
+        for (size_t pc = 0; pc < info.code.size(); ++pc) {
+            const BcInstr &in = info.code[pc];
+            for (Reg r : in.args)
+                checkReg(pc, r, "call argument");
+            switch (in.op) {
+              case Bc::Const:
+                checkReg(pc, in.a, "dst");
+                break;
+              case Bc::Mov:
+              case Bc::ALength:
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "src");
+                break;
+              case Bc::Add: case Bc::Sub: case Bc::Mul: case Bc::Div:
+              case Bc::Rem: case Bc::And: case Bc::Or: case Bc::Xor:
+              case Bc::Shl: case Bc::Shr:
+              case Bc::CmpEq: case Bc::CmpNe: case Bc::CmpLt:
+              case Bc::CmpLe: case Bc::CmpGt: case Bc::CmpGe:
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "lhs");
+                checkReg(pc, static_cast<Reg>(in.c), "rhs");
+                break;
+              case Bc::Branch:
+                checkReg(pc, in.a, "cond");
+                checkTarget(pc, in.imm);
+                if (pc + 1 >= info.code.size())
+                    report(pc, "branch fall-through exits method");
+                break;
+              case Bc::Jump:
+                checkTarget(pc, in.imm);
+                break;
+              case Bc::NewObject:
+                checkReg(pc, in.a, "dst");
+                checkClass(pc, in.c);
+                break;
+              case Bc::NewArray:
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "length");
+                break;
+              case Bc::GetField: {
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "object");
+                break;
+              }
+              case Bc::PutField:
+                checkReg(pc, in.a, "object");
+                checkReg(pc, in.b, "value");
+                break;
+              case Bc::ALoad:
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "array");
+                checkReg(pc, static_cast<Reg>(in.c), "index");
+                break;
+              case Bc::AStore:
+                checkReg(pc, in.a, "array");
+                checkReg(pc, in.b, "index");
+                checkReg(pc, static_cast<Reg>(in.c), "value");
+                break;
+              case Bc::CallStatic:
+                if (in.a != NO_REG)
+                    checkReg(pc, in.a, "dst");
+                checkCallee(pc, in.imm, in.args.size());
+                break;
+              case Bc::CallVirtual:
+                if (in.a != NO_REG)
+                    checkReg(pc, in.a, "dst");
+                if (in.args.empty())
+                    report(pc, "virtual call without receiver");
+                break;
+              case Bc::Ret:
+                checkReg(pc, in.a, "value");
+                break;
+              case Bc::RetVoid:
+                break;
+              case Bc::MonitorEnter:
+              case Bc::MonitorExit:
+                checkReg(pc, in.a, "object");
+                break;
+              case Bc::InstanceOf:
+                checkReg(pc, in.a, "dst");
+                checkReg(pc, in.b, "object");
+                checkClass(pc, in.c);
+                break;
+              case Bc::CheckCast:
+                checkReg(pc, in.a, "object");
+                checkClass(pc, in.c);
+                break;
+              case Bc::Safepoint:
+              case Bc::Marker:
+                break;
+              case Bc::Print:
+                checkReg(pc, in.a, "value");
+                break;
+              case Bc::Spawn:
+                checkCallee(pc, in.imm, in.args.size());
+                break;
+            }
+        }
+    }
+
+  private:
+    const Program &prog;
+    const MethodInfo &info;
+    std::vector<std::string> &problems;
+};
+
+} // namespace
+
+std::vector<std::string>
+verify(const Program &prog)
+{
+    std::vector<std::string> problems;
+    if (prog.mainMethod == NO_METHOD) {
+        problems.push_back("no main method");
+    } else if (prog.method(prog.mainMethod).numArgs != 0) {
+        problems.push_back("main takes arguments");
+    }
+    for (MethodId m = 0; m < prog.numMethods(); ++m) {
+        MethodChecker checker(prog, prog.method(m), problems);
+        checker.run();
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Program &prog)
+{
+    const auto problems = verify(prog);
+    if (!problems.empty())
+        AREGION_PANIC("verifier: ", problems.front(), " (",
+                      problems.size(), " problems total)");
+}
+
+} // namespace aregion::vm

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Static well-formedness checks for bytecode programs.
+ *
+ * Run before interpretation or compilation; catches malformed builder
+ * output early so downstream components can assume structural
+ * validity (in-range registers, bound branch targets, matching call
+ * arities, terminating method bodies).
+ */
+
+#ifndef AREGION_VM_VERIFIER_HH
+#define AREGION_VM_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "vm/program.hh"
+
+namespace aregion::vm {
+
+/** Verify the whole program; returns human-readable problems. */
+std::vector<std::string> verify(const Program &prog);
+
+/** Verify and panic on the first problem (for tests/workloads). */
+void verifyOrDie(const Program &prog);
+
+} // namespace aregion::vm
+
+#endif // AREGION_VM_VERIFIER_HH

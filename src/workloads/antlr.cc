@@ -1,0 +1,267 @@
+/**
+ * @file
+ * antlr analog: "Generates parser/lexical analyzer".
+ *
+ * A tokenizer with many tiny (inlinable) classification helpers and
+ * synchronized token-buffer appends feeds a large rule-walking
+ * parser whose body is peppered with calls to medium-sized helpers
+ * that exceed every inlining budget — those calls terminate atomic
+ * regions, keeping region coverage low (~9%, the paper's Table 3)
+ * even though roughly two thirds of the instructions *inside* the
+ * tokenizer regions optimize away. Four input files = four samples.
+ */
+
+#include "workloads/workload.hh"
+
+#include "vm/builder.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::workloads {
+
+using namespace aregion::vm;
+
+namespace {
+
+Program
+buildAntlr(bool profile_variant)
+{
+    const int file_len = profile_variant ? 1200 : 3600;
+
+    ProgramBuilder pb;
+
+    const ClassId tokens = pb.declareClass("TokenBuffer",
+                                           {"data", "len"});
+    const int f_data = pb.fieldIndex(tokens, "data");
+    const int f_len = pb.fieldIndex(tokens, "len");
+    const MethodId append = pb.declareMethod("appendToken", 2,
+                                             /*sync=*/true);
+    {
+        auto f = pb.define(append);
+        const Reg data = f.getField(f.self(), f_data);
+        const Reg len = f.getField(f.self(), f_len);
+        const Reg cap = f.alength(data);
+        const Label wrap = f.newLabel();
+        f.branchCmp(Bc::CmpGe, len, cap, wrap);
+        f.astore(data, len, f.arg(1));
+        const Reg one = f.constant(1);
+        f.putField(f.self(), f_len, f.add(len, one));
+        f.retVoid();
+        f.bind(wrap);       // cold
+        const Reg zero = f.constant(0);
+        f.putField(f.self(), f_len, zero);
+        f.retVoid();
+        f.finish();
+    }
+
+    // Character-class table holder; the rare control-character arm
+    // stores to `table`, blocking the baseline's cross-iteration
+    // reuse of the table load and its checks (regions prune it).
+    const ClassId lexcls = pb.declareClass("LexTables",
+                                           {"table", "controls"});
+    const int f_table = pb.fieldIndex(lexcls, "table");
+    const int f_controls = pb.fieldIndex(lexcls, "controls");
+
+    // The tokenizer: the region-friendly hot loop. Per character it
+    // re-reads the class table (real lexers do, through accessors);
+    // the rare control-character arm stores to the holder's fields,
+    // so baseline AVAIL loses the loads at the loop join while the
+    // atomic regions (control arm pruned to an assert) keep them.
+    const MethodId tokenize = pb.declareMethod("tokenize", 4);
+    {
+        auto f = pb.define(tokenize);
+        const Reg input = f.arg(0);
+        const Reg buffer = f.arg(1);
+        const Reg lex = f.arg(2);
+        const Reg from = f.arg(3);
+        const Reg len = f.alength(input);
+        const Reg i = f.newReg();
+        f.mov(i, from);
+        const Reg stop = f.add(from, f.constant(48));
+        const Reg token = f.constant(0);
+        const Reg one = f.constant(1);
+        const Label loop = f.newLabel();
+        const Label flush = f.newLabel();
+        const Label control = f.newLabel();
+        const Label cont = f.newLabel();
+        const Label done = f.newLabel();
+        f.bind(loop);
+        f.branchCmp(Bc::CmpGe, i, stop, done);
+        f.branchCmp(Bc::CmpGe, i, len, done);
+        const Reg c = f.aload(input, i);
+        const Reg tbl = f.getField(lex, f_table);
+        const Reg word = f.aload(tbl, c);
+        // Rare control character (c == 127: ~0.8%).
+        const Reg k127 = f.constant(127);
+        const Reg is_ctl = f.cmp(Bc::CmpEq, c, k127);
+        f.branchIf(is_ctl, control);
+        f.branchIf(word, cont);
+        f.jump(flush);
+        f.bind(control);    // cold: rotate tables, count controls
+        {
+            const Reg ctl = f.getField(lex, f_controls);
+            f.putField(lex, f_controls, f.add(ctl, one));
+            f.putField(lex, f_table, tbl);
+        }
+        f.jump(cont);
+        f.bind(flush);      // separator: emit accumulated token
+        f.callStaticVoid(append, {buffer, token});
+        const Reg zero = f.constant(0);
+        f.mov(token, zero);
+        f.jump(cont);
+        f.bind(cont);
+        const Reg tbl2 = f.getField(lex, f_table);
+        const Reg weight = f.aload(tbl2, c);
+        const Reg k31 = f.constant(31);
+        const Reg scaled = f.mul(token, k31);
+        const Reg wc = f.add(c, weight);
+        f.binopTo(Bc::Add, token, scaled, wc);
+        f.binopTo(Bc::Add, i, i, one);
+        f.jump(loop);
+        f.bind(done);
+        f.ret(token);
+        f.finish();
+    }
+
+    // A medium helper too big to inline even at 5x budget: its call
+    // sites break regions inside the parser.
+    const MethodId grind = pb.declareMethod("grind", 2);
+    {
+        auto f = pb.define(grind);
+        Reg acc = f.arg(0);
+        const Reg salt = f.arg(1);
+        // Long straightline mix: ~280 instructions.
+        for (int round = 0; round < 46; ++round) {
+            const Reg k = f.constant(round * 2654435761LL + 17);
+            const Reg t1 = f.binop(Bc::Xor, acc, k);
+            const Reg t2 = f.binop(Bc::Shr, t1, f.constant(7));
+            const Reg t3 = f.add(t1, t2);
+            const Reg t4 = f.mul(t3, f.constant(31));
+            acc = f.add(t4, salt);
+        }
+        f.ret(acc);
+        f.finish();
+    }
+
+    // The parser: dominant non-region work.
+    const MethodId parse = pb.declareMethod("parseRule", 2);
+    {
+        auto f = pb.define(parse);
+        Reg acc = f.arg(0);
+        const Reg salt = f.arg(1);
+        for (int site = 0; site < 16; ++site) {
+            acc = f.callStatic(grind, {acc, salt});
+            const Reg k = f.constant(site + 1);
+            acc = f.binop(Bc::Xor, acc, k);
+        }
+        f.ret(acc);
+        f.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    // Input "file": synthesized characters.
+    const Reg input = mb.newArray(mb.constant(file_len));
+    {
+        const Reg i = mb.constant(0);
+        const Reg n = mb.constant(file_len);
+        const Reg one = mb.constant(1);
+        const Reg a = mb.constant(1103515245);
+        const Reg c = mb.constant(12345);
+        const Reg k127m = mb.constant(127);
+        const Reg s = mb.constant(42);
+        const Label loop = mb.newLabel();
+        const Label done = mb.newLabel();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, i, n, done);
+        mb.binopTo(Bc::Mul, s, s, a);
+        mb.binopTo(Bc::Add, s, s, c);
+        const Reg sh = mb.constant(16);
+        const Reg hi = mb.binop(Bc::Shr, s, sh);
+        // Characters 0..126: the control-character arm (c == 127)
+        // profiles as never-taken, but its stores still block the
+        // baseline's load availability at the join.
+        mb.astore(input, i, mb.binop(Bc::Rem,
+                                     mb.binop(Bc::And, hi,
+                                              mb.constant(0xffff)),
+                                     k127m));
+        mb.binopTo(Bc::Add, i, i, one);
+        mb.jump(loop);
+        mb.bind(done);
+    }
+    const Reg buffer = mb.newObject(tokens);
+    mb.putField(buffer, f_data, mb.newArray(mb.constant(1 << 14)));
+    const Reg lex = mb.newObject(lexcls);
+    {
+        const Reg tbl = mb.newArray(mb.constant(128));
+        const Reg i2 = mb.constant(0);
+        const Reg n2 = mb.constant(128);
+        const Reg one2 = mb.constant(1);
+        const Reg k26 = mb.constant(26);
+        const Reg k36 = mb.constant(36);
+        const Reg k64 = mb.constant(64);
+        const Label fill = mb.newLabel();
+        const Label filled = mb.newLabel();
+        mb.bind(fill);
+        mb.branchCmp(Bc::CmpGe, i2, n2, filled);
+        const Reg m = mb.binop(Bc::Rem, i2, k64);
+        const Reg lt26 = mb.cmp(Bc::CmpLt, m, k26);
+        const Reg ge26 = mb.cmp(Bc::CmpGe, m, k26);
+        const Reg lt36 = mb.cmp(Bc::CmpLt, m, k36);
+        const Reg dig = mb.binop(Bc::And, ge26, lt36);
+        const Reg word = mb.binop(Bc::Or, lt26, dig);
+        mb.astore(tbl, i2, word);
+        mb.binopTo(Bc::Add, i2, i2, one2);
+        mb.jump(fill);
+        mb.bind(filled);
+        mb.putField(lex, f_table, tbl);
+    }
+
+    const Reg total = mb.constant(0);
+    // Four files = four samples (markers 10/11, 20/21, 30/31, 40/41).
+    for (int file = 0; file < 4; ++file) {
+        mb.marker(10 * (file + 1));
+        const Reg pos = mb.constant(0);
+        const Reg limit = mb.constant(file_len - 64);
+        const Reg stride = mb.constant(48);
+        const Reg salt = mb.constant(file + 3);
+        const Label loop = mb.newLabel();
+        const Label done = mb.newLabel();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, pos, limit, done);
+        const Reg tok = mb.callStatic(tokenize,
+                                      {input, buffer, lex, pos});
+        const Reg parsed = mb.callStatic(parse, {tok, salt});
+        mb.binopTo(Bc::Add, total, total, parsed);
+        mb.binopTo(Bc::Add, pos, pos, stride);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+        mb.marker(10 * (file + 1) + 1);
+    }
+    mb.print(total);
+    mb.print(mb.getField(buffer, f_len));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+} // namespace
+
+Workload
+makeAntlr()
+{
+    Workload w;
+    w.name = "antlr";
+    w.description = "Generates parser/lexical analyzer";
+    w.paperSamples = 4;
+    w.build = buildAntlr;
+    w.samples = {{10, 11, 0.4}, {20, 21, 0.3}, {30, 31, 0.2},
+                 {40, 41, 0.1}};
+    return w;
+}
+
+} // namespace aregion::workloads

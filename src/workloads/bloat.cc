@@ -1,0 +1,273 @@
+/**
+ * @file
+ * bloat analog: "Bytecode analysis and optimization tool".
+ *
+ * Four analysis passes over a linked graph of instruction nodes
+ * (pointer chasing plus biased per-node type dispatch). Passes are
+ * the paper's four samples; the last (least-dominant, weight ~0.1)
+ * phase analyzes drifted data in which a profile-cold node type
+ * becomes common, concentrating nearly all aborts in that one sample
+ * (the paper: bloat's bad sample runs 33% slower, the others carry
+ * the 30%+ speedup).
+ */
+
+#include "workloads/workload.hh"
+
+#include "vm/builder.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::workloads {
+
+using namespace aregion::vm;
+
+namespace {
+
+Program
+buildBloat(bool profile_variant)
+{
+    const int nodes = profile_variant ? 600 : 800;
+    const int passes_per_sample = profile_variant ? 6 : 18;
+    // Node type 3 frequency in the last pass's extra work: cold in
+    // the profiling input, common in the measurement input.
+    const int rare_every = profile_variant ? 400 : 90;
+
+    ProgramBuilder pb;
+
+    const ClassId node = pb.declareClass(
+        "InsnNode", {"kind", "operand", "next", "flags"});
+    // Analysis configuration; "scale" shares field index 1 with
+    // InsnNode.operand, which the cold kind-3 arm stores to: the
+    // baseline therefore reloads it every node, while regions (with
+    // the cold arm converted to an assert) keep it available.
+    const ClassId conf = pb.declareClass(
+        "AnalysisConfig", {"pad0", "scale", "pad2", "pad3"});
+    const int f_scale = pb.fieldIndex(conf, "scale");
+    const int f_kind = pb.fieldIndex(node, "kind");
+    const int f_operand = pb.fieldIndex(node, "operand");
+    const int f_next = pb.fieldIndex(node, "next");
+    const int f_flags = pb.fieldIndex(node, "flags");
+
+    // One analysis sweep over the chain.
+    const MethodId sweep = pb.declareMethod("sweep", 3);
+    {
+        auto f = pb.define(sweep);
+        const Reg head = f.arg(0);
+        const Reg salt = f.arg(1);
+        const Reg cfg = f.arg(2);
+        const Reg acc = f.constant(0);
+        const Reg cur = f.newReg();
+        f.mov(cur, head);
+        const Reg zero = f.constant(0);
+        const Label loop = f.newLabel();
+        const Label k0 = f.newLabel();
+        const Label k1 = f.newLabel();
+        const Label k3 = f.newLabel();
+        const Label next = f.newLabel();
+        const Label done = f.newLabel();
+        f.bind(loop);
+        f.branchCmp(Bc::CmpEq, cur, zero, done);
+        // Loaded every node: the cold kind-3 arm stores to the same
+        // field index, so baseline AVAIL loses it at the loop join.
+        const Reg scale = f.getField(cfg, f_scale);
+        const Reg kind = f.getField(cur, f_kind);
+        const Reg operand = f.getField(cur, f_operand);
+        const Reg is0 = f.cmp(Bc::CmpEq, kind, zero);
+        f.branchIf(is0, k0);
+        const Reg one = f.constant(1);
+        const Reg is1 = f.cmp(Bc::CmpEq, kind, one);
+        f.branchIf(is1, k1);
+        const Reg three = f.constant(3);
+        const Reg is3 = f.cmp(Bc::CmpEq, kind, three);
+        f.branchIf(is3, k3);
+        // kind 2: common alternative.
+        const Reg t2 = f.binop(Bc::Xor, operand, salt);
+        f.binopTo(Bc::Add, acc, acc, t2);
+        f.putField(cur, f_flags, t2);
+        f.jump(next);
+        f.bind(k0);     // dominant kind (arith simplification)
+        {
+            const Reg t = f.mul(operand, scale);
+            const Reg t2 = f.add(t, salt);
+            f.binopTo(Bc::Add, acc, acc, t2);
+            f.putField(cur, f_flags, t2);
+        }
+        f.jump(next);
+        f.bind(k1);     // second common kind
+        {
+            const Reg sh = f.constant(3);
+            const Reg t = f.binop(Bc::Shr, operand, sh);
+            const Reg t2 = f.add(t, scale);
+            f.binopTo(Bc::Add, acc, acc, t2);
+        }
+        f.jump(next);
+        f.bind(k3);     // cold while profiling, warm when drifted
+        {
+            const Reg flags = f.getField(cur, f_flags);
+            const Reg k7 = f.constant(7);
+            const Reg t = f.binop(Bc::Rem, flags, k7);
+            f.binopTo(Bc::Add, acc, acc, t);
+            f.putField(cur, f_operand, t);
+        }
+        f.jump(next);
+        f.bind(next);
+        f.getFieldTo(cur, cur, f_next);
+        f.jump(loop);
+        f.bind(done);
+        f.ret(acc);
+        f.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    // Build the node chain: kinds 0 (70%), 1 (20%), 2 (9.x%), with
+    // kind 3 appearing every `rare_every` nodes.
+    const Reg head = mb.newObject(node);
+    {
+        const Reg prev = mb.newReg();
+        mb.mov(prev, head);
+        const Reg i = mb.constant(1);
+        const Reg n = mb.constant(nodes);
+        const Reg one = mb.constant(1);
+        const Reg rare_k = mb.constant(rare_every);
+        const Label loop = mb.newLabel();
+        const Label pick3 = mb.newLabel();
+        const Label pick01 = mb.newLabel();
+        const Label store = mb.newLabel();
+        const Label done = mb.newLabel();
+        const Reg kind = mb.newReg();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, i, n, done);
+        const Reg fresh = mb.newObject(node);
+        mb.putField(fresh, f_operand, i);
+        const Reg r3 = mb.binop(Bc::Rem, i, rare_k);
+        const Reg zero = mb.constant(0);
+        const Reg is_rare = mb.cmp(Bc::CmpEq, r3, zero);
+        mb.branchIf(is_rare, pick3);
+        mb.jump(pick01);
+        mb.bind(pick3);
+        mb.constTo(kind, 3);
+        mb.jump(store);
+        mb.bind(pick01);
+        {
+            const Reg three = mb.constant(3);
+            const Reg r = mb.binop(Bc::Rem, i, three);
+            const Reg two = mb.constant(2);
+            const Label k1l = mb.newLabel();
+            mb.branchCmp(Bc::CmpGe, r, two, k1l);
+            mb.constTo(kind, 0);
+            mb.jump(store);
+            mb.bind(k1l);
+            mb.constTo(kind, 1);
+            mb.jump(store);
+        }
+        mb.bind(store);
+        mb.putField(fresh, f_kind, kind);
+        mb.putField(prev, f_next, fresh);
+        mb.mov(prev, fresh);
+        mb.binopTo(Bc::Add, i, i, one);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+    }
+
+    // Four samples; drift only matters in sample 4's data: build a
+    // SECOND chain whose kind-3 rate follows `rare_every`, while
+    // samples 1-3 sweep a clean chain (kind 3 at 1/250 always).
+    const Reg clean_head = mb.newObject(node);
+    {
+        const Reg prev = mb.newReg();
+        mb.mov(prev, clean_head);
+        const Reg i = mb.constant(1);
+        const Reg n = mb.constant(nodes);
+        const Reg one = mb.constant(1);
+        const Reg rare_k = mb.constant(400);
+        const Label loop = mb.newLabel();
+        const Label pick3 = mb.newLabel();
+        const Label pick01 = mb.newLabel();
+        const Label store = mb.newLabel();
+        const Label done = mb.newLabel();
+        const Reg kind = mb.newReg();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, i, n, done);
+        const Reg fresh = mb.newObject(node);
+        mb.putField(fresh, f_operand, i);
+        const Reg r3 = mb.binop(Bc::Rem, i, rare_k);
+        const Reg zero = mb.constant(0);
+        const Reg is_rare = mb.cmp(Bc::CmpEq, r3, zero);
+        mb.branchIf(is_rare, pick3);
+        mb.jump(pick01);
+        mb.bind(pick3);
+        mb.constTo(kind, 3);
+        mb.jump(store);
+        mb.bind(pick01);
+        {
+            const Reg three = mb.constant(3);
+            const Reg r = mb.binop(Bc::Rem, i, three);
+            const Reg two = mb.constant(2);
+            const Label k1l = mb.newLabel();
+            mb.branchCmp(Bc::CmpGe, r, two, k1l);
+            mb.constTo(kind, 0);
+            mb.jump(store);
+            mb.bind(k1l);
+            mb.constTo(kind, 1);
+            mb.jump(store);
+        }
+        mb.bind(store);
+        mb.putField(fresh, f_kind, kind);
+        mb.putField(prev, f_next, fresh);
+        mb.mov(prev, fresh);
+        mb.binopTo(Bc::Add, i, i, one);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+    }
+
+    const Reg acfg = mb.newObject(conf);
+    mb.putField(acfg, f_scale, mb.constant(31));
+
+    const Reg total = mb.constant(0);
+    for (int sample = 0; sample < 4; ++sample) {
+        mb.marker(10 * (sample + 1));
+        const Reg p = mb.constant(0);
+        const Reg np = mb.constant(passes_per_sample);
+        const Reg one = mb.constant(1);
+        const Reg salt = mb.constant(sample + 11);
+        const Reg which = sample == 3 ? head : clean_head;
+        const Label loop = mb.newLabel();
+        const Label done = mb.newLabel();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, p, np, done);
+        const Reg r = mb.callStatic(sweep, {which, salt, acfg});
+        mb.binopTo(Bc::Add, total, total, r);
+        mb.binopTo(Bc::Add, p, p, one);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+        mb.marker(10 * (sample + 1) + 1);
+    }
+    mb.print(total);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+} // namespace
+
+Workload
+makeBloat()
+{
+    Workload w;
+    w.name = "bloat";
+    w.description = "Bytecode analysis and optimization tool";
+    w.paperSamples = 4;
+    w.build = buildBloat;
+    w.samples = {{10, 11, 0.35}, {20, 21, 0.30}, {30, 31, 0.25},
+                 {40, 41, 0.10}};
+    return w;
+}
+
+} // namespace aregion::workloads

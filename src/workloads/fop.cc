@@ -1,0 +1,172 @@
+/**
+ * @file
+ * fop analog: "Parses/formats XSL-FO to generate PDF".
+ *
+ * Recursive layout over a tree of boxes plus glyph-metric string
+ * building. The recursion keeps methods un-inlinable (self calls)
+ * and splits regions at every call, giving the paper's profile: low
+ * coverage (~20%) and the smallest regions (~32 uops). Two samples.
+ */
+
+#include "workloads/workload.hh"
+
+#include "vm/builder.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::workloads {
+
+using namespace aregion::vm;
+
+namespace {
+
+Program
+buildFop(bool profile_variant)
+{
+    const int tree_depth = profile_variant ? 9 : 11;
+    const int relayouts = profile_variant ? 3 : 6;
+
+    ProgramBuilder pb;
+
+    const ClassId box = pb.declareClass(
+        "Box", {"left", "right", "width", "pad", "x"});
+    const int f_left = pb.fieldIndex(box, "left");
+    const int f_right = pb.fieldIndex(box, "right");
+    const int f_width = pb.fieldIndex(box, "width");
+    const int f_pad = pb.fieldIndex(box, "pad");
+    const int f_x = pb.fieldIndex(box, "x");
+
+    // Recursive build(depth): full binary tree of boxes.
+    const MethodId build_tree = pb.declareMethod("buildTree", 1);
+    {
+        auto f = pb.define(build_tree);
+        const Reg depth = f.arg(0);
+        const Reg b = f.newObject(box);
+        const Reg k3 = f.constant(3);
+        const Reg seven = f.constant(7);
+        const Reg w = f.add(f.mul(depth, k3), seven);
+        f.putField(b, f_width, w);
+        f.putField(b, f_pad, f.constant(2));
+        const Label leaf = f.newLabel();
+        const Reg one = f.constant(1);
+        f.branchCmp(Bc::CmpLe, depth, one, leaf);
+        const Reg d1 = f.sub(depth, one);
+        const Reg l = f.callStatic(build_tree, {d1});
+        f.putField(b, f_left, l);
+        const Reg r = f.callStatic(build_tree, {d1});
+        f.putField(b, f_right, r);
+        f.bind(leaf);
+        f.ret(b);
+        f.finish();
+    }
+
+    // Recursive layout(box, x): assigns positions; the straightline
+    // metric code between the two recursive calls forms the small
+    // regions.
+    const MethodId layout = pb.declareMethod("layout", 2);
+    {
+        auto f = pb.define(layout);
+        const Reg b = f.arg(0);
+        const Reg x = f.arg(1);
+        const Reg zero = f.constant(0);
+        const Label leaf = f.newLabel();
+        const Label clamp = f.newLabel();
+        const Label metrics = f.newLabel();
+        // Glyph metric mix: checks + arithmetic (region fodder).
+        const Reg w = f.getField(b, f_width);
+        const Reg pad = f.getField(b, f_pad);
+        const Reg k31 = f.constant(31);
+        const Reg m1 = f.mul(w, k31);
+        const Reg m2 = f.add(m1, pad);
+        const Reg m3 = f.binop(Bc::Xor, m2, x);
+        // Cold clamp path: stores to `width`, which forces the
+        // baseline to reload width/pad below; regions prune it.
+        f.branchCmp(Bc::CmpLt, m3, zero, clamp);
+        f.jump(metrics);
+        f.bind(clamp);
+        // Clamping dirties the child box: stores through a different
+        // base with the same field indices, so the baseline cannot
+        // prove the parent's width/pad reloads below redundant.
+        {
+            const Reg child = f.getField(b, f_left);
+            f.putField(child, f_width, zero);
+            f.putField(child, f_pad, zero);
+        }
+        f.jump(metrics);
+        f.bind(metrics);
+        // Accessor-style code re-reads width/pad several times; the
+        // clamp arm's stores block baseline reuse at the join.
+        const Reg w2 = f.getField(b, f_width);
+        const Reg pad2 = f.getField(b, f_pad);
+        const Reg k7 = f.constant(7);
+        const Reg m4 = f.binop(Bc::Rem, m3, f.constant(997));
+        const Reg m5a = f.add(m4, k7);
+        const Reg w3 = f.getField(b, f_width);
+        const Reg pad3 = f.getField(b, f_pad);
+        const Reg border = f.add(w3, pad3);
+        const Reg w4 = f.getField(b, f_width);
+        const Reg inner = f.sub(border, w4);
+        const Reg m5b = f.add(m5a, w2);
+        const Reg m5c = f.add(m5b, inner);
+        const Reg m5d = f.sub(m5c, w2);
+        const Reg m5 = f.sub(m5d, inner);
+        f.putField(b, f_x, m5);
+        const Reg l = f.getField(b, f_left);
+        f.branchCmp(Bc::CmpEq, l, zero, leaf);
+        const Reg lx = f.callStatic(layout, {l, m5});
+        const Reg r = f.getField(b, f_right);
+        const Reg rx = f.callStatic(layout, {r, lx});
+        f.ret(f.add(rx, pad2));
+        f.bind(leaf);
+        f.ret(f.add(m5, w2));
+        f.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg depth = mb.constant(tree_depth);
+    const Reg root = mb.callStatic(build_tree, {depth});
+
+    const Reg total = mb.constant(0);
+    for (int sample = 0; sample < 2; ++sample) {
+        mb.marker(10 * (sample + 1));
+        const Reg p = mb.constant(0);
+        const Reg np = mb.constant(relayouts);
+        const Reg one = mb.constant(1);
+        const Label loop = mb.newLabel();
+        const Label done = mb.newLabel();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, p, np, done);
+        const Reg x0 = mb.add(p, mb.constant(sample * 13));
+        const Reg r = mb.callStatic(layout, {root, x0});
+        mb.binopTo(Bc::Add, total, total, r);
+        mb.binopTo(Bc::Add, p, p, one);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+        mb.marker(10 * (sample + 1) + 1);
+    }
+    mb.print(total);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+} // namespace
+
+Workload
+makeFop()
+{
+    Workload w;
+    w.name = "fop";
+    w.description = "Parses/formats XSL-FO to generate PDF";
+    w.paperSamples = 2;
+    w.build = buildFop;
+    w.samples = {{10, 11, 0.6}, {20, 21, 0.4}};
+    return w;
+}
+
+} // namespace aregion::workloads

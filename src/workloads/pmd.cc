@@ -1,0 +1,209 @@
+/**
+ * @file
+ * pmd analog: "Analyzes a set of Java classes".
+ *
+ * Rule checks over arrays of AST node kinds. The crucial property
+ * (paper Section 6.1): the profiling input sees rule violations on
+ * ~0.4% of nodes — cold, so the violation handlers become asserts —
+ * but the measurement input's later class files violate rules on
+ * several percent of nodes. The resulting ~2% abort rate makes the
+ * atomic configuration a net LOSS for pmd, the paper's only
+ * slowdown, and the showcase for adaptive recompilation (Section 7).
+ */
+
+#include "workloads/workload.hh"
+
+#include "vm/builder.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::workloads {
+
+using namespace aregion::vm;
+
+namespace {
+
+Program
+buildPmd(bool profile_variant)
+{
+    const int file_nodes = profile_variant ? 700 : 1200;
+    // Violation spacing: profiling sees 1/256 (~0.4%), measurement's
+    // drifted files see 1/40 (~2.5%).
+    const int violate_profile = 256;
+    const int violate_measure = profile_variant ? 256 : 300;
+
+    ProgramBuilder pb;
+
+    const ClassId report = pb.declareClass("Report", {"count", "sum"});
+    const int f_count = pb.fieldIndex(report, "count");
+    const int f_sum = pb.fieldIndex(report, "sum");
+
+    // checkFile(nodes, report, salt): the rule loop.
+    const MethodId check = pb.declareMethod("checkFile", 3);
+    {
+        auto f = pb.define(check);
+        const Reg nodes = f.arg(0);
+        const Reg rep = f.arg(1);
+        const Reg salt = f.arg(2);
+        const Reg n = f.alength(nodes);
+        const Reg i = f.constant(0);
+        const Reg one = f.constant(1);
+        const Reg acc = f.constant(0);
+        const Label loop = f.newLabel();
+        const Label violation = f.newLabel();
+        const Label next = f.newLabel();
+        const Label done = f.newLabel();
+        f.bind(loop);
+        f.branchCmp(Bc::CmpGe, i, n, done);
+        const Reg kind = f.aload(nodes, i);
+        // Rule mix: cheap structural checks (hot path).
+        const Reg k31 = f.constant(31);
+        const Reg h1 = f.mul(kind, k31);
+        const Reg h2 = f.add(h1, salt);
+        const Reg k5 = f.constant(5);
+        const Reg h3 = f.binop(Bc::Shr, h2, k5);
+        f.binopTo(Bc::Add, acc, acc, h3);
+        // The violation rule: node kind 99 (rare while profiling).
+        const Reg k99 = f.constant(99);
+        const Reg bad = f.cmp(Bc::CmpEq, kind, k99);
+        f.branchIf(bad, violation);
+        f.jump(next);
+        f.bind(violation);      // drifts warm: the abort source
+        const Reg c = f.getField(rep, f_count);
+        f.putField(rep, f_count, f.add(c, one));
+        const Reg s = f.getField(rep, f_sum);
+        f.putField(rep, f_sum, f.add(s, i));
+        f.jump(next);
+        f.bind(next);
+        f.binopTo(Bc::Add, i, i, one);
+        f.jump(loop);
+        f.bind(done);
+        f.ret(acc);
+        f.finish();
+    }
+
+    // "Class file parsing": a large straightline method no inlining
+    // budget accepts; its call sites are region-free filler that
+    // keeps pmd's region coverage low (~32% in Table 3).
+    const MethodId parse_cf = pb.declareMethod("parseClassFile", 2);
+    {
+        auto f = pb.define(parse_cf);
+        Reg acc = f.arg(0);
+        const Reg salt = f.arg(1);
+        for (int round = 0; round < 44; ++round) {
+            const Reg k = f.constant(round * 40503 + 7);
+            const Reg t1 = f.binop(Bc::Xor, acc, k);
+            const Reg t2 = f.binop(Bc::Shr, t1, f.constant(5));
+            const Reg t3 = f.add(t1, t2);
+            const Reg t4 = f.mul(t3, f.constant(37));
+            acc = f.add(t4, salt);
+        }
+        f.ret(acc);
+        f.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    // Two node-kind arrays: "clean" (profile-like violation rate)
+    // and "drifted" (the measurement rate).
+    auto build_nodes = [&](int violate_every) {
+        const Reg arr = mb.newArray(mb.constant(file_nodes));
+        const Reg i = mb.constant(0);
+        const Reg n = mb.constant(file_nodes);
+        const Reg one = mb.constant(1);
+        const Reg vk = mb.constant(violate_every);
+        const Reg k17 = mb.constant(17);
+        const Label loop = mb.newLabel();
+        const Label bad = mb.newLabel();
+        const Label store = mb.newLabel();
+        const Label done = mb.newLabel();
+        const Reg kind = mb.newReg();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, i, n, done);
+        const Reg r = mb.binop(Bc::Rem, i, vk);
+        const Reg zero = mb.constant(0);
+        const Reg is_bad = mb.cmp(Bc::CmpEq, r, zero);
+        mb.branchIf(is_bad, bad);
+        const Reg k = mb.binop(Bc::Rem, i, k17);
+        mb.mov(kind, k);
+        mb.jump(store);
+        mb.bind(bad);
+        mb.constTo(kind, 99);
+        mb.jump(store);
+        mb.bind(store);
+        mb.astore(arr, i, kind);
+        mb.binopTo(Bc::Add, i, i, one);
+        mb.jump(loop);
+        mb.bind(done);
+        return arr;
+    };
+    const Reg clean = build_nodes(violate_profile);
+    const Reg drifted = build_nodes(violate_measure);
+
+    const Reg rep = mb.newObject(report);
+    const Reg total = mb.constant(0);
+    // Four samples: samples 1-2 check clean files, samples 3-4 the
+    // drifted ones (where the aborts land).
+    for (int sample = 0; sample < 4; ++sample) {
+        mb.marker(10 * (sample + 1));
+        const Reg files = mb.constant(2);
+        const Reg p = mb.constant(0);
+        const Reg one = mb.constant(1);
+        const Reg salt = mb.constant(sample + 5);
+        const Reg arr = sample < 2 ? clean : drifted;
+        const Label loop = mb.newLabel();
+        const Label done = mb.newLabel();
+        mb.bind(loop);
+        mb.branchCmp(Bc::CmpGe, p, files, done);
+        {
+            // Parse the class file (region-free work).
+            const Reg q = mb.constant(0);
+            const Reg nq = mb.constant(60);
+            const Reg acc = mb.newReg();
+            mb.mov(acc, total);
+            const Label ploop = mb.newLabel();
+            const Label pdone = mb.newLabel();
+            mb.bind(ploop);
+            mb.branchCmp(Bc::CmpGe, q, nq, pdone);
+            const Reg pr = mb.callStatic(parse_cf, {acc, salt});
+            mb.mov(acc, pr);
+            mb.binopTo(Bc::Add, q, q, one);
+            mb.jump(ploop);
+            mb.bind(pdone);
+            mb.binopTo(Bc::Add, total, total, acc);
+        }
+        const Reg r = mb.callStatic(check, {arr, rep, salt});
+        mb.binopTo(Bc::Add, total, total, r);
+        mb.binopTo(Bc::Add, p, p, one);
+        mb.safepoint();
+        mb.jump(loop);
+        mb.bind(done);
+        mb.marker(10 * (sample + 1) + 1);
+    }
+    mb.print(total);
+    mb.print(mb.getField(rep, f_count));
+    mb.print(mb.getField(rep, f_sum));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+} // namespace
+
+Workload
+makePmd()
+{
+    Workload w;
+    w.name = "pmd";
+    w.description = "Analyzes a set of Java classes";
+    w.paperSamples = 4;
+    w.build = buildPmd;
+    w.samples = {{10, 11, 0.25}, {20, 21, 0.25}, {30, 31, 0.25},
+                 {40, 41, 0.25}};
+    return w;
+}
+
+} // namespace aregion::workloads

@@ -1,0 +1,34 @@
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+
+namespace aregion::workloads {
+
+const std::vector<Workload> &
+dacapoSuite()
+{
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> w;
+        w.push_back(makeAntlr());
+        w.push_back(makeBloat());
+        w.push_back(makeFop());
+        w.push_back(makeHsqldb());
+        w.push_back(makeJython());
+        w.push_back(makePmd());
+        w.push_back(makeXalan());
+        return w;
+    }();
+    return suite;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : dacapoSuite()) {
+        if (w.name == name)
+            return w;
+    }
+    AREGION_PANIC("unknown workload ", name);
+}
+
+} // namespace aregion::workloads

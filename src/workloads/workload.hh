@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The evaluation workloads: synthetic analogs of the seven DaCapo
+ * benchmarks in the paper's Table 2, modeled on each benchmark's
+ * published structural characteristics (region coverage, region
+ * size, abort behaviour, monitor usage, phase structure). The
+ * substitution rationale per workload lives in DESIGN.md.
+ *
+ * Each workload builds two program variants: the profiling input and
+ * the measurement input. They share identical code (so profiles
+ * transfer); only embedded data constants differ, which is how
+ * profile-drift effects (pmd, bloat's bad sample) are reproduced.
+ */
+
+#ifndef AREGION_WORKLOADS_WORKLOAD_HH
+#define AREGION_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/jit.hh"
+#include "vm/program.hh"
+
+namespace aregion::workloads {
+
+struct Workload
+{
+    std::string name;
+    std::string description;        ///< Table 2 text
+    int paperSamples = 1;           ///< Table 2 '#'
+
+    /** Build the program; profile_variant selects the smaller
+     *  profiling input. */
+    std::function<vm::Program(bool profile_variant)> build;
+
+    /** Marker-delimited measurement samples with phase weights. */
+    std::vector<runtime::SampleSpec> samples;
+};
+
+/** The seven-benchmark suite, in the paper's order. */
+const std::vector<Workload> &dacapoSuite();
+
+/** Lookup by name; panics when unknown. */
+const Workload &workloadByName(const std::string &name);
+
+/** Individual factories (registry building blocks and tests). */
+Workload makeAntlr();
+Workload makeBloat();
+Workload makeFop();
+Workload makeHsqldb();
+Workload makeJython();
+Workload makePmd();
+Workload makeXalan();
+
+} // namespace aregion::workloads
+
+#endif // AREGION_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * xalan analog: "Converts XML documents into HTML".
+ *
+ * Reproduces the paper's motivating example (Figure 2): the hot path
+ * of SuballocatedIntVector.addElement is called twice per event at
+ * the hottest call site, plus a synchronized classlib-style output
+ * buffer append. Characteristics targeted (Table 3): very high
+ * region coverage (~78%), tiny abort rate (~0.3%), large SLE benefit
+ * from uncontended monitor pairs inside regions.
+ */
+
+#include "workloads/workload.hh"
+
+#include "vm/builder.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::workloads {
+
+using namespace aregion::vm;
+
+namespace {
+
+Program
+buildXalan(bool profile_variant)
+{
+    const int events = profile_variant ? 3000 : 12000;
+    const int chunk_size = 512;
+
+    ProgramBuilder pb;
+
+    // --- SuballocatedIntVector (Figure 2) -------------------------
+    const ClassId vec = pb.declareClass(
+        "SuballocatedIntVector", {"chunks", "cached", "chunkIndex",
+                                  "size"});
+    const int f_chunks = pb.fieldIndex(vec, "chunks");
+    const int f_cached = pb.fieldIndex(vec, "cached");
+    const int f_chunk_index = pb.fieldIndex(vec, "chunkIndex");
+    const int f_size = pb.fieldIndex(vec, "size");
+
+    const MethodId add_element = pb.declareMethod("addElement", 2);
+    {
+        auto f = pb.define(add_element);
+        const Reg self = f.self();
+        const Reg x = f.arg(1);
+        const Reg cs = f.constant(chunk_size);
+        const Label cold = f.newLabel();
+        const Label done = f.newLabel();
+        const Reg i = f.getField(self, f_size);
+        const Reg cached = f.getField(self, f_cached);
+        const Reg rel = f.binop(Bc::Rem, i, cs);
+        const Reg zero = f.constant(0);
+        const Reg fresh_needed = f.cmp(Bc::CmpEq, rel, zero);
+        const Reg nonzero = f.cmp(Bc::CmpNe, i, zero);
+        const Reg overflow = f.binop(Bc::And, fresh_needed, nonzero);
+        f.branchIf(overflow, cold);
+        // Hot: write into the cached chunk.
+        f.astore(cached, rel, x);
+        const Reg one = f.constant(1);
+        f.putField(self, f_size, f.add(i, one));
+        f.jump(done);
+        f.bind(cold);
+        // Cold: allocate the next chunk.
+        const Reg next = f.newArray(cs);
+        const Reg chunks = f.getField(self, f_chunks);
+        const Reg ci = f.getField(self, f_chunk_index);
+        const Reg one2 = f.constant(1);
+        const Reg ci1 = f.add(ci, one2);
+        f.astore(chunks, ci1, next);
+        f.putField(self, f_chunk_index, ci1);
+        f.putField(self, f_cached, next);
+        const Reg z2 = f.constant(0);
+        f.astore(next, z2, x);
+        f.putField(self, f_size, f.add(i, one2));
+        f.bind(done);
+        f.retVoid();
+        f.finish();
+    }
+
+    // --- Synchronized output buffer (classlib-style) --------------
+    const ClassId buf = pb.declareClass(
+        "SerializerBuffer", {"data", "len", "escapes"});
+    const int f_data = pb.fieldIndex(buf, "data");
+    const int f_len = pb.fieldIndex(buf, "len");
+    const int f_escapes = pb.fieldIndex(buf, "escapes");
+    const MethodId append = pb.declareMethod("append", 2,
+                                             /*sync=*/true);
+    {
+        auto f = pb.define(append);
+        const Reg data = f.getField(f.self(), f_data);
+        const Reg len = f.getField(f.self(), f_len);
+        const Reg cap = f.alength(data);
+        const Label wrap = f.newLabel();
+        const Label store = f.newLabel();
+        f.branchCmp(Bc::CmpGe, len, cap, wrap);
+        f.astore(data, len, f.arg(1));
+        const Reg one = f.constant(1);
+        f.putField(f.self(), f_len, f.add(len, one));
+        f.retVoid();
+        f.bind(wrap);       // cold: wrap around (ring buffer)
+        const Reg zero = f.constant(0);
+        f.putField(f.self(), f_len, zero);
+        f.jump(store);
+        f.bind(store);
+        f.astore(data, zero, f.arg(1));
+        const Reg one2 = f.constant(1);
+        f.putField(f.self(), f_len, one2);
+        f.retVoid();
+        f.finish();
+    }
+
+    // --- The transform loop ---------------------------------------
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg m_data = mb.newObject(vec);
+    const Reg nchunks = mb.constant(4 + 2 * events / chunk_size);
+    mb.putField(m_data, f_chunks, mb.newArray(nchunks));
+    const Reg first = mb.newArray(mb.constant(chunk_size));
+    const Reg chunks0 = mb.getField(m_data, f_chunks);
+    const Reg zero = mb.constant(0);
+    mb.astore(chunks0, zero, first);
+    mb.putField(m_data, f_cached, first);
+
+    const Reg out = mb.newObject(buf);
+    mb.putField(out, f_data, mb.newArray(mb.constant(1 << 15)));
+    // Escape table (character entity map).
+    {
+        const Reg esc = mb.newArray(mb.constant(256));
+        const Reg i2 = mb.constant(0);
+        const Reg n2 = mb.constant(256);
+        const Reg one2 = mb.constant(1);
+        const Reg k2 = mb.constant(77);
+        const Label fill = mb.newLabel();
+        const Label filled = mb.newLabel();
+        mb.bind(fill);
+        mb.branchCmp(Bc::CmpGe, i2, n2, filled);
+        mb.astore(esc, i2, mb.mul(i2, k2));
+        mb.binopTo(Bc::Add, i2, i2, one2);
+        mb.jump(fill);
+        mb.bind(filled);
+        mb.putField(out, f_escapes, esc);
+    }
+
+    mb.marker(10);
+    const Reg i = mb.constant(0);
+    const Reg n = mb.constant(events);
+    const Reg one = mb.constant(1);
+    const Reg seed = mb.constant(88172645463325252LL);
+    const Reg hash_mul = mb.constant(6364136223846793005LL);
+    const Reg hash_add = mb.constant(1442695040888963407LL);
+    const Reg mask = mb.constant(0xffff);
+    const Reg rare_k = mb.constant(400);    // 0.25% flush path
+    const Label loop = mb.newLabel();
+    const Label flush = mb.newLabel();
+    const Label after = mb.newLabel();
+    const Label done = mb.newLabel();
+    mb.bind(loop);
+    mb.branchCmp(Bc::CmpGe, i, n, done);
+    // token = hash(i) & 0xffff
+    mb.binopTo(Bc::Mul, seed, seed, hash_mul);
+    mb.binopTo(Bc::Add, seed, seed, hash_add);
+    const Reg sh = mb.constant(33);
+    const Reg mixed = mb.binop(Bc::Shr, seed, sh);
+    const Reg token = mb.binop(Bc::And, mixed, mask);
+    // Escape/transform the token: repeated reads of the buffer's
+    // escape table. The cold flush arm stores to the same field
+    // index, so the baseline compiler must reload table+checks per
+    // access; inside atomic regions the flush edge is an assert and
+    // ordinary CSE removes the redundancy (the paper's Section 2).
+    const Reg h = mb.newReg();
+    mb.mov(h, token);
+    const Reg m255 = mb.constant(255);
+    const Reg k33 = mb.constant(33);
+    for (int step = 0; step < 14; ++step) {
+        const Reg tbl = mb.getField(out, f_escapes);
+        const Reg shv = mb.constant(3 + step * 4);
+        const Reg part = mb.binop(Bc::Shr, seed, shv);
+        const Reg idx2 = mb.binop(Bc::And, part, m255);
+        const Reg v = mb.aload(tbl, idx2);
+        const Reg scaled = mb.mul(h, k33);
+        const Reg mixed2 = mb.add(scaled, v);
+        mb.mov(h, mixed2);
+    }
+    mb.binopTo(Bc::Xor, token, token, h);
+    // The hottest call site: two sequential addElement calls.
+    mb.callStaticVoid(add_element, {m_data, token});
+    mb.callStaticVoid(add_element, {m_data, i});
+    // Serialize through the synchronized buffer.
+    mb.callStaticVoid(append, {out, token});
+    // Rare flush path (cold).
+    const Reg rem = mb.binop(Bc::Rem, i, rare_k);
+    const Reg zero2 = mb.constant(0);
+    const Reg is_flush = mb.cmp(Bc::CmpEq, rem, zero2);
+    mb.branchIf(is_flush, flush);
+    mb.jump(after);
+    mb.bind(flush);
+    mb.putField(out, f_len, zero2);     // reset the buffer
+    const Reg tbl2 = mb.getField(out, f_escapes);
+    mb.putField(out, f_escapes, tbl2);  // "rotate" the escape table
+    mb.jump(after);
+    mb.bind(after);
+    mb.binopTo(Bc::Add, i, i, one);
+    mb.safepoint();
+    mb.jump(loop);
+    mb.bind(done);
+    mb.marker(11);
+    mb.print(mb.getField(m_data, f_size));
+    mb.print(mb.getField(m_data, f_chunk_index));
+    mb.print(mb.getField(out, f_len));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+} // namespace
+
+Workload
+makeXalan()
+{
+    Workload w;
+    w.name = "xalan";
+    w.description = "Converts XML documents into HTML";
+    w.paperSamples = 1;
+    w.build = buildXalan;
+    w.samples = {{10, 11, 1.0}};
+    return w;
+}
+
+} // namespace aregion::workloads

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Timing-model detail tests on synthetic traces: ROB-occupancy
+ * stalls, cache-latency effects, store-stream gating of locked
+ * operations, single-inflight region spacing, and abort-flush
+ * penalties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/timing.hh"
+
+namespace {
+
+namespace hw = aregion::hw;
+
+hw::TraceUop
+alu(uint64_t seq, uint64_t dep = 0)
+{
+    hw::TraceUop u;
+    u.seq = seq;
+    u.pc = 0x100 + seq % 256;
+    u.lat = hw::LatClass::Int;
+    if (dep) {
+        u.numSrcs = 1;
+        u.srcSeq[0] = dep;
+    }
+    return u;
+}
+
+hw::TraceUop
+load(uint64_t seq, uint64_t addr)
+{
+    hw::TraceUop u = alu(seq);
+    u.lat = hw::LatClass::Load;
+    u.isLoad = true;
+    u.memAddr = addr;
+    return u;
+}
+
+TEST(TimingDetail, RobOccupancyBoundsRuntimeDistance)
+{
+    // One very slow load followed by thousands of independent ALU
+    // ops: dispatch must stall once the ROB fills behind the load.
+    hw::TimingConfig cfg;
+    cfg.prefetcher = false;
+    hw::TimingModel tm(cfg);
+    tm.uop(load(1, 0x900000));      // cold: memory latency
+    for (uint64_t i = 2; i <= 2000; ++i)
+        tm.uop(alu(i));
+    // Without the ROB bound, 2000 uops at width 4 ~= 500 cycles; the
+    // 400-cycle miss holding the ROB head forces > 700.
+    EXPECT_GT(tm.cycles(), 700u);
+}
+
+TEST(TimingDetail, CacheHitsAreFastAfterWarmup)
+{
+    hw::TimingConfig cfg;
+    cfg.prefetcher = false;
+    hw::TimingModel cold(cfg);
+    hw::TimingModel warm(cfg);
+    // Cold: every load a new line. Warm: same line repeatedly.
+    for (uint64_t i = 1; i <= 400; ++i) {
+        cold.uop(load(i, 0x10000 + i * 8));
+        warm.uop(load(i, 0x10000));
+    }
+    EXPECT_GT(cold.cycles(), 2 * warm.cycles());
+    EXPECT_GT(cold.l1Misses(), warm.l1Misses() + 100);
+}
+
+TEST(TimingDetail, SerializingGatesMemoryNotAlu)
+{
+    // CAS followed by independent ALU ops is cheap; CAS followed by
+    // independent loads pays the gate.
+    auto run = [&](bool memory_after) {
+        hw::TimingModel tm(hw::TimingConfig::baseline());
+        uint64_t seq = 0;
+        for (int rep = 0; rep < 100; ++rep) {
+            hw::TraceUop cas = alu(++seq);
+            cas.lat = hw::LatClass::Serial;
+            cas.serializing = true;
+            cas.isLoad = cas.isStore = true;
+            cas.memAddr = 0x5000;
+            tm.uop(cas);
+            for (int i = 0; i < 10; ++i) {
+                if (memory_after)
+                    tm.uop(load(++seq, 0x5000));
+                else
+                    tm.uop(alu(++seq));
+            }
+        }
+        return tm.cycles();
+    };
+    EXPECT_GT(run(true), run(false));
+}
+
+TEST(TimingDetail, SingleInflightSpacesRegions)
+{
+    auto run = [&](hw::TimingConfig cfg) {
+        hw::TimingModel tm(cfg);
+        uint64_t seq = 0;
+        for (int region = 0; region < 200; ++region) {
+            hw::TraceUop begin = alu(++seq);
+            begin.region = hw::RegionEvent::Begin;
+            tm.uop(begin);
+            // A slow in-region load keeps the region "open" long.
+            tm.uop(load(++seq, 0x800000 + static_cast<uint64_t>(
+                                   region) * 4096));
+            hw::TraceUop end = alu(++seq);
+            end.region = hw::RegionEvent::End;
+            tm.uop(end);
+        }
+        return tm.cycles();
+    };
+    hw::TimingConfig chk = hw::TimingConfig::baseline();
+    chk.prefetcher = false;
+    hw::TimingConfig single = hw::TimingConfig::singleInflight();
+    single.prefetcher = false;
+    EXPECT_GT(run(single), run(chk));
+}
+
+TEST(TimingDetail, BeginStallChargesPerRegion)
+{
+    auto run = [&](hw::TimingConfig cfg) {
+        hw::TimingModel tm(cfg);
+        uint64_t seq = 0;
+        for (int region = 0; region < 500; ++region) {
+            hw::TraceUop begin = alu(++seq);
+            begin.region = hw::RegionEvent::Begin;
+            tm.uop(begin);
+            for (int i = 0; i < 4; ++i)
+                tm.uop(alu(++seq));
+            hw::TraceUop end = alu(++seq);
+            end.region = hw::RegionEvent::End;
+            tm.uop(end);
+        }
+        return tm.cycles();
+    };
+    const uint64_t chk = run(hw::TimingConfig::baseline());
+    const uint64_t stall = run(hw::TimingConfig::stallBegin());
+    // ~20 extra cycles per region.
+    EXPECT_GT(stall, chk + 500 * 15);
+}
+
+TEST(TimingDetail, AbortFlushCostsAPipelineRefill)
+{
+    auto run = [&](int aborts) {
+        hw::TimingModel tm(hw::TimingConfig::baseline());
+        uint64_t seq = 0;
+        for (int i = 0; i < 2000; ++i) {
+            tm.uop(alu(++seq));
+            if (aborts && i % (2000 / aborts) == 0)
+                tm.abortFlush({hw::AbortCause::Explicit, 10, 0});
+        }
+        return tm.cycles();
+    };
+    const uint64_t clean = run(0);
+    const uint64_t aborted = run(50);
+    EXPECT_GT(aborted, clean + 50 * 10);
+}
+
+TEST(TimingDetail, RetireIsMonotone)
+{
+    hw::TimingModel tm(hw::TimingConfig::baseline());
+    uint64_t last = 0;
+    for (uint64_t i = 1; i <= 500; ++i) {
+        tm.uop(alu(i, i > 1 ? i - 1 : 0));
+        EXPECT_GE(tm.cycles(), last);
+        last = tm.cycles();
+    }
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Translation tests: structure of the generated IR (checks inserted,
+ * calls terminating blocks, synchronized wrapping, profile counts)
+ * and full executor equivalence between the bytecode interpreter and
+ * the IR evaluator over the shared sample programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/evaluator.hh"
+#include "ir/translate.hh"
+#include "ir/verifier.hh"
+#include "programs.hh"
+#include "vm/interpreter.hh"
+
+namespace {
+
+using namespace aregion;
+using namespace aregion::test;
+namespace ir = aregion::ir;
+
+int
+countOps(const ir::Function &f, ir::Op op)
+{
+    int n = 0;
+    for (int b = 0; b < f.numBlocks(); ++b) {
+        for (const auto &in : f.block(b).instrs)
+            n += in.op == op;
+    }
+    return n;
+}
+
+TEST(Translate, ChecksAreInserted)
+{
+    const Program prog = addElementProgram(100, 16);
+    // addElement has 1 getfield-chain hot path: expect null checks
+    // before every field/array access and bounds checks on stores.
+    MethodId add = NO_METHOD;
+    for (MethodId m = 0; m < prog.numMethods(); ++m) {
+        if (prog.method(m).name == "addElement")
+            add = m;
+    }
+    ASSERT_NE(add, NO_METHOD);
+    const ir::Function f = ir::translate(prog, add);
+    ir::verifyOrDie(f);
+    EXPECT_GT(countOps(f, ir::Op::NullCheck), 4);
+    EXPECT_GE(countOps(f, ir::Op::BoundsCheck), 2);
+    EXPECT_GE(countOps(f, ir::Op::LoadRaw), 2);    // array lengths
+}
+
+TEST(Translate, CallsTerminateBlocks)
+{
+    const Program prog = fibProgram();
+    MethodId fib = NO_METHOD;
+    for (MethodId m = 0; m < prog.numMethods(); ++m) {
+        if (prog.method(m).name == "fib")
+            fib = m;
+    }
+    const ir::Function f = ir::translate(prog, fib);
+    ir::verifyOrDie(f);
+    for (int b = 0; b < f.numBlocks(); ++b) {
+        const auto &instrs = f.block(b).instrs;
+        for (size_t i = 0; i < instrs.size(); ++i) {
+            if (instrs[i].op == ir::Op::CallStatic) {
+                // A call must be followed only by the terminator.
+                EXPECT_EQ(i + 2, instrs.size())
+                    << "call not at block end in b" << b;
+            }
+        }
+    }
+}
+
+TEST(Translate, SynchronizedMethodsAreWrapped)
+{
+    const Program prog = monitorProgram();
+    MethodId add = NO_METHOD;
+    for (MethodId m = 0; m < prog.numMethods(); ++m) {
+        if (prog.method(m).name == "add")
+            add = m;
+    }
+    const ir::Function f = ir::translate(prog, add);
+    ir::verifyOrDie(f);
+    EXPECT_EQ(countOps(f, ir::Op::MonitorEnter), 1);
+    EXPECT_EQ(countOps(f, ir::Op::MonitorExit), 1);
+    // The prologue is the entry block.
+    const auto &entry = f.block(f.entry);
+    bool saw_enter = false;
+    for (const auto &in : entry.instrs)
+        saw_enter |= in.op == ir::Op::MonitorEnter;
+    EXPECT_TRUE(saw_enter);
+}
+
+TEST(Translate, ProfileCountsAttachToBlocksAndEdges)
+{
+    const Program prog = arithLoopProgram();
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    const ir::Function f =
+        ir::translate(prog, prog.mainMethod, &profile);
+    ir::verifyOrDie(f);
+    // The loop body executes 40 times; find a block with count 40.
+    bool saw_loop_body = false;
+    for (int b = 0; b < f.numBlocks(); ++b)
+        saw_loop_body |= f.block(b).execCount == 40;
+    EXPECT_TRUE(saw_loop_body);
+    // Edge counts are conserved: for branch blocks, the two edge
+    // counts sum to the block count.
+    for (int b = 0; b < f.numBlocks(); ++b) {
+        const auto &blk = f.block(b);
+        if (blk.terminator().op == ir::Op::Branch &&
+            blk.execCount > 0) {
+            ASSERT_EQ(blk.succCount.size(), 2u);
+            EXPECT_NEAR(blk.succCount[0] + blk.succCount[1],
+                        blk.execCount, 1e-6);
+        }
+    }
+}
+
+TEST(Translate, InstanceOfLowersToSubtypeDiamond)
+{
+    const Program prog = dispatchProgram();
+    const ir::Function f = ir::translate(prog, prog.mainMethod);
+    ir::verifyOrDie(f);
+    EXPECT_GE(countOps(f, ir::Op::LoadSubtype), 2);
+    EXPECT_GE(countOps(f, ir::Op::TypeCheck), 1);   // checkcast
+}
+
+TEST(Equivalence, EvaluatorMatchesInterpreterOnAllSamples)
+{
+    for (const auto &sample : allSamplePrograms()) {
+        SCOPED_TRACE(sample.name);
+        Interpreter interp(sample.prog);
+        const auto ires = interp.run();
+        ASSERT_TRUE(ires.completed);
+
+        const ir::Module mod = ir::translateProgram(sample.prog);
+        for (const auto &[m, f] : mod.funcs)
+            ir::verifyOrDie(f);
+        ir::Evaluator eval(mod);
+        const auto eres = eval.run();
+        ASSERT_TRUE(eres.completed);
+        EXPECT_EQ(eval.output(), interp.output());
+    }
+}
+
+TEST(Equivalence, TrapsMatchBetweenExecutors)
+{
+    // Out-of-bounds store must trap identically in both executors.
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg n = mb.constant(4);
+    const Reg arr = mb.newArray(n);
+    const Reg idx = mb.constant(9);
+    const Reg v = mb.constant(1);
+    mb.astore(arr, idx, v);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    Interpreter interp(prog);
+    const auto ires = interp.run();
+    ASSERT_TRUE(ires.trap.has_value());
+
+    const ir::Module mod = ir::translateProgram(prog);
+    ir::Evaluator eval(mod);
+    const auto eres = eval.run();
+    ASSERT_TRUE(eres.trap.has_value());
+    EXPECT_EQ(eres.trap->kind, ires.trap->kind);
+}
+
+} // namespace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Fine-grained CSE semantics tests built on hand-constructed IR:
+ * commutative canonicalization, store-to-load forwarding, the
+ * memory-kill rules (stores by field, calls, monitors, safepoints),
+ * and the region-isolation refinement the paper's third bullet
+ * promises (monitors/safepoints inside regions do not invalidate
+ * loads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hh"
+#include "opt/pass.hh"
+
+namespace {
+
+using namespace aregion::ir;
+namespace opt = aregion::opt;
+
+/** Single-block function builder for kill-rule tests. */
+class BlockBuilder
+{
+  public:
+    BlockBuilder()
+    {
+        block = &func.newBlock();
+        func.entry = block->id;
+    }
+
+    Vreg
+    vreg()
+    {
+        return func.newVreg();
+    }
+
+    Instr &
+    add(Op op, Vreg dst, std::vector<Vreg> srcs, int64_t imm = 0,
+        int aux = 0)
+    {
+        Instr in;
+        in.op = op;
+        in.dst = dst;
+        in.srcs = std::move(srcs);
+        in.imm = imm;
+        in.aux = aux;
+        block->instrs.push_back(std::move(in));
+        return block->instrs.back();
+    }
+
+    Function &
+    finish(std::vector<Vreg> keep_alive = {})
+    {
+        for (Vreg v : keep_alive)
+            add(Op::Print, NO_VREG, {v});
+        add(Op::Ret, NO_VREG, {});
+        verifyOrDie(func);
+        return func;
+    }
+
+    int
+    count(Op op) const
+    {
+        int n = 0;
+        for (const auto &in : block->instrs)
+            n += in.op == op;
+        return n;
+    }
+
+    Function func;
+    Block *block;
+};
+
+TEST(CseDetail, CommutativeOperandsCanonicalize)
+{
+    BlockBuilder b;
+    const Vreg x = b.vreg();
+    const Vreg y = b.vreg();
+    const Vreg a = b.vreg();
+    const Vreg c = b.vreg();
+    b.add(Op::Const, x, {}, 3);
+    b.add(Op::Const, y, {}, 4);
+    b.add(Op::Add, a, {x, y});
+    b.add(Op::Add, c, {y, x});     // same expression, swapped
+    Function &f = b.finish({a, c});
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(b.count(Op::Add), 1);
+}
+
+TEST(CseDetail, NonCommutativeOperandsDoNot)
+{
+    BlockBuilder b;
+    const Vreg x = b.vreg();
+    const Vreg y = b.vreg();
+    const Vreg a = b.vreg();
+    const Vreg c = b.vreg();
+    b.add(Op::Const, x, {}, 3);
+    b.add(Op::Const, y, {}, 4);
+    b.add(Op::Sub, a, {x, y});
+    b.add(Op::Sub, c, {y, x});
+    Function &f = b.finish({a, c});
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(b.count(Op::Sub), 2);
+}
+
+TEST(CseDetail, StoreToLoadForwardingRemovesLoad)
+{
+    BlockBuilder b;
+    const Vreg obj = b.vreg();
+    const Vreg v = b.vreg();
+    const Vreg out = b.vreg();
+    b.add(Op::Const, obj, {}, 100);
+    b.add(Op::Const, v, {}, 7);
+    b.add(Op::StoreField, NO_VREG, {obj, v}, 0, 2);
+    b.add(Op::LoadField, out, {obj}, 0, 2);
+    Function &f = b.finish({out});
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(b.count(Op::LoadField), 0);
+}
+
+TEST(CseDetail, StoreToSameFieldKillsOtherBasesLoads)
+{
+    BlockBuilder b;
+    const Vreg p = b.vreg();
+    const Vreg q = b.vreg();
+    const Vreg v = b.vreg();
+    const Vreg l1 = b.vreg();
+    const Vreg l2 = b.vreg();
+    b.add(Op::Const, p, {}, 100);
+    b.add(Op::Const, q, {}, 200);
+    b.add(Op::Const, v, {}, 1);
+    b.add(Op::LoadField, l1, {p}, 0, 3);
+    b.add(Op::StoreField, NO_VREG, {q, v}, 0, 3);  // may alias p
+    b.add(Op::LoadField, l2, {p}, 0, 3);
+    Function &f = b.finish({l1, l2});
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(b.count(Op::LoadField), 2);
+}
+
+TEST(CseDetail, StoreToDifferentFieldPreservesLoads)
+{
+    BlockBuilder b;
+    const Vreg p = b.vreg();
+    const Vreg v = b.vreg();
+    const Vreg l1 = b.vreg();
+    const Vreg l2 = b.vreg();
+    b.add(Op::Const, p, {}, 100);
+    b.add(Op::Const, v, {}, 1);
+    b.add(Op::LoadField, l1, {p}, 0, 3);
+    b.add(Op::StoreField, NO_VREG, {p, v}, 0, 4);  // disjoint field
+    b.add(Op::LoadField, l2, {p}, 0, 3);
+    Function &f = b.finish({l1, l2});
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(b.count(Op::LoadField), 1);
+}
+
+TEST(CseDetail, CallsKillAllLoads)
+{
+    BlockBuilder b;
+    const Vreg p = b.vreg();
+    const Vreg l1 = b.vreg();
+    const Vreg l2 = b.vreg();
+    b.add(Op::Const, p, {}, 100);
+    b.add(Op::LoadField, l1, {p}, 0, 3);
+    b.add(Op::CallStatic, NO_VREG, {}, 0, 0);
+    b.add(Op::LoadField, l2, {p}, 0, 3);
+    Function &f = b.finish({l1, l2});
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(b.count(Op::LoadField), 2);
+}
+
+TEST(CseDetail, ChecksSurviveCalls)
+{
+    // NullCheck is a register property; a call cannot invalidate it.
+    BlockBuilder b;
+    const Vreg p = b.vreg();
+    b.add(Op::Const, p, {}, 100);
+    b.add(Op::NullCheck, NO_VREG, {p});
+    b.add(Op::CallStatic, NO_VREG, {}, 0, 0);
+    b.add(Op::NullCheck, NO_VREG, {p});
+    Function &f = b.finish();
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(b.count(Op::NullCheck), 1);
+}
+
+/** Monitors/safepoints: loads die outside regions, survive inside. */
+class IsolationKillTest : public ::testing::TestWithParam<Op>
+{
+};
+
+TEST_P(IsolationKillTest, KillsLoadsOnlyOutsideRegions)
+{
+    for (bool in_region : {false, true}) {
+        BlockBuilder b;
+        const Vreg p = b.vreg();
+        const Vreg l1 = b.vreg();
+        const Vreg l2 = b.vreg();
+        b.add(Op::Const, p, {}, 100);
+        b.add(Op::LoadField, l1, {p}, 0, 3);
+        if (GetParam() == Op::Safepoint)
+            b.add(Op::Safepoint, NO_VREG, {});
+        else
+            b.add(GetParam(), NO_VREG, {p});
+        b.add(Op::LoadField, l2, {p}, 0, 3);
+        Function &f = b.finish({l1, l2});
+        if (in_region) {
+            // Mark the block as region code (the verifier only
+            // enforces region invariants when regions exist).
+            b.block->regionId = 0;
+        }
+        opt::commonSubexpressionElim(f);
+        opt::copyPropagate(f);
+        opt::deadCodeElim(f);
+        EXPECT_EQ(b.count(Op::LoadField), in_region ? 1 : 2)
+            << opName(GetParam()) << " in_region=" << in_region;
+        b.block->regionId = -1;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(IsolationOps, IsolationKillTest,
+                         ::testing::Values(Op::MonitorEnter,
+                                           Op::MonitorExit,
+                                           Op::Safepoint));
+
+TEST(CseDetail, RedundantAssertsCollapseRespectingPolarity)
+{
+    BlockBuilder b;
+    const Vreg c = b.vreg();
+    b.add(Op::Const, c, {}, 0);
+    b.block->regionId = 0;
+    b.add(Op::Assert, NO_VREG, {c}, 0, 1);
+    b.add(Op::Assert, NO_VREG, {c}, 0, 2);   // same polarity: dup
+    b.add(Op::Assert, NO_VREG, {c}, 1, 3);   // inverted: distinct
+    Function &f = b.finish();
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(b.count(Op::Assert), 2);
+    b.block->regionId = -1;
+}
+
+TEST(CseDetail, LoadElemKilledByAnyElementStore)
+{
+    BlockBuilder b;
+    const Vreg arr = b.vreg();
+    const Vreg i = b.vreg();
+    const Vreg j = b.vreg();
+    const Vreg v = b.vreg();
+    const Vreg l1 = b.vreg();
+    const Vreg l2 = b.vreg();
+    b.add(Op::Const, arr, {}, 100);
+    b.add(Op::Const, i, {}, 1);
+    b.add(Op::Const, j, {}, 2);
+    b.add(Op::Const, v, {}, 9);
+    b.add(Op::LoadElem, l1, {arr, i});
+    b.add(Op::StoreElem, NO_VREG, {arr, j, v});    // may alias i
+    b.add(Op::LoadElem, l2, {arr, i});
+    Function &f = b.finish({l1, l2});
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(b.count(Op::LoadElem), 2);
+}
+
+TEST(CseDetail, AllocationDoesNotKillLoads)
+{
+    BlockBuilder b;
+    const Vreg p = b.vreg();
+    const Vreg fresh = b.vreg();
+    const Vreg l1 = b.vreg();
+    const Vreg l2 = b.vreg();
+    b.add(Op::Const, p, {}, 100);
+    b.add(Op::LoadField, l1, {p}, 0, 3);
+    b.add(Op::NewObject, fresh, {}, 0, 0);
+    b.add(Op::LoadField, l2, {p}, 0, 3);
+    Function &f = b.finish({l1, l2, fresh});
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(b.count(Op::LoadField), 1);
+}
+
+} // namespace

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Optimization pass tests: targeted transformations plus
+ * executor-equivalence properties over sample and random programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/evaluator.hh"
+#include "ir/translate.hh"
+#include "ir/verifier.hh"
+#include "opt/pass.hh"
+#include "programs.hh"
+#include "random_program.hh"
+#include "vm/interpreter.hh"
+
+namespace {
+
+using namespace aregion;
+using namespace aregion::test;
+namespace ir = aregion::ir;
+namespace opt = aregion::opt;
+
+int
+countOps(const ir::Function &f, ir::Op op)
+{
+    int n = 0;
+    for (int b : f.reversePostOrder()) {
+        for (const auto &in : f.block(b).instrs)
+            n += in.op == op;
+    }
+    return n;
+}
+
+/** Run `transform` on the module and check output equivalence. */
+void
+checkEquivalence(const Program &prog,
+                 const std::function<void(ir::Module &)> &transform)
+{
+    Interpreter interp(prog);
+    const auto ires = interp.run();
+    ASSERT_TRUE(ires.completed);
+
+    ir::Module mod = ir::translateProgram(prog);
+    transform(mod);
+    for (const auto &[m, f] : mod.funcs)
+        ir::verifyOrDie(f);
+    ir::Evaluator eval(mod);
+    const auto eres = eval.run();
+    ASSERT_TRUE(eres.completed);
+    EXPECT_EQ(eval.output(), interp.output());
+}
+
+TEST(SimplifyCfg, PreservesBehaviourOnAllSamples)
+{
+    for (const auto &s : allSamplePrograms()) {
+        SCOPED_TRACE(s.name);
+        checkEquivalence(s.prog, [](ir::Module &mod) {
+            for (auto &[m, f] : mod.funcs)
+                opt::simplifyCfg(f);
+        });
+    }
+}
+
+TEST(SimplifyCfg, MergesStraightLineBlocks)
+{
+    const Program prog = arithLoopProgram();
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    const int before = f.numBlocks();
+    opt::simplifyCfg(f);
+    EXPECT_LE(f.numBlocks(), before);
+    ir::verifyOrDie(f);
+}
+
+TEST(ConstantFold, FoldsConstantChains)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.constant(6);
+    const Reg b = mb.constant(7);
+    const Reg c = mb.mul(a, b);
+    const Reg d = mb.addImm(c, 0);     // identity
+    mb.print(d);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    opt::constantFold(f);
+    // The multiply must be folded away.
+    EXPECT_EQ(countOps(f, ir::Op::Mul), 0);
+    checkEquivalence(prog, [](ir::Module &mod) {
+        for (auto &[m, fn] : mod.funcs)
+            opt::constantFold(fn);
+    });
+}
+
+TEST(ConstantFold, EliminatesConstantBranches)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.constant(1);
+    const Reg b = mb.constant(2);
+    const Label unreachable = mb.newLabel();
+    const Label done = mb.newLabel();
+    mb.branchCmp(Bc::CmpGt, a, b, unreachable);  // never taken
+    mb.print(mb.constant(10));
+    mb.jump(done);
+    mb.bind(unreachable);
+    mb.print(mb.constant(20));
+    mb.bind(done);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    const int blocks_before = f.numBlocks();
+    opt::constantFold(f);
+    EXPECT_EQ(countOps(f, ir::Op::Branch), 0);
+    EXPECT_LT(f.numBlocks(), blocks_before);    // dead arm removed
+}
+
+TEST(Cse, RemovesRedundantLoadsAndChecks)
+{
+    // Two back-to-back getfields of the same field: the second load
+    // and null check must go after CSE + cleanup.
+    ProgramBuilder pb;
+    const ClassId c = pb.declareClass("C", {"f"});
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg o = mb.newObject(c);
+    const Reg v = mb.constant(5);
+    mb.putField(o, 0, v);
+    const Reg x = mb.getField(o, 0);
+    const Reg y = mb.getField(o, 0);
+    mb.print(mb.add(x, y));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    opt::simplifyCfg(f);
+    EXPECT_EQ(countOps(f, ir::Op::LoadField), 2);
+    EXPECT_EQ(countOps(f, ir::Op::NullCheck), 3);
+    opt::commonSubexpressionElim(f);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    ir::verifyOrDie(f);
+    // Store-to-load forwarding removes BOTH loads; null checks
+    // collapse to one.
+    EXPECT_EQ(countOps(f, ir::Op::LoadField), 0);
+    EXPECT_EQ(countOps(f, ir::Op::NullCheck), 1);
+
+    checkEquivalence(prog, [](ir::Module &mod) {
+        for (auto &[m, fn] : mod.funcs) {
+            opt::commonSubexpressionElim(fn);
+            opt::copyPropagate(fn);
+            opt::deadCodeElim(fn);
+        }
+    });
+}
+
+TEST(Cse, ColdJoinBlocksEliminationButAssertWouldNot)
+{
+    // A diamond recomputing the same expression in the tail: with a
+    // join from the cold arm (which does not compute it), AVAIL
+    // intersection blocks reuse of the hot arm's computation. This
+    // documents the baseline limitation the paper addresses.
+    ir::Function f;
+    f.name = "diamond";
+    const ir::Vreg a = f.newVreg();
+    const ir::Vreg b = f.newVreg();
+    const ir::Vreg t1 = f.newVreg();
+    const ir::Vreg t2 = f.newVreg();
+    auto &entry = f.newBlock();
+    auto &hot = f.newBlock();
+    auto &cold = f.newBlock();
+    auto &tail = f.newBlock();
+    auto mk = [](ir::Op op, ir::Vreg dst, std::vector<ir::Vreg> srcs,
+                 int64_t imm = 0) {
+        ir::Instr in;
+        in.op = op;
+        in.dst = dst;
+        in.srcs = std::move(srcs);
+        in.imm = imm;
+        return in;
+    };
+    entry.instrs = {mk(ir::Op::Const, a, {}, 3),
+                    mk(ir::Op::Const, b, {}, 4),
+                    mk(ir::Op::Branch, ir::NO_VREG, {a})};
+    entry.succs = {hot.id, cold.id};
+    entry.succCount = {1, 0};
+    hot.instrs = {mk(ir::Op::Add, t1, {a, b}),
+                  mk(ir::Op::Jump, ir::NO_VREG, {})};
+    hot.succs = {tail.id};
+    hot.succCount = {1};
+    cold.instrs = {mk(ir::Op::Jump, ir::NO_VREG, {})};
+    cold.succs = {tail.id};
+    cold.succCount = {0};
+    tail.instrs = {mk(ir::Op::Add, t2, {a, b}),
+                   mk(ir::Op::Print, ir::NO_VREG, {t2}),
+                   mk(ir::Op::Print, ir::NO_VREG, {t1}),
+                   mk(ir::Op::Ret, ir::NO_VREG, {})};
+    f.entry = entry.id;
+    ir::verifyOrDie(f);
+
+    opt::commonSubexpressionElim(f);
+    // Both Adds must survive: the cold path kills availability.
+    EXPECT_EQ(countOps(f, ir::Op::Add), 2);
+
+    // Remove the cold join edge (as region formation does) and the
+    // same pass now eliminates the recomputation.
+    f.block(entry.id).succs = {hot.id};
+    f.block(entry.id).succCount = {1};
+    f.block(entry.id).instrs.back() =
+        mk(ir::Op::Jump, ir::NO_VREG, {});
+    f.compact();
+    opt::commonSubexpressionElim(f);
+    EXPECT_EQ(countOps(f, ir::Op::Add), 1);
+}
+
+TEST(CopyProp, ForwardsThroughMovChains)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.constant(11);
+    const Reg b = mb.newReg();
+    const Reg c = mb.newReg();
+    mb.mov(b, a);
+    mb.mov(c, b);
+    mb.print(c);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    opt::copyPropagate(f);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(countOps(f, ir::Op::Mov), 0);
+}
+
+TEST(Dce, KeepsChecksAndEffects)
+{
+    const Program prog = addElementProgram(50, 8);
+    ir::Module mod = ir::translateProgram(prog);
+    for (auto &[m, f] : mod.funcs) {
+        const int checks_before = countOps(f, ir::Op::NullCheck) +
+                                  countOps(f, ir::Op::BoundsCheck);
+        opt::deadCodeElim(f);
+        const int checks_after = countOps(f, ir::Op::NullCheck) +
+                                 countOps(f, ir::Op::BoundsCheck);
+        EXPECT_EQ(checks_before, checks_after);
+    }
+}
+
+TEST(Dce, RemovesDeadArithmetic)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.constant(1);
+    const Reg b = mb.constant(2);
+    mb.add(a, b);               // dead
+    mb.mul(a, b);               // dead
+    mb.print(a);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    opt::deadCodeElim(f);
+    EXPECT_EQ(countOps(f, ir::Op::Add), 0);
+    EXPECT_EQ(countOps(f, ir::Op::Mul), 0);
+}
+
+TEST(Inliner, InlinesSmallStaticCallees)
+{
+    const Program prog = fibProgram();
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    ir::Module mod = ir::translateProgram(prog, &profile);
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    opt::inlineCalls(mod, ctx);
+    // fib calls inside fib get (partially) inlined: main's call count
+    // unchanged or reduced, fib grows.
+    for (const auto &[m, f] : mod.funcs)
+        ir::verifyOrDie(f);
+    checkEquivalence(prog, [&](ir::Module &m2) {
+        opt::inlineCalls(m2, ctx);
+    });
+}
+
+TEST(Inliner, DevirtualizesMonomorphicSites)
+{
+    const Program prog = dispatchProgram();
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    ir::Module mod = ir::translateProgram(prog, &profile);
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    ctx.devirtBias = 0.90;      // receiver is ~97% Square
+    opt::inlineCalls(mod, ctx);
+    ir::Function &main_fn = mod.funcs.at(prog.mainMethod);
+    ir::verifyOrDie(main_fn);
+    // The residual (slow-path) virtual call is tagged imm=1.
+    int residual = 0;
+    for (int b : main_fn.reversePostOrder()) {
+        for (const auto &in : main_fn.block(b).instrs) {
+            if (in.op == ir::Op::CallVirtual)
+                residual += in.imm == 1;
+        }
+    }
+    EXPECT_GE(residual, 1);
+
+    checkEquivalence(prog, [&](ir::Module &m2) {
+        opt::inlineCalls(m2, ctx);
+    });
+}
+
+TEST(Unroll, DuplicatesHotLoopBodies)
+{
+    const Program prog = arithLoopProgram();
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    ir::Module mod = ir::translateProgram(prog, &profile);
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    ir::Function &f = mod.funcs.at(prog.mainMethod);
+    opt::simplifyCfg(f);
+    const int before = f.countInstrs();
+    const bool changed = opt::unrollLoops(f, ctx);
+    EXPECT_TRUE(changed);
+    EXPECT_GT(f.countInstrs(), before);
+    ir::verifyOrDie(f);
+
+    checkEquivalence(prog, [&](ir::Module &m2) {
+        for (auto &[mid, fn] : m2.funcs) {
+            opt::simplifyCfg(fn);
+            opt::unrollLoops(fn, ctx);
+        }
+    });
+}
+
+TEST(Pipeline, FullOptimizationPreservesAllSamples)
+{
+    for (const auto &s : allSamplePrograms()) {
+        SCOPED_TRACE(s.name);
+        Profile profile(s.prog);
+        Interpreter interp(s.prog, &profile);
+        ASSERT_TRUE(interp.run().completed);
+        opt::OptContext ctx;
+        ctx.profile = &profile;
+        checkEquivalence(s.prog, [&](ir::Module &mod) {
+            opt::optimizeModule(mod, ctx);
+        });
+    }
+}
+
+TEST(Pipeline, ReducesDynamicInstructionCount)
+{
+    const Program prog = addElementProgram(400, 32);
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    ir::Module base = ir::translateProgram(prog, &profile);
+    ir::Evaluator base_eval(base);
+    const auto base_res = base_eval.run();
+    ASSERT_TRUE(base_res.completed);
+
+    ir::Module optimized = ir::translateProgram(prog, &profile);
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    opt::optimizeModule(optimized, ctx);
+    ir::Evaluator opt_eval(optimized);
+    const auto opt_res = opt_eval.run();
+    ASSERT_TRUE(opt_res.completed);
+
+    EXPECT_EQ(opt_eval.output(), base_eval.output());
+    EXPECT_LT(opt_res.instrs, base_res.instrs);
+}
+
+TEST(Property, RandomProgramsSurviveFullPipeline)
+{
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        RandomProgramGen gen(seed);
+        const Program prog = gen.generate();
+        Profile profile(prog);
+        Interpreter interp(prog, &profile);
+        const auto ires = interp.run();
+        ASSERT_TRUE(ires.completed);
+
+        opt::OptContext ctx;
+        ctx.profile = &profile;
+        ir::Module mod = ir::translateProgram(prog, &profile);
+        opt::optimizeModule(mod, ctx);
+        for (const auto &[m, f] : mod.funcs)
+            ir::verifyOrDie(f);
+        ir::Evaluator eval(mod);
+        const auto eres = eval.run();
+        ASSERT_TRUE(eres.completed);
+        EXPECT_EQ(eval.output(), interp.output());
+    }
+}
+
+} // namespace

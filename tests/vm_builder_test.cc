@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the program builder and the bytecode verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm_test_util.hh"
+
+namespace {
+
+using namespace aregion::vm;
+using aregion::test::singleMethodProgram;
+
+TEST(Builder, LabelsResolveForwardsAndBackwards)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Label loop = mb.newLabel();
+            const Label done = mb.newLabel();
+            const Reg i = mb.constant(0);
+            const Reg limit = mb.constant(3);
+            mb.bind(loop);
+            mb.branchCmp(Bc::CmpGe, i, limit, done);
+            const Reg one = mb.constant(1);
+            mb.binopTo(Bc::Add, i, i, one);
+            mb.jump(loop);
+            mb.bind(done);
+            mb.retVoid();
+        });
+    // Back edge jumps to a pc before itself; forward branch after it.
+    const auto &code = prog.method(prog.mainMethod).code;
+    bool saw_back = false, saw_forward = false;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].op == Bc::Jump && code[pc].imm < int64_t(pc))
+            saw_back = true;
+        if (code[pc].op == Bc::Branch && code[pc].imm > int64_t(pc))
+            saw_forward = true;
+    }
+    EXPECT_TRUE(saw_back);
+    EXPECT_TRUE(saw_forward);
+}
+
+TEST(Builder, FieldIndexResolvesInheritedFields)
+{
+    ProgramBuilder pb;
+    const ClassId base = pb.declareClass("Base", {"x", "y"});
+    const ClassId sub = pb.declareClass("Sub", {"z"}, base);
+    EXPECT_EQ(pb.fieldIndex(sub, "x"), 0);
+    EXPECT_EQ(pb.fieldIndex(sub, "y"), 1);
+    EXPECT_EQ(pb.fieldIndex(sub, "z"), 2);
+    EXPECT_EQ(pb.programRef().cls(sub).numFields(), 3);
+}
+
+TEST(Builder, VirtualSlotNamespaceIsStable)
+{
+    ProgramBuilder pb;
+    const int a = pb.virtualSlot("run");
+    const int b = pb.virtualSlot("size");
+    EXPECT_EQ(pb.virtualSlot("run"), a);
+    EXPECT_NE(a, b);
+}
+
+TEST(Builder, VirtualResolutionWalksSuperclassChain)
+{
+    ProgramBuilder pb;
+    const ClassId base = pb.declareClass("Base", {});
+    const ClassId sub = pb.declareClass("Sub", {}, base);
+    const MethodId m = pb.declareVirtual(base, "f", 1);
+    auto mb = pb.define(m);
+    mb.ret(mb.self());
+    mb.finish();
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    EXPECT_EQ(prog.resolveVirtual(sub, pb.virtualSlot("f")), m);
+}
+
+TEST(Builder, OverrideShadowsBaseMethod)
+{
+    ProgramBuilder pb;
+    const ClassId base = pb.declareClass("Base", {});
+    const ClassId sub = pb.declareClass("Sub", {}, base);
+    const MethodId bm = pb.declareVirtual(base, "f", 1);
+    const MethodId sm = pb.declareVirtual(sub, "f", 1);
+    for (MethodId m : {bm, sm}) {
+        auto mb = pb.define(m);
+        mb.ret(mb.self());
+        mb.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    EXPECT_EQ(prog.resolveVirtual(sub, pb.virtualSlot("f")), sm);
+    EXPECT_EQ(prog.resolveVirtual(base, pb.virtualSlot("f")), bm);
+}
+
+TEST(Builder, UndefinedMethodPanicsAtBuild)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    pb.declareMethod("ghost", 0);
+    EXPECT_THROW(pb.build(), std::logic_error);
+}
+
+TEST(Builder, UnboundLabelPanicsAtFinish)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    const Label never = main.newLabel();
+    main.jump(never);
+    main.retVoid();
+    EXPECT_THROW(main.finish(), std::logic_error);
+}
+
+TEST(Verifier, AcceptsWellFormedProgram)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            mb.print(mb.constant(1));
+            mb.retVoid();
+        });
+    EXPECT_TRUE(verify(prog).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    main.constant(1);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    prog.methodMutable(mm).code.pop_back();    // drop the retvoid
+    EXPECT_FALSE(verify(prog).empty());
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    prog.methodMutable(mm).code.insert(
+        prog.methodMutable(mm).code.begin(),
+        BcInstr{Bc::Mov, 100, 101, 0, 0, {}});
+    EXPECT_FALSE(verify(prog).empty());
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    const Reg c = main.constant(0);
+    const Label end = main.newLabel();
+    main.branchIf(c, end);
+    main.bind(end);
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    for (auto &in : prog.methodMutable(mm).code) {
+        if (in.op == Bc::Branch)
+            in.imm = 999;
+    }
+    EXPECT_FALSE(verify(prog).empty());
+}
+
+TEST(Verifier, RejectsCallArityMismatch)
+{
+    ProgramBuilder pb;
+    const MethodId callee = pb.declareMethod("f", 2);
+    auto f = pb.define(callee);
+    f.ret(f.arg(0));
+    f.finish();
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto main = pb.define(mm);
+    const Reg x = main.constant(1);
+    main.callStatic(callee, {x});   // f wants 2 args
+    main.retVoid();
+    main.finish();
+    pb.setMain(mm);
+    EXPECT_FALSE(verify(pb.build()).empty());
+}
+
+} // namespace

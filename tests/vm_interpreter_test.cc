@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Interpreter semantics tests: arithmetic, control flow, objects,
+ * arrays, calls, checks/traps, and profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm_test_util.hh"
+
+namespace {
+
+using namespace aregion::vm;
+using aregion::test::interpret;
+using aregion::test::singleMethodProgram;
+
+int64_t
+evalBinop(Bc op, int64_t lhs, int64_t rhs)
+{
+    const Program prog = singleMethodProgram(
+        [&](ProgramBuilder &, MethodBuilder &mb) {
+            const Reg a = mb.constant(lhs);
+            const Reg b = mb.constant(rhs);
+            mb.print(mb.binop(op, a, b));
+            mb.retVoid();
+        });
+    return interpret(prog).at(0);
+}
+
+TEST(InterpArith, BasicOps)
+{
+    EXPECT_EQ(evalBinop(Bc::Add, 2, 3), 5);
+    EXPECT_EQ(evalBinop(Bc::Sub, 2, 3), -1);
+    EXPECT_EQ(evalBinop(Bc::Mul, -4, 3), -12);
+    EXPECT_EQ(evalBinop(Bc::Div, 7, 2), 3);
+    EXPECT_EQ(evalBinop(Bc::Div, -7, 2), -3);   // truncation toward zero
+    EXPECT_EQ(evalBinop(Bc::Rem, 7, 2), 1);
+    EXPECT_EQ(evalBinop(Bc::Rem, -7, 2), -1);
+    EXPECT_EQ(evalBinop(Bc::And, 0b1100, 0b1010), 0b1000);
+    EXPECT_EQ(evalBinop(Bc::Or, 0b1100, 0b1010), 0b1110);
+    EXPECT_EQ(evalBinop(Bc::Xor, 0b1100, 0b1010), 0b0110);
+    EXPECT_EQ(evalBinop(Bc::Shl, 1, 10), 1024);
+    EXPECT_EQ(evalBinop(Bc::Shr, -8, 1), -4);   // arithmetic shift
+    EXPECT_EQ(evalBinop(Bc::Shl, 1, 64), 1);    // java-style masking
+}
+
+TEST(InterpArith, DivisionEdgeCases)
+{
+    EXPECT_EQ(evalBinop(Bc::Div, INT64_MIN, -1), INT64_MIN);
+    EXPECT_EQ(evalBinop(Bc::Rem, INT64_MIN, -1), 0);
+    EXPECT_THROW(evalBinop(Bc::Div, 1, 0), Trap);
+    EXPECT_THROW(evalBinop(Bc::Rem, 1, 0), Trap);
+}
+
+TEST(InterpArith, Comparisons)
+{
+    EXPECT_EQ(evalBinop(Bc::CmpEq, 3, 3), 1);
+    EXPECT_EQ(evalBinop(Bc::CmpNe, 3, 3), 0);
+    EXPECT_EQ(evalBinop(Bc::CmpLt, 2, 3), 1);
+    EXPECT_EQ(evalBinop(Bc::CmpLe, 3, 3), 1);
+    EXPECT_EQ(evalBinop(Bc::CmpGt, 3, 2), 1);
+    EXPECT_EQ(evalBinop(Bc::CmpGe, 2, 3), 0);
+}
+
+TEST(InterpControl, LoopComputesSum)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Reg sum = mb.constant(0);
+            const Reg i = mb.constant(0);
+            const Reg n = mb.constant(10);
+            const Reg one = mb.constant(1);
+            const Label loop = mb.newLabel();
+            const Label done = mb.newLabel();
+            mb.bind(loop);
+            mb.branchCmp(Bc::CmpGe, i, n, done);
+            mb.binopTo(Bc::Add, sum, sum, i);
+            mb.binopTo(Bc::Add, i, i, one);
+            mb.jump(loop);
+            mb.bind(done);
+            mb.print(sum);
+            mb.retVoid();
+        });
+    EXPECT_EQ(interpret(prog), std::vector<int64_t>{45});
+}
+
+TEST(InterpObjects, FieldsRoundTrip)
+{
+    ProgramBuilder pb;
+    const ClassId point = pb.declareClass("Point", {"x", "y"});
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg p = mb.newObject(point);
+    const Reg v = mb.constant(17);
+    mb.putField(p, pb.fieldIndex(point, "y"), v);
+    mb.print(mb.getField(p, pb.fieldIndex(point, "y")));
+    mb.print(mb.getField(p, pb.fieldIndex(point, "x"))); // zero-init
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+    EXPECT_EQ(interpret(prog), (std::vector<int64_t>{17, 0}));
+}
+
+TEST(InterpArrays, StoreLoadLength)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Reg n = mb.constant(5);
+            const Reg arr = mb.newArray(n);
+            const Reg idx = mb.constant(3);
+            const Reg val = mb.constant(99);
+            mb.astore(arr, idx, val);
+            mb.print(mb.aload(arr, idx));
+            mb.print(mb.alength(arr));
+            const Reg zero = mb.constant(0);
+            mb.print(mb.aload(arr, zero));  // zero-init
+            mb.retVoid();
+        });
+    EXPECT_EQ(interpret(prog), (std::vector<int64_t>{99, 5, 0}));
+}
+
+TEST(InterpTraps, NullPointerOnField)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Reg nil = mb.constant(0);
+            mb.print(mb.getField(nil, 0));
+            mb.retVoid();
+        });
+    try {
+        interpret(prog);
+        FAIL() << "expected NullPointer trap";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind, TrapKind::NullPointer);
+    }
+}
+
+TEST(InterpTraps, ArrayBoundsBothSides)
+{
+    for (int64_t bad : {-1, 5}) {
+        const Program prog = singleMethodProgram(
+            [&](ProgramBuilder &, MethodBuilder &mb) {
+                const Reg n = mb.constant(5);
+                const Reg arr = mb.newArray(n);
+                const Reg idx = mb.constant(bad);
+                mb.print(mb.aload(arr, idx));
+                mb.retVoid();
+            });
+        try {
+            interpret(prog);
+            FAIL() << "expected ArrayBounds trap for index " << bad;
+        } catch (const Trap &t) {
+            EXPECT_EQ(t.kind, TrapKind::ArrayBounds);
+        }
+    }
+}
+
+TEST(InterpTraps, NegativeArraySize)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Reg n = mb.constant(-2);
+            mb.newArray(n);
+            mb.retVoid();
+        });
+    try {
+        interpret(prog);
+        FAIL() << "expected NegativeArraySize";
+    } catch (const Trap &t) {
+        EXPECT_EQ(t.kind, TrapKind::NegativeArraySize);
+    }
+}
+
+TEST(InterpCalls, StaticCallPassesArgsAndReturns)
+{
+    ProgramBuilder pb;
+    const MethodId addm = pb.declareMethod("add", 2);
+    auto add = pb.define(addm);
+    add.ret(add.binop(Bc::Add, add.arg(0), add.arg(1)));
+    add.finish();
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.constant(20);
+    const Reg b = mb.constant(22);
+    mb.print(mb.callStatic(addm, {a, b}));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+    EXPECT_EQ(interpret(prog), std::vector<int64_t>{42});
+}
+
+TEST(InterpCalls, RecursionComputesFactorial)
+{
+    ProgramBuilder pb;
+    const MethodId fact = pb.declareMethod("fact", 1);
+    auto f = pb.define(fact);
+    const Reg one = f.constant(1);
+    const Label base = f.newLabel();
+    f.branchCmp(Bc::CmpLe, f.arg(0), one, base);
+    const Reg nm1 = f.sub(f.arg(0), one);
+    const Reg rec = f.callStatic(fact, {nm1});
+    f.ret(f.mul(f.arg(0), rec));
+    f.bind(base);
+    f.ret(one);
+    f.finish();
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg n = mb.constant(10);
+    mb.print(mb.callStatic(fact, {n}));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+    EXPECT_EQ(interpret(prog), std::vector<int64_t>{3628800});
+}
+
+TEST(InterpCalls, VirtualDispatchPicksOverride)
+{
+    ProgramBuilder pb;
+    const ClassId base = pb.declareClass("Base", {});
+    const ClassId sub = pb.declareClass("Sub", {}, base);
+    const MethodId bm = pb.declareVirtual(base, "tag", 1);
+    const MethodId sm = pb.declareVirtual(sub, "tag", 1);
+    {
+        auto f = pb.define(bm);
+        f.ret(f.constant(1));
+        f.finish();
+    }
+    {
+        auto f = pb.define(sm);
+        f.ret(f.constant(2));
+        f.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const int slot = pb.virtualSlot("tag");
+    const Reg b = mb.newObject(base);
+    const Reg s = mb.newObject(sub);
+    mb.print(mb.callVirtual(slot, {b}));
+    mb.print(mb.callVirtual(slot, {s}));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+    EXPECT_EQ(interpret(prog), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(InterpTypes, InstanceOfAndCheckCast)
+{
+    ProgramBuilder pb;
+    const ClassId base = pb.declareClass("Base", {});
+    const ClassId sub = pb.declareClass("Sub", {}, base);
+    const ClassId other = pb.declareClass("Other", {});
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg s = mb.newObject(sub);
+    const Reg o = mb.newObject(other);
+    const Reg nil = mb.constant(0);
+    mb.print(mb.instanceOf(s, base));   // 1: subclass
+    mb.print(mb.instanceOf(o, base));   // 0: unrelated
+    mb.print(mb.instanceOf(nil, base)); // 0: null
+    mb.checkCast(s, base);              // ok
+    mb.checkCast(nil, base);            // null passes
+    mb.checkCast(o, base);              // traps
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+    Interpreter interp(prog);
+    const auto res = interp.run();
+    ASSERT_TRUE(res.trap.has_value());
+    EXPECT_EQ(res.trap->kind, TrapKind::ClassCast);
+    EXPECT_EQ(interp.output(), (std::vector<int64_t>{1, 0, 0}));
+}
+
+TEST(InterpProfile, BranchBiasAndExecCounts)
+{
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg i = mb.constant(0);
+    const Reg n = mb.constant(100);
+    const Reg one = mb.constant(1);
+    const Reg ten = mb.constant(10);
+    const Label loop = mb.newLabel();
+    const Label done = mb.newLabel();
+    const Label skip = mb.newLabel();
+    mb.bind(loop);
+    mb.branchCmp(Bc::CmpGe, i, n, done);
+    // rare path: every 10th iteration
+    const Reg rem = mb.binop(Bc::Rem, i, ten);
+    const Reg zero = mb.constant(0);
+    const Reg isRare = mb.cmp(Bc::CmpNe, rem, zero);
+    mb.branchIf(isRare, skip);
+    mb.print(i);
+    mb.bind(skip);
+    mb.binopTo(Bc::Add, i, i, one);
+    mb.jump(loop);
+    mb.bind(done);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    const auto res = interp.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(interp.output().size(), 10u);   // 0,10,...,90
+
+    // Find the rare-path branch and check its bias is ~0.9 taken.
+    const auto &code = prog.method(mm).code;
+    int rare_branch_pc = -1;
+    int exit_branch_pc = -1;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+        if (code[pc].op != Bc::Branch)
+            continue;
+        if (exit_branch_pc == -1)
+            exit_branch_pc = static_cast<int>(pc);
+        else
+            rare_branch_pc = static_cast<int>(pc);
+    }
+    ASSERT_GE(rare_branch_pc, 0);
+    EXPECT_EQ(profile.execCount(mm, rare_branch_pc), 100u);
+    EXPECT_NEAR(profile.takenBias(mm, rare_branch_pc), 0.9, 1e-9);
+    EXPECT_NEAR(profile.takenBias(mm, exit_branch_pc), 1.0 / 101.0, 1e-3);
+    EXPECT_EQ(profile.forMethod(mm).invocations, 1u);
+}
+
+TEST(InterpProfile, VirtualCallReceiversRecorded)
+{
+    ProgramBuilder pb;
+    const ClassId a = pb.declareClass("A", {});
+    const ClassId b = pb.declareClass("B", {}, a);
+    const MethodId fa = pb.declareVirtual(a, "f", 1);
+    {
+        auto f = pb.define(fa);
+        f.ret(f.constant(0));
+        f.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const int slot = pb.virtualSlot("f");
+    const Reg oa = mb.newObject(a);
+    const Reg ob = mb.newObject(b);
+    mb.callVirtual(slot, {oa});
+    mb.callVirtual(slot, {oa});
+    mb.callVirtual(slot, {ob});
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+
+    uint64_t total = 0;
+    int sites = 0;
+    for (const auto &[pc, site] : profile.forMethod(mm).callSites) {
+        ++sites;
+        total += site.total;
+    }
+    EXPECT_EQ(sites, 3);
+    EXPECT_EQ(total, 3u);
+}
+
+TEST(InterpMisc, MarkersAndChecksum)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            mb.marker(7);
+            mb.print(mb.constant(5));
+            mb.marker(7);
+            mb.retVoid();
+        });
+    Interpreter interp(prog);
+    ASSERT_TRUE(interp.run().completed);
+    ASSERT_EQ(interp.markers().size(), 2u);
+    EXPECT_EQ(interp.markers()[0].markerId, 7);
+    EXPECT_LT(interp.markers()[0].instrCount,
+              interp.markers()[1].instrCount);
+    EXPECT_NE(interp.outputChecksum(), 0u);
+}
+
+TEST(InterpMisc, StepBudgetStopsInfiniteLoop)
+{
+    const Program prog = singleMethodProgram(
+        [](ProgramBuilder &, MethodBuilder &mb) {
+            const Label spin = mb.newLabel();
+            mb.bind(spin);
+            mb.safepoint();
+            mb.jump(spin);
+            mb.retVoid();
+        });
+    Interpreter interp(prog);
+    const auto res = interp.run(10000);
+    EXPECT_FALSE(res.completed);
+    EXPECT_FALSE(res.trap.has_value());
+    EXPECT_GE(res.instructions, 10000u);
+}
+
+} // namespace

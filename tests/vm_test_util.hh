@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for VM-level tests: tiny program factories.
+ */
+
+#ifndef AREGION_TESTS_VM_TEST_UTIL_HH
+#define AREGION_TESTS_VM_TEST_UTIL_HH
+
+#include <functional>
+#include <vector>
+
+#include "vm/builder.hh"
+#include "vm/interpreter.hh"
+#include "vm/verifier.hh"
+
+namespace aregion::test {
+
+using namespace aregion::vm;
+
+/** Build a single-method program whose body is supplied by `body`. */
+inline Program
+singleMethodProgram(const std::function<void(ProgramBuilder &,
+                                             MethodBuilder &)> &body)
+{
+    ProgramBuilder pb;
+    const MethodId main = pb.declareMethod("main", 0);
+    MethodBuilder mb = pb.define(main);
+    body(pb, mb);
+    mb.finish();
+    pb.setMain(main);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+/** Run a program in the interpreter and return its printed output. */
+inline std::vector<int64_t>
+interpret(const Program &prog, uint64_t max_steps = 1ull << 24)
+{
+    Interpreter interp(prog);
+    const InterpResult res = interp.run(max_steps);
+    if (res.trap)
+        throw *res.trap;
+    return interp.output();
+}
+
+} // namespace aregion::test
+
+#endif // AREGION_TESTS_VM_TEST_UTIL_HH

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Multi-threading and monitor semantics in the interpreter: mutual
+ * exclusion, recursive locking, synchronized methods, deterministic
+ * scheduling, and deadlock detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm_test_util.hh"
+
+namespace {
+
+using namespace aregion::vm;
+
+/**
+ * Build a program where N worker threads each add 1 to a shared
+ * counter `iters` times under a monitor; main spins until all workers
+ * set their done flags, then prints the counter.
+ */
+Program
+counterProgram(int workers, int iters, bool locked)
+{
+    ProgramBuilder pb;
+    const ClassId shared = pb.declareClass("Shared", {"count", "done"});
+    const int f_count = pb.fieldIndex(shared, "count");
+    const int f_done = pb.fieldIndex(shared, "done");
+
+    const MethodId worker = pb.declareMethod("worker", 1);
+    {
+        auto w = pb.define(worker);
+        const Reg obj = w.arg(0);
+        const Reg i = w.constant(0);
+        const Reg n = w.constant(iters);
+        const Reg one = w.constant(1);
+        const Label loop = w.newLabel();
+        const Label done = w.newLabel();
+        w.bind(loop);
+        w.branchCmp(Bc::CmpGe, i, n, done);
+        if (locked)
+            w.monitorEnter(obj);
+        const Reg c = w.getField(obj, f_count);
+        const Reg c1 = w.add(c, one);
+        w.putField(obj, f_count, c1);
+        if (locked)
+            w.monitorExit(obj);
+        w.binopTo(Bc::Add, i, i, one);
+        w.safepoint();
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(obj);
+        const Reg d = w.getField(obj, f_done);
+        const Reg d1 = w.add(d, one);
+        w.putField(obj, f_done, d1);
+        w.monitorExit(obj);
+        w.retVoid();
+        w.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg obj = mb.newObject(shared);
+    for (int t = 0; t < workers; ++t)
+        mb.spawn(worker, {obj});
+    const Reg want = mb.constant(workers);
+    const Label wait = mb.newLabel();
+    const Label ready = mb.newLabel();
+    mb.bind(wait);
+    mb.safepoint();
+    const Reg d = mb.getField(obj, f_done);
+    mb.branchCmp(Bc::CmpGe, d, want, ready);
+    mb.jump(wait);
+    mb.bind(ready);
+    mb.print(mb.getField(obj, f_count));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    return prog;
+}
+
+TEST(Threads, LockedCounterIsExact)
+{
+    const Program prog = counterProgram(3, 200, true);
+    Interpreter interp(prog);
+    const auto res = interp.run();
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(interp.output(), std::vector<int64_t>{600});
+}
+
+TEST(Threads, SchedulingIsDeterministic)
+{
+    // Two identical runs must produce identical instruction counts.
+    const Program pa = counterProgram(2, 100, true);
+    const Program pb2 = counterProgram(2, 100, true);
+    Interpreter a(pa);
+    Interpreter b(pb2);
+    const auto ra = a.run();
+    const auto rb = b.run();
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(a.output(), b.output());
+}
+
+TEST(Threads, RecursiveMonitorEnterIsAllowed)
+{
+    ProgramBuilder pb;
+    const ClassId c = pb.declareClass("C", {});
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg o = mb.newObject(c);
+    mb.monitorEnter(o);
+    mb.monitorEnter(o);
+    mb.monitorExit(o);
+    mb.monitorExit(o);
+    mb.print(mb.constant(1));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    Interpreter interp(prog);
+    EXPECT_TRUE(interp.run().completed);
+}
+
+TEST(Threads, SynchronizedMethodExcludesOthers)
+{
+    // A synchronized increment method: still exact with two threads.
+    ProgramBuilder pb;
+    const ClassId shared = pb.declareClass("S", {"count", "done"});
+    const int f_count = pb.fieldIndex(shared, "count");
+    const int f_done = pb.fieldIndex(shared, "done");
+
+    const MethodId incr = pb.declareMethod("incr", 1, /*sync=*/true);
+    {
+        auto f = pb.define(incr);
+        const Reg c = f.getField(f.self(), f_count);
+        const Reg one = f.constant(1);
+        f.putField(f.self(), f_count, f.add(c, one));
+        f.retVoid();
+        f.finish();
+    }
+    const MethodId worker = pb.declareMethod("worker", 1);
+    {
+        auto w = pb.define(worker);
+        const Reg i = w.constant(0);
+        const Reg n = w.constant(150);
+        const Reg one = w.constant(1);
+        const Label loop = w.newLabel();
+        const Label done = w.newLabel();
+        w.bind(loop);
+        w.branchCmp(Bc::CmpGe, i, n, done);
+        w.callStaticVoid(incr, {w.arg(0)});
+        w.binopTo(Bc::Add, i, i, one);
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(w.arg(0));
+        const Reg d = w.getField(w.arg(0), f_done);
+        w.putField(w.arg(0), f_done, w.add(d, one));
+        w.monitorExit(w.arg(0));
+        w.retVoid();
+        w.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg obj = mb.newObject(shared);
+    mb.spawn(worker, {obj});
+    mb.spawn(worker, {obj});
+    const Reg two = mb.constant(2);
+    const Label wait = mb.newLabel();
+    const Label ready = mb.newLabel();
+    mb.bind(wait);
+    const Reg d = mb.getField(obj, f_done);
+    mb.branchCmp(Bc::CmpGe, d, two, ready);
+    mb.jump(wait);
+    mb.bind(ready);
+    mb.print(mb.getField(obj, f_count));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    Interpreter interp(prog);
+    ASSERT_TRUE(interp.run().completed);
+    EXPECT_EQ(interp.output(), std::vector<int64_t>{300});
+}
+
+TEST(Threads, DeadlockIsDetected)
+{
+    // Main locks the object and then spins waiting on a flag that the
+    // worker can only set after acquiring the same lock: deadlock...
+    // except main never blocks. Instead: main locks A then tries B,
+    // worker locks B then tries A.
+    ProgramBuilder pb;
+    const ClassId c = pb.declareClass("C", {"go"});
+    const int f_go = pb.fieldIndex(c, "go");
+
+    const MethodId worker = pb.declareMethod("worker", 2);
+    {
+        auto w = pb.define(worker);
+        w.monitorEnter(w.arg(1));      // lock B
+        const Reg one = w.constant(1);
+        w.putField(w.arg(1), f_go, one);
+        const Label wait = w.newLabel();
+        const Label go = w.newLabel();
+        w.bind(wait);
+        const Reg g = w.getField(w.arg(0), f_go);
+        w.branchCmp(Bc::CmpEq, g, one, go);
+        w.jump(wait);
+        w.bind(go);
+        w.monitorEnter(w.arg(0));      // then lock A (held by main)
+        w.monitorExit(w.arg(0));
+        w.monitorExit(w.arg(1));
+        w.retVoid();
+        w.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg a = mb.newObject(c);
+    const Reg b = mb.newObject(c);
+    mb.monitorEnter(a);                // lock A
+    const Reg one = mb.constant(1);
+    mb.putField(a, f_go, one);
+    mb.spawn(worker, {a, b});
+    const Label wait = mb.newLabel();
+    const Label go = mb.newLabel();
+    mb.bind(wait);
+    const Reg g = mb.getField(b, f_go);
+    mb.branchCmp(Bc::CmpEq, g, one, go);
+    mb.jump(wait);
+    mb.bind(go);
+    mb.monitorEnter(b);                // then lock B (held by worker)
+    mb.monitorExit(b);
+    mb.monitorExit(a);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    Interpreter interp(prog);
+    const auto res = interp.run(1u << 22);
+    ASSERT_TRUE(res.trap.has_value());
+    EXPECT_EQ(res.trap->kind, TrapKind::Deadlock);
+}
+
+TEST(Threads, MainFinishStopsDaemonThreads)
+{
+    // A worker that never terminates must not hang the run.
+    ProgramBuilder pb;
+    const MethodId worker = pb.declareMethod("spin", 0);
+    {
+        auto w = pb.define(worker);
+        const Label loop = w.newLabel();
+        w.bind(loop);
+        w.safepoint();
+        w.jump(loop);
+        w.retVoid();
+        w.finish();
+    }
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    mb.spawn(worker, {});
+    mb.print(mb.constant(1));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    Program prog = pb.build();
+    verifyOrDie(prog);
+    Interpreter interp(prog);
+    const auto res = interp.run(1u << 22);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(interp.output(), std::vector<int64_t>{1});
+}
+
+} // namespace

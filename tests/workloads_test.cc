@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Workload validation: every DaCapo analog builds, verifies, runs to
+ * completion under baseline and atomic compilation with identical
+ * output, forms regions in atomic mode, and exhibits its targeted
+ * structural behaviour (markers, samples, drift).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/jit.hh"
+#include "vm/interpreter.hh"
+#include "vm/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace aregion;
+namespace rt = aregion::runtime;
+namespace core = aregion::core;
+namespace wl = aregion::workloads;
+
+TEST(Workloads, SuiteHasSevenBenchmarksInPaperOrder)
+{
+    const auto &suite = wl::dacapoSuite();
+    ASSERT_EQ(suite.size(), 7u);
+    EXPECT_EQ(suite[0].name, "antlr");
+    EXPECT_EQ(suite[1].name, "bloat");
+    EXPECT_EQ(suite[2].name, "fop");
+    EXPECT_EQ(suite[3].name, "hsqldb");
+    EXPECT_EQ(suite[4].name, "jython");
+    EXPECT_EQ(suite[5].name, "pmd");
+    EXPECT_EQ(suite[6].name, "xalan");
+    EXPECT_EQ(suite[0].paperSamples, 4);
+    EXPECT_EQ(suite[2].paperSamples, 2);
+    EXPECT_EQ(suite[6].paperSamples, 1);
+}
+
+TEST(Workloads, BothVariantsInterpretDeterministically)
+{
+    for (const auto &w : wl::dacapoSuite()) {
+        SCOPED_TRACE(w.name);
+        for (bool profile_variant : {true, false}) {
+            const vm::Program prog = w.build(profile_variant);
+            vm::Interpreter a(prog);
+            vm::Interpreter b(prog);
+            const auto ra = a.run(1ull << 30);
+            const auto rb = b.run(1ull << 30);
+            ASSERT_TRUE(ra.completed) << "variant " << profile_variant;
+            ASSERT_TRUE(rb.completed);
+            EXPECT_EQ(a.output(), b.output());
+        }
+    }
+}
+
+TEST(Workloads, BaselineAndAtomicAgreeOnOutput)
+{
+    for (const auto &w : wl::dacapoSuite()) {
+        SCOPED_TRACE(w.name);
+        const vm::Program profile_prog = w.build(true);
+        const vm::Program measure_prog = w.build(false);
+
+        rt::ExperimentConfig base;
+        base.compiler = core::CompilerConfig::baseline();
+        const auto mb = rt::runExperiment(profile_prog, measure_prog,
+                                          base, w.samples);
+        ASSERT_TRUE(mb.completed);
+
+        rt::ExperimentConfig atomic;
+        atomic.compiler = core::CompilerConfig::atomicAggressiveInline();
+        const auto ma = rt::runExperiment(profile_prog, measure_prog,
+                                          atomic, w.samples);
+        ASSERT_TRUE(ma.completed);
+
+        EXPECT_EQ(ma.outputChecksum, mb.outputChecksum);
+        EXPECT_GT(ma.uniqueRegions, 0) << "no regions formed";
+        EXPECT_GT(ma.coverage, 0.0);
+
+        // Every declared sample must resolve against the markers.
+        EXPECT_EQ(ma.samples.size(), w.samples.size());
+        for (const auto &s : ma.samples)
+            EXPECT_GT(s.uops, 0u);
+    }
+}
+
+TEST(Workloads, PmdDriftCausesAborts)
+{
+    const auto &w = wl::workloadByName("pmd");
+    const vm::Program profile_prog = w.build(true);
+    const vm::Program measure_prog = w.build(false);
+    rt::ExperimentConfig atomic;
+    atomic.compiler = core::CompilerConfig::atomicAggressiveInline();
+    const auto m = rt::runExperiment(profile_prog, measure_prog,
+                                     atomic, w.samples);
+    ASSERT_TRUE(m.completed);
+    // The drifted samples produce a noticeable abort rate.
+    EXPECT_GT(m.abortPct, 0.005);
+}
+
+TEST(Workloads, XalanElidesMonitorPairs)
+{
+    const auto &w = wl::workloadByName("xalan");
+    const vm::Program profile_prog = w.build(true);
+    const vm::Program measure_prog = w.build(false);
+
+    rt::ExperimentConfig base;
+    base.compiler = core::CompilerConfig::baseline();
+    const auto mb = rt::runExperiment(profile_prog, measure_prog,
+                                      base, w.samples);
+    rt::ExperimentConfig atomic;
+    atomic.compiler = core::CompilerConfig::atomicAggressiveInline();
+    const auto ma = rt::runExperiment(profile_prog, measure_prog,
+                                      atomic, w.samples);
+    ASSERT_TRUE(mb.completed);
+    ASSERT_TRUE(ma.completed);
+    // SLE removes CAS acquisitions from the hot path.
+    EXPECT_LT(ma.monitorFastEnters, mb.monitorFastEnters / 2);
+}
+
+TEST(Workloads, JythonForcedMonomorphicBeatsPlainAtomic)
+{
+    const auto &w = wl::workloadByName("jython");
+    const vm::Program profile_prog = w.build(true);
+    const vm::Program measure_prog = w.build(false);
+
+    rt::ExperimentConfig plain;
+    plain.compiler = core::CompilerConfig::atomic();
+    const auto mp = rt::runExperiment(profile_prog, measure_prog,
+                                      plain, w.samples);
+    rt::ExperimentConfig forced;
+    forced.compiler = core::CompilerConfig::atomic();
+    forced.compiler.forceMonomorphic = true;
+    const auto mf = rt::runExperiment(profile_prog, measure_prog,
+                                      forced, w.samples);
+    ASSERT_TRUE(mp.completed);
+    ASSERT_TRUE(mf.completed);
+    EXPECT_EQ(mp.outputChecksum, mf.outputChecksum);
+    EXPECT_LT(mf.weightedCycles, mp.weightedCycles);
+}
+
+} // namespace
