@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_postdom.dir/ablation_postdom.cc.o"
+  "CMakeFiles/ablation_postdom.dir/ablation_postdom.cc.o.d"
+  "ablation_postdom"
+  "ablation_postdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_postdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sle.dir/ablation_sle.cc.o"
+  "CMakeFiles/ablation_sle.dir/ablation_sle.cc.o.d"
+  "ablation_sle"
+  "ablation_sle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_redundancy.dir/fig3_redundancy.cc.o"
+  "CMakeFiles/fig3_redundancy.dir/fig3_redundancy.cc.o.d"
+  "fig3_redundancy"
+  "fig3_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

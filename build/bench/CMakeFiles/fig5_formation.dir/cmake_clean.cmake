@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_formation.dir/fig5_formation.cc.o"
+  "CMakeFiles/fig5_formation.dir/fig5_formation.cc.o.d"
+  "fig5_formation"
+  "fig5_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_speedup.cc" "bench/CMakeFiles/fig7_speedup.dir/fig7_speedup.cc.o" "gcc" "bench/CMakeFiles/fig7_speedup.dir/fig7_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/aregion_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aregion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aregion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aregion_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aregion_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aregion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aregion_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_uops.dir/fig8_uops.cc.o"
+  "CMakeFiles/fig8_uops.dir/fig8_uops.cc.o.d"
+  "fig8_uops"
+  "fig8_uops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_uops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_footprint.dir/sec62_footprint.cc.o"
+  "CMakeFiles/sec62_footprint.dir/sec62_footprint.cc.o.d"
+  "sec62_footprint"
+  "sec62_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_width.dir/sec63_width.cc.o"
+  "CMakeFiles/sec63_width.dir/sec63_width.cc.o.d"
+  "sec63_width"
+  "sec63_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_regions.dir/table3_regions.cc.o"
+  "CMakeFiles/table3_regions.dir/table3_regions.cc.o.d"
+  "table3_regions"
+  "table3_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

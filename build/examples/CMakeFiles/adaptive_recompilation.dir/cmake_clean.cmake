@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_recompilation.dir/adaptive_recompilation.cpp.o"
+  "CMakeFiles/adaptive_recompilation.dir/adaptive_recompilation.cpp.o.d"
+  "adaptive_recompilation"
+  "adaptive_recompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_recompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

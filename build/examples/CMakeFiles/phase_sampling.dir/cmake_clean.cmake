@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_sampling.dir/phase_sampling.cpp.o"
+  "CMakeFiles/phase_sampling.dir/phase_sampling.cpp.o.d"
+  "phase_sampling"
+  "phase_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_addelement.dir/vector_addelement.cpp.o"
+  "CMakeFiles/vector_addelement.dir/vector_addelement.cpp.o.d"
+  "vector_addelement"
+  "vector_addelement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_addelement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/aregion_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/aregion_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/lock_elision.cc" "src/core/CMakeFiles/aregion_core.dir/lock_elision.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/lock_elision.cc.o.d"
+  "/root/repo/src/core/postdom_check_elim.cc" "src/core/CMakeFiles/aregion_core.dir/postdom_check_elim.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/postdom_check_elim.cc.o.d"
+  "/root/repo/src/core/region_formation.cc" "src/core/CMakeFiles/aregion_core.dir/region_formation.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/region_formation.cc.o.d"
+  "/root/repo/src/core/safepoint_elision.cc" "src/core/CMakeFiles/aregion_core.dir/safepoint_elision.cc.o" "gcc" "src/core/CMakeFiles/aregion_core.dir/safepoint_elision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/aregion_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aregion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aregion_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_core.dir/adaptive.cc.o"
+  "CMakeFiles/aregion_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/aregion_core.dir/compiler.cc.o"
+  "CMakeFiles/aregion_core.dir/compiler.cc.o.d"
+  "CMakeFiles/aregion_core.dir/lock_elision.cc.o"
+  "CMakeFiles/aregion_core.dir/lock_elision.cc.o.d"
+  "CMakeFiles/aregion_core.dir/postdom_check_elim.cc.o"
+  "CMakeFiles/aregion_core.dir/postdom_check_elim.cc.o.d"
+  "CMakeFiles/aregion_core.dir/region_formation.cc.o"
+  "CMakeFiles/aregion_core.dir/region_formation.cc.o.d"
+  "CMakeFiles/aregion_core.dir/safepoint_elision.cc.o"
+  "CMakeFiles/aregion_core.dir/safepoint_elision.cc.o.d"
+  "libaregion_core.a"
+  "libaregion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

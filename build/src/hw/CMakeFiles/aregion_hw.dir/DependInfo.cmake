@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/branch_predictor.cc" "src/hw/CMakeFiles/aregion_hw.dir/branch_predictor.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/aregion_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/codegen.cc" "src/hw/CMakeFiles/aregion_hw.dir/codegen.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/codegen.cc.o.d"
+  "/root/repo/src/hw/isa.cc" "src/hw/CMakeFiles/aregion_hw.dir/isa.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/isa.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/aregion_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/timing.cc" "src/hw/CMakeFiles/aregion_hw.dir/timing.cc.o" "gcc" "src/hw/CMakeFiles/aregion_hw.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/aregion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aregion_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_hw.dir/branch_predictor.cc.o"
+  "CMakeFiles/aregion_hw.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/aregion_hw.dir/cache.cc.o"
+  "CMakeFiles/aregion_hw.dir/cache.cc.o.d"
+  "CMakeFiles/aregion_hw.dir/codegen.cc.o"
+  "CMakeFiles/aregion_hw.dir/codegen.cc.o.d"
+  "CMakeFiles/aregion_hw.dir/isa.cc.o"
+  "CMakeFiles/aregion_hw.dir/isa.cc.o.d"
+  "CMakeFiles/aregion_hw.dir/machine.cc.o"
+  "CMakeFiles/aregion_hw.dir/machine.cc.o.d"
+  "CMakeFiles/aregion_hw.dir/timing.cc.o"
+  "CMakeFiles/aregion_hw.dir/timing.cc.o.d"
+  "libaregion_hw.a"
+  "libaregion_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_ir.dir/cfg.cc.o"
+  "CMakeFiles/aregion_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/dominators.cc.o"
+  "CMakeFiles/aregion_ir.dir/dominators.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/evaluator.cc.o"
+  "CMakeFiles/aregion_ir.dir/evaluator.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/ir.cc.o"
+  "CMakeFiles/aregion_ir.dir/ir.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/loops.cc.o"
+  "CMakeFiles/aregion_ir.dir/loops.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/printer.cc.o"
+  "CMakeFiles/aregion_ir.dir/printer.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/translate.cc.o"
+  "CMakeFiles/aregion_ir.dir/translate.cc.o.d"
+  "CMakeFiles/aregion_ir.dir/verifier.cc.o"
+  "CMakeFiles/aregion_ir.dir/verifier.cc.o.d"
+  "libaregion_ir.a"
+  "libaregion_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constant_fold.cc" "src/opt/CMakeFiles/aregion_opt.dir/constant_fold.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/constant_fold.cc.o.d"
+  "/root/repo/src/opt/copy_prop.cc" "src/opt/CMakeFiles/aregion_opt.dir/copy_prop.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/copy_prop.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/opt/CMakeFiles/aregion_opt.dir/cse.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/aregion_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/inliner.cc" "src/opt/CMakeFiles/aregion_opt.dir/inliner.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/inliner.cc.o.d"
+  "/root/repo/src/opt/pass.cc" "src/opt/CMakeFiles/aregion_opt.dir/pass.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/pass.cc.o.d"
+  "/root/repo/src/opt/simplify_cfg.cc" "src/opt/CMakeFiles/aregion_opt.dir/simplify_cfg.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/simplify_cfg.cc.o.d"
+  "/root/repo/src/opt/unroll.cc" "src/opt/CMakeFiles/aregion_opt.dir/unroll.cc.o" "gcc" "src/opt/CMakeFiles/aregion_opt.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/aregion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aregion_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_opt.dir/constant_fold.cc.o"
+  "CMakeFiles/aregion_opt.dir/constant_fold.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/copy_prop.cc.o"
+  "CMakeFiles/aregion_opt.dir/copy_prop.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/cse.cc.o"
+  "CMakeFiles/aregion_opt.dir/cse.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/dce.cc.o"
+  "CMakeFiles/aregion_opt.dir/dce.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/inliner.cc.o"
+  "CMakeFiles/aregion_opt.dir/inliner.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/pass.cc.o"
+  "CMakeFiles/aregion_opt.dir/pass.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/simplify_cfg.cc.o"
+  "CMakeFiles/aregion_opt.dir/simplify_cfg.cc.o.d"
+  "CMakeFiles/aregion_opt.dir/unroll.cc.o"
+  "CMakeFiles/aregion_opt.dir/unroll.cc.o.d"
+  "libaregion_opt.a"
+  "libaregion_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_runtime.dir/jit.cc.o"
+  "CMakeFiles/aregion_runtime.dir/jit.cc.o.d"
+  "CMakeFiles/aregion_runtime.dir/sampling.cc.o"
+  "CMakeFiles/aregion_runtime.dir/sampling.cc.o.d"
+  "libaregion_runtime.a"
+  "libaregion_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

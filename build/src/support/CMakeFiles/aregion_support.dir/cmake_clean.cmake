@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_support.dir/logging.cc.o"
+  "CMakeFiles/aregion_support.dir/logging.cc.o.d"
+  "CMakeFiles/aregion_support.dir/random.cc.o"
+  "CMakeFiles/aregion_support.dir/random.cc.o.d"
+  "CMakeFiles/aregion_support.dir/statistics.cc.o"
+  "CMakeFiles/aregion_support.dir/statistics.cc.o.d"
+  "CMakeFiles/aregion_support.dir/table.cc.o"
+  "CMakeFiles/aregion_support.dir/table.cc.o.d"
+  "libaregion_support.a"
+  "libaregion_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/builder.cc" "src/vm/CMakeFiles/aregion_vm.dir/builder.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/builder.cc.o.d"
+  "/root/repo/src/vm/bytecode.cc" "src/vm/CMakeFiles/aregion_vm.dir/bytecode.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/bytecode.cc.o.d"
+  "/root/repo/src/vm/heap.cc" "src/vm/CMakeFiles/aregion_vm.dir/heap.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/heap.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/vm/CMakeFiles/aregion_vm.dir/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/interpreter.cc.o.d"
+  "/root/repo/src/vm/profile.cc" "src/vm/CMakeFiles/aregion_vm.dir/profile.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/profile.cc.o.d"
+  "/root/repo/src/vm/program.cc" "src/vm/CMakeFiles/aregion_vm.dir/program.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/program.cc.o.d"
+  "/root/repo/src/vm/trap.cc" "src/vm/CMakeFiles/aregion_vm.dir/trap.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/trap.cc.o.d"
+  "/root/repo/src/vm/verifier.cc" "src/vm/CMakeFiles/aregion_vm.dir/verifier.cc.o" "gcc" "src/vm/CMakeFiles/aregion_vm.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_vm.dir/builder.cc.o"
+  "CMakeFiles/aregion_vm.dir/builder.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/bytecode.cc.o"
+  "CMakeFiles/aregion_vm.dir/bytecode.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/heap.cc.o"
+  "CMakeFiles/aregion_vm.dir/heap.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/interpreter.cc.o"
+  "CMakeFiles/aregion_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/profile.cc.o"
+  "CMakeFiles/aregion_vm.dir/profile.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/program.cc.o"
+  "CMakeFiles/aregion_vm.dir/program.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/trap.cc.o"
+  "CMakeFiles/aregion_vm.dir/trap.cc.o.d"
+  "CMakeFiles/aregion_vm.dir/verifier.cc.o"
+  "CMakeFiles/aregion_vm.dir/verifier.cc.o.d"
+  "libaregion_vm.a"
+  "libaregion_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

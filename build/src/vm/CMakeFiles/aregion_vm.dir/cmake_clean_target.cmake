@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaregion_vm.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/antlr.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/antlr.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/antlr.cc.o.d"
+  "/root/repo/src/workloads/bloat.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/bloat.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/bloat.cc.o.d"
+  "/root/repo/src/workloads/fop.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/fop.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/fop.cc.o.d"
+  "/root/repo/src/workloads/hsqldb.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/hsqldb.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/hsqldb.cc.o.d"
+  "/root/repo/src/workloads/jython.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/jython.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/jython.cc.o.d"
+  "/root/repo/src/workloads/pmd.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/pmd.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/pmd.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/workload.cc.o.d"
+  "/root/repo/src/workloads/xalan.cc" "src/workloads/CMakeFiles/aregion_workloads.dir/xalan.cc.o" "gcc" "src/workloads/CMakeFiles/aregion_workloads.dir/xalan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/aregion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aregion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aregion_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aregion_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/aregion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/aregion_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/aregion_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aregion_workloads.dir/antlr.cc.o"
+  "CMakeFiles/aregion_workloads.dir/antlr.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/bloat.cc.o"
+  "CMakeFiles/aregion_workloads.dir/bloat.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/fop.cc.o"
+  "CMakeFiles/aregion_workloads.dir/fop.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/hsqldb.cc.o"
+  "CMakeFiles/aregion_workloads.dir/hsqldb.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/jython.cc.o"
+  "CMakeFiles/aregion_workloads.dir/jython.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/pmd.cc.o"
+  "CMakeFiles/aregion_workloads.dir/pmd.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/workload.cc.o"
+  "CMakeFiles/aregion_workloads.dir/workload.cc.o.d"
+  "CMakeFiles/aregion_workloads.dir/xalan.cc.o"
+  "CMakeFiles/aregion_workloads.dir/xalan.cc.o.d"
+  "libaregion_workloads.a"
+  "libaregion_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aregion_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

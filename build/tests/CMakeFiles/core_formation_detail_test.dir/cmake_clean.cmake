@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_formation_detail_test.dir/core_formation_detail_test.cc.o"
+  "CMakeFiles/core_formation_detail_test.dir/core_formation_detail_test.cc.o.d"
+  "core_formation_detail_test"
+  "core_formation_detail_test.pdb"
+  "core_formation_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_formation_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

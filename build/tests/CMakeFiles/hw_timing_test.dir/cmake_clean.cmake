@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_timing_test.dir/hw_timing_test.cc.o"
+  "CMakeFiles/hw_timing_test.dir/hw_timing_test.cc.o.d"
+  "hw_timing_test"
+  "hw_timing_test.pdb"
+  "hw_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

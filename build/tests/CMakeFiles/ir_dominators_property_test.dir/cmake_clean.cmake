@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_dominators_property_test.dir/ir_dominators_property_test.cc.o"
+  "CMakeFiles/ir_dominators_property_test.dir/ir_dominators_property_test.cc.o.d"
+  "ir_dominators_property_test"
+  "ir_dominators_property_test.pdb"
+  "ir_dominators_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_dominators_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

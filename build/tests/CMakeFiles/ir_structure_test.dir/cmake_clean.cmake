@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_structure_test.dir/ir_structure_test.cc.o"
+  "CMakeFiles/ir_structure_test.dir/ir_structure_test.cc.o.d"
+  "ir_structure_test"
+  "ir_structure_test.pdb"
+  "ir_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_translate_test.dir/ir_translate_test.cc.o"
+  "CMakeFiles/ir_translate_test.dir/ir_translate_test.cc.o.d"
+  "ir_translate_test"
+  "ir_translate_test.pdb"
+  "ir_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_inliner_detail_test.dir/opt_inliner_detail_test.cc.o"
+  "CMakeFiles/opt_inliner_detail_test.dir/opt_inliner_detail_test.cc.o.d"
+  "opt_inliner_detail_test"
+  "opt_inliner_detail_test.pdb"
+  "opt_inliner_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_inliner_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_builder_test.dir/vm_builder_test.cc.o"
+  "CMakeFiles/vm_builder_test.dir/vm_builder_test.cc.o.d"
+  "vm_builder_test"
+  "vm_builder_test.pdb"
+  "vm_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_interpreter_test.dir/vm_interpreter_test.cc.o"
+  "CMakeFiles/vm_interpreter_test.dir/vm_interpreter_test.cc.o.d"
+  "vm_interpreter_test"
+  "vm_interpreter_test.pdb"
+  "vm_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

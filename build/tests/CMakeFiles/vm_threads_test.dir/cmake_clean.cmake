@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_threads_test.dir/vm_threads_test.cc.o"
+  "CMakeFiles/vm_threads_test.dir/vm_threads_test.cc.o.d"
+  "vm_threads_test"
+  "vm_threads_test.pdb"
+  "vm_threads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_threads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

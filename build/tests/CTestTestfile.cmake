@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_threads_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_structure_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_translate_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_passes_test[1]_include.cmake")
+include("/root/repo/build/tests/core_region_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_cse_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/core_formation_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/figure_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_constfold_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_dominators_property_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_inliner_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_timing_detail_test[1]_include.cmake")
