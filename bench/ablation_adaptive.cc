@@ -17,8 +17,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_adaptive", argc, argv);
     std::printf("Ablation: adaptive recompilation on abort-heavy "
                 "workloads (Section 7)\n\n");
     TextTable table({"bench", "mode", "speedup", "abort%",
@@ -51,5 +52,6 @@ main()
     std::printf("Expected: adaptive recompilation removes the "
                 "drifted asserts, cutting the\nabort rate and "
                 "recovering (or improving) the speedup.\n");
-    return 0;
+    report.addTable("ablation_adaptive", table);
+    return report.finish();
 }

@@ -39,8 +39,9 @@ countBoundsChecks(const ir::Module &mod)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_postdom", argc, argv);
     const vm::Program prog = addElementProgram(3000, 512);
     vm::Profile profile(prog);
     {
@@ -72,5 +73,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("Output correctness under the extension is covered "
                 "by tests/core_region_test\n(Postdom.*).\n");
-    return 0;
+    report.addTable("ablation_postdom", table);
+    return report.finish();
 }

@@ -18,8 +18,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_region_size", argc, argv);
     std::printf("Ablation: region size target R "
                 "(atomic+aggr-inline, xalan + hsqldb + jython)\n\n");
     TextTable table({"R", "avg speedup", "avg region size",
@@ -66,5 +67,6 @@ main()
     std::printf("The paper picks R = 200 as large enough for "
                 "optimization scope without\nsacrificing the "
                 "best-effort footprint bound.\n");
-    return 0;
+    report.addTable("ablation_region_size", table);
+    return report.finish();
 }

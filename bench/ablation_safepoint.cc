@@ -17,8 +17,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_safepoint", argc, argv);
     std::printf("Ablation: safepoint elision inside regions "
                 "(Section 6.4)\n\n");
     TextTable table({"bench", "speedup w/o elision",
@@ -48,5 +49,6 @@ main()
     std::printf("Preemption stays bounded: timer interrupts abort "
                 "in-flight regions, and the\nnon-speculative "
                 "version keeps its polls.\n");
-    return 0;
+    report.addTable("ablation_safepoint", table);
+    return report.finish();
 }

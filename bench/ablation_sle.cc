@@ -15,8 +15,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("ablation_sle", argc, argv);
     std::printf("Ablation: speculative lock elision (atomic+aggr "
                 "configuration)\n\n");
     TextTable table({"bench", "speedup w/o SLE", "speedup w/ SLE",
@@ -49,5 +50,6 @@ main()
                           std::to_string(mon.monitorFastEnters)});
     }
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    report.addTable("ablation_sle", table);
+    return report.finish();
 }

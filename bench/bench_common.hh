@@ -10,11 +10,17 @@
 #ifndef AREGION_BENCH_COMMON_HH
 #define AREGION_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/jit.hh"
+#include "support/table.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 #include "workloads/workload.hh"
 
 namespace aregion::bench {
@@ -23,6 +29,93 @@ namespace rt = aregion::runtime;
 namespace core = aregion::core;
 namespace hw = aregion::hw;
 namespace wl = aregion::workloads;
+
+/**
+ * Shared CLI + export harness for the bench binaries.
+ *
+ * Every binary accepts `--json <path>`: alongside the usual stdout
+ * tables it then writes a machine-readable JSON file containing each
+ * table it registered plus the full process telemetry snapshot
+ * (docs/TELEMETRY.md), so `BENCH_*.json` trajectories can be
+ * automated (see EXPERIMENTS.md).
+ *
+ * Usage in a binary:
+ *
+ *   int main(int argc, char **argv) {
+ *       bench::BenchReport report("fig7_speedup", argc, argv);
+ *       ...
+ *       std::printf("%s\n", table.render().c_str());
+ *       report.addTable("fig7", table);
+ *       return report.finish();
+ *   }
+ */
+class BenchReport
+{
+  public:
+    /** Parses and strips `--json <path>` from argv (so wrapped
+     *  argument parsers, e.g. google-benchmark's, never see it). */
+    BenchReport(std::string bench_name, int &argc, char **argv)
+        : name(std::move(bench_name))
+    {
+        // Stable schema: every export carries every documented key,
+        // zero-valued when the binary never exercised it.
+        telemetry::keys::preregister(telemetry::Registry::global());
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                jsonPath = argv[++i];
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        argc = out;
+    }
+
+    /** Register a rendered table for the JSON export. */
+    void addTable(const std::string &title,
+                  const aregion::TextTable &table)
+    {
+        tables.emplace_back(title, table);
+    }
+
+    /** Free-form scalar result carried into the JSON export. */
+    void addMetric(const std::string &key, double value)
+    {
+        telemetry::Registry::global().set("bench." + name + "." + key,
+                                          value);
+    }
+
+    /** Write the JSON file when --json was given. Returns the
+     *  process exit code. */
+    int finish() const
+    {
+        if (jsonPath.empty())
+            return 0;
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        out << "{\n  \"bench\": " << telemetry::jsonQuote(name)
+            << ",\n  \"tables\": {";
+        for (size_t i = 0; i < tables.size(); ++i) {
+            out << (i ? ",\n" : "\n") << "    "
+                << telemetry::jsonQuote(tables[i].first) << ": "
+                << tables[i].second.toJson(2);
+        }
+        out << (tables.empty() ? "" : "\n  ") << "},\n"
+            << "  \"telemetry\": "
+            << telemetry::Registry::global().toJson(2) << "\n}\n";
+        return out.good() ? 0 : 1;
+    }
+
+  private:
+    std::string name;
+    std::string jsonPath;
+    std::vector<std::pair<std::string, aregion::TextTable>> tables;
+};
 
 /** The four Figure 7/8 compiler configurations plus the grey bar. */
 inline std::vector<core::CompilerConfig>

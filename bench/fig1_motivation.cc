@@ -17,8 +17,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig1_motivation", argc, argv);
     const auto &w = wl::workloadByName("jython");
     const WorkloadRuns runs = runWorkload(
         w, {core::CompilerConfig::baseline(),
@@ -54,5 +55,6 @@ main()
     std::printf("The CFG shapes of Figure 1(a)-(d) are demonstrated "
                 "structurally by\nbench/fig5_formation and "
                 "examples/region_explorer.\n");
-    return 0;
+    report.addTable("fig1", table);
+    return report.finish();
 }

@@ -75,8 +75,9 @@ measure(const vm::Program &prog, core::CompilerConfig config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig3_redundancy", argc, argv);
     const vm::Program prog = addElementProgram(3000, 512);
 
     core::CompilerConfig unopt = core::CompilerConfig::baseline();
@@ -118,5 +119,6 @@ main()
                 "null check and length load with no compensation "
                 "code, while\nthe baseline is blocked by the cold "
                 "chunk-overflow join.\n");
-    return 0;
+    report.addTable("fig3", table);
+    return report.finish();
 }

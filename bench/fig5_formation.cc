@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "core/region_formation.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
@@ -102,8 +103,9 @@ figure5a()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report("fig5_formation", argc, argv);
     Function f = figure5a();
     verifyOrDie(f);
     std::printf("Figure 5(a): flowgraph before region formation\n");
@@ -133,5 +135,6 @@ main()
     table.addRow({"partially unrolled regions",
                   std::to_string(stats.unrolledRegions)});
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    report.addTable("fig5", table);
+    return report.finish();
 }

@@ -17,8 +17,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig7_speedup", argc, argv);
     const std::vector<std::string> configs{
         "atomic", "no-atomic+aggr-inline", "atomic+aggr-inline"};
 
@@ -72,5 +73,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("jython* = atomic with the forced-monomorphic "
                 "partial-inlining fix (the grey bar).\n");
-    return 0;
+    report.addTable("fig7", table);
+    return report.finish();
 }

@@ -15,8 +15,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig8_uops", argc, argv);
     const std::vector<std::string> configs{
         "atomic", "no-atomic+aggr-inline", "atomic+aggr-inline"};
     // Paper Figure 8 values (eyeballed).
@@ -70,5 +71,6 @@ main()
     }
     table.addRow(std::move(avg_row));
     std::printf("%s\n", table.render().c_str());
-    return 0;
+    report.addTable("fig8", table);
+    return report.finish();
 }

@@ -19,8 +19,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("fig9_sensitivity", argc, argv);
     // Paper Figure 9 (eyeballed; % speedup over baseline binary).
     const std::map<std::string, std::vector<double>> paper{
         {"antlr", {22, 18, 15}},  {"bloat", {32, 5, -5}},
@@ -70,5 +71,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("Both degraded primitives must erase most of the "
                 "benefit (the paper's Section 6.3 finding).\n");
-    return 0;
+    report.addTable("fig9", table);
+    return report.finish();
 }

@@ -20,8 +20,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("sec62_footprint", argc, argv);
     Histogram sizes;
     Histogram footprints;
     uint64_t total_regions = 0;
@@ -78,5 +79,6 @@ main()
     std::printf("Conclusion to check: register checkpoints are "
                 "needed (regions exceed the\nwindow) but the L1 "
                 "easily holds every read/write set.\n");
-    return 0;
+    report.addTable("sec62", table);
+    return report.finish();
 }

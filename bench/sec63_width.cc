@@ -16,8 +16,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("sec63_width", argc, argv);
     std::printf("Section 6.3: atomic+aggr-inline speedup across "
                 "machine widths\n\n");
     TextTable table({"bench", "4-wide", "2-wide", "2-wide-half"});
@@ -51,5 +52,6 @@ main()
     std::printf("The paper reports the narrow machines track the "
                 "4-wide speedups\n(generally within a percent or "
                 "two).\n");
-    return 0;
+    report.addTable("sec63", table);
+    return report.finish();
 }

@@ -125,4 +125,16 @@ BENCHMARK(BM_AtomicCompiler)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --json before google-benchmark sees the flags it does
+    // not recognize.
+    BenchReport report("simulator_throughput", argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return report.finish();
+}

@@ -14,8 +14,9 @@
 using namespace aregion;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report("table1_config", argc, argv);
     const hw::TimingConfig t = hw::TimingConfig::baseline();
     const hw::HwConfig h;
 
@@ -64,5 +65,6 @@ main()
                 "documented in DESIGN.md: instruction fetch is\n"
                 "modeled as ideal, so those structures have no "
                 "effect here.\n");
-    return 0;
+    report.addTable("table1", table);
+    return report.finish();
 }

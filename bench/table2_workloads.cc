@@ -15,8 +15,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table2_workloads", argc, argv);
     std::printf("Table 2: DaCapo benchmark analogs used in "
                 "evaluation\n");
     std::printf("(# = samples, as in the paper; sizes are measured "
@@ -37,5 +38,6 @@ main()
     std::printf("Each analog reproduces the structural features the "
                 "paper attributes to the\noriginal benchmark (see "
                 "the per-workload headers in src/workloads/).\n");
-    return 0;
+    report.addTable("table2", table);
+    return report.finish();
 }

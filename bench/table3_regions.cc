@@ -16,8 +16,9 @@ using namespace aregion;
 using namespace aregion::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchReport report("table3_regions", argc, argv);
     std::printf("Table 3: atomic region statistics "
                 "(atomic+aggressive-inline)\n");
     std::printf("(paper values in parentheses)\n\n");
@@ -47,5 +48,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("coverage: retired uops inside atomic regions.\n"
                 "size: mean dynamic uops per committed region.\n");
-    return 0;
+    report.addTable("table3", table);
+    return report.finish();
 }

@@ -8,6 +8,9 @@
  * 3. Compile it twice: baseline, and with hardware atomic regions.
  * 4. Run both on the simulated checkpoint-substrate machine with the
  *    Table 1 timing model, and compare.
+ * 5. Dump the process-wide telemetry registry: every subsystem
+ *    (profiler, region formation, machine, timing model) publishes
+ *    counters under hierarchical keys (see docs/TELEMETRY.md).
  *
  * Build: cmake -B build -G Ninja && cmake --build build
  * Run:   ./build/examples/quickstart
@@ -19,6 +22,8 @@
 #include "hw/codegen.hh"
 #include "hw/machine.hh"
 #include "hw/timing.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 #include "vm/builder.hh"
 #include "vm/interpreter.hh"
 #include "vm/verifier.hh"
@@ -115,6 +120,7 @@ runConfig(const Program &prog, const Profile &profile,
     hw::Machine machine(mp, hw::HwConfig{}, &timing);
     const auto res = machine.run();
     AREGION_ASSERT(res.completed, "machine run failed");
+    timing.publishTelemetry();
     return {timing.cycles(), res.retiredUops, res.regionCommits,
             res.regionAborts};
 }
@@ -156,5 +162,20 @@ main()
                      static_cast<double>(atomic.cycles) - 1.0) * 100,
                 (1.0 - static_cast<double>(atomic.uops) /
                            static_cast<double>(base.uops)) * 100);
+
+    // Everything the pipeline recorded along the way, one registry.
+    // Both configs ran in this process, so counters are cumulative
+    // across the two machine runs.
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+    std::printf("\ntelemetry snapshot (see docs/TELEMETRY.md):\n%s",
+                reg.toTable().c_str());
+    std::printf("\nabort breakdown:");
+    for (int c = 0; c < 6; ++c) {
+        std::printf(" %s=%llu", keys::kMachineAbortByCause[c],
+                    static_cast<unsigned long long>(reg.counterValue(
+                        keys::kMachineAbortByCause[c])));
+    }
+    std::printf("\n");
     return 0;
 }

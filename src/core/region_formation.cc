@@ -5,6 +5,8 @@
 
 #include "ir/cfg.hh"
 #include "ir/dominators.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 
 namespace aregion::core {
 
@@ -583,16 +585,44 @@ class RegionBuilder
 
 } // namespace
 
+namespace {
+
+/** Mirror the formation decisions process-wide (`region.*` keys;
+ *  see docs/TELEMETRY.md). Runs on every call — zero-valued keys
+ *  still register, so every snapshot carries the full schema. */
+void
+publishFormationStats(const RegionStats &stats)
+{
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+    reg.add(keys::kRegionFormed,
+            static_cast<uint64_t>(stats.regionsFormed));
+    reg.add(keys::kRegionAssertsConverted,
+            static_cast<uint64_t>(stats.assertsCreated));
+    reg.add(keys::kRegionBlocksReplicated,
+            static_cast<uint64_t>(stats.blocksReplicated));
+    reg.add(keys::kRegionExits,
+            static_cast<uint64_t>(stats.regionExits));
+    reg.add(keys::kRegionUnrolled,
+            static_cast<uint64_t>(stats.unrolledRegions));
+}
+
+} // namespace
+
 RegionStats
 formRegions(Function &func, const RegionConfig &config)
 {
     RegionStats stats;
-    if (!config.enabled)
+    if (!config.enabled) {
+        publishFormationStats(stats);
         return stats;
+    }
 
     const std::set<int> selected = selectBoundaries(func, config);
-    if (selected.empty())
+    if (selected.empty()) {
+        publishFormationStats(stats);
         return stats;
+    }
 
     int next_abort_id = 0;
     RegionBuilder builder(func, config, stats, selected,
@@ -632,6 +662,7 @@ formRegions(Function &func, const RegionConfig &config)
     }
 
     func.compact();
+    publishFormationStats(stats);
     return stats;
 }
 

@@ -62,9 +62,35 @@ enum class MKind : uint8_t {
     Marker,     ///< sampling marker, id = imm
     Spawn,      ///< start thread at method aux with args = srcs
     Trap,       ///< raise trap aux (TrapKind); aborts active region
-    ABegin,     ///< begin region aux; alternate pc = target
-    AEnd,       ///< commit region aux
-    AAbort,     ///< explicit abort; aux = assert/abort id
+    /**
+     * `aregion_begin <alt pc>` (paper Section 3): checkpoint the
+     * register state and enter atomic execution for static region
+     * `aux`. All stores are buffered (L1-line write set) and all
+     * loads tracked (read set) until AEnd commits or an abort rolls
+     * everything back and redirects fetch to `target`, the
+     * non-speculative alternate path. On the paper's checkpoint
+     * substrate this uop is free; TimingConfig::stallBegin() and
+     * ::singleInflight() model the degraded Figure 9 variants.
+     * Nesting is flattened (Section 3: a nested begin is a no-op).
+     */
+    ABegin,
+    /**
+     * `aregion_end` (paper Section 3): commit — atomically publish
+     * the buffered write set and leave speculative execution. The
+     * read/write-set occupancy at this instant feeds the
+     * `machine.region.{read,write}_lines` telemetry (Section 6.2's
+     * footprint analysis).
+     */
+    AEnd,
+    /**
+     * `aregion_abort` (paper Sections 3–4): explicitly discard the
+     * region. The compiler plants it on cold edges it converted to
+     * asserts (`aux` = assert id, exposed to the adaptive
+     * recompiler through the abort-PC register, Section 7); rolls
+     * back to the checkpoint and resumes at the ABegin's alternate
+     * pc with AbortCause::Explicit recorded.
+     */
+    AAbort,
     Nop,
 };
 

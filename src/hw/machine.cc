@@ -1,6 +1,8 @@
 #include "hw/machine.hh"
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 #include "vm/arith.hh"
 #include "vm/layout.hh"
 
@@ -42,6 +44,12 @@ Machine::Machine(const MachineProgram &prog, const HwConfig &config_,
     : mp(prog), config(config_), sink(sink_),
       heapImpl(*prog.prog, max_words)
 {
+    // Cache registry slots once; commitRegion must not pay a string
+    // lookup per commit.
+    auto &reg = telemetry::Registry::global();
+    readLinesHist = &reg.histogram(telemetry::keys::kMachineRegionReadLines);
+    writeLinesHist =
+        &reg.histogram(telemetry::keys::kMachineRegionWriteLines);
 }
 
 RegionRuntime &
@@ -180,6 +188,11 @@ Machine::commitRegion(Ctx &ctx)
     stats.dynamicSize.add(static_cast<int64_t>(spec.uops));
     stats.footprintLines.add(static_cast<int64_t>(
         spec.readLines.size() + spec.writeLines.size()));
+    // Read/write-set occupancy at commit (Section 6.2 footprint
+    // split), recorded straight into the registry: the per-region
+    // stats keep only the combined footprint.
+    readLinesHist->add(static_cast<int64_t>(spec.readLines.size()));
+    writeLinesHist->add(static_cast<int64_t>(spec.writeLines.size()));
     result.regionCommits++;
     if (ctx.id == 0)
         result.regionUopsRetired += spec.uops;
@@ -600,9 +613,54 @@ Machine::step(Ctx &ctx)
         doAbort(ctx, AbortCause::Interrupt, -1, pc);
 }
 
+void
+Machine::publishTelemetry()
+{
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+
+    // Register all six cause counters even when zero so every
+    // snapshot carries the full cause vector.
+    uint64_t total_aborts = 0;
+    uint64_t by_cause[6] = {0, 0, 0, 0, 0, 0};
+    for (const auto &[key, stats] : result.regions) {
+        for (int c = 0; c < 6; ++c)
+            by_cause[c] += stats.abortsByCause[c];
+    }
+    for (int c = 0; c < 6; ++c) {
+        reg.add(keys::kMachineAbortByCause[c], by_cause[c]);
+        total_aborts += by_cause[c];
+    }
+    reg.add(keys::kMachineAbortTotal, total_aborts);
+
+    reg.add(keys::kMachineRegionEntries, result.regionEntries);
+    reg.add(keys::kMachineRegionCommits, result.regionCommits);
+    reg.add(keys::kMachineRegionUops, result.regionUopsRetired);
+    reg.add(keys::kMachineUopsRetired, result.retiredUops);
+    reg.add(keys::kMachineUopsExecuted, result.executedUops);
+    reg.add(keys::kMachineUopsDiscarded, result.discardedUops);
+    reg.add(keys::kMachineUopsAllContexts, result.allContextUops);
+    reg.add(keys::kMachineMonitorFastEnters,
+            result.monitorFastEnters);
+    reg.add(keys::kMachineRuns, 1);
+
+    Histogram &size_hist = reg.histogram(keys::kMachineRegionSize);
+    Histogram &fp_hist =
+        reg.histogram(keys::kMachineRegionFootprint);
+    for (const auto &[key, stats] : result.regions) {
+        for (const auto &[value, weight] :
+             stats.dynamicSize.buckets())
+            size_hist.add(value, weight);
+        for (const auto &[value, weight] :
+             stats.footprintLines.buckets())
+            fp_hist.add(value, weight);
+    }
+}
+
 MachineResult
 Machine::run(uint64_t max_uops)
 {
+    telemetry::ScopedSpan span("machine.run");
     result = MachineResult{};
     ctxs.clear();
     machineUops = 0;
@@ -638,11 +696,13 @@ Machine::run(uint64_t max_uops)
         result.trap = trap;
         result.retiredUops =
             result.executedUops - result.discardedUops;
+        publishTelemetry();
         return result;
     }
 
     result.completed = ctxs[0].finished;
     result.retiredUops = result.executedUops - result.discardedUops;
+    publishTelemetry();
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "hw/isa.hh"
 #include "hw/trace.hh"
 #include "support/statistics.hh"
+#include "support/telemetry.hh"
 #include "vm/heap.hh"
 #include "vm/trap.hh"
 
@@ -52,7 +53,13 @@ struct RegionRuntime
 {
     uint64_t entries = 0;
     uint64_t commits = 0;
+    /** Explicit aborts keyed by the compiler's assert id (the
+     *  abort-code register of Section 3.2, which adaptive
+     *  recompilation maps back to the converted cold edge). */
     std::map<int, uint64_t> abortsByAssert;
+    /** Aborts indexed by static_cast<int>(AbortCause); mirrored
+     *  process-wide as the `machine.abort.*` telemetry counters
+     *  (see docs/TELEMETRY.md). */
     uint64_t abortsByCause[6] = {0, 0, 0, 0, 0, 0};
     aregion::Histogram dynamicSize;     ///< uops per committed region
     aregion::Histogram footprintLines;  ///< lines touched at commit
@@ -165,9 +172,35 @@ class Machine
     void invoke(Ctx &ctx, vm::MethodId callee,
                 const std::vector<int64_t> &argv, MReg ret_dst,
                 uint64_t call_seq);
+    /**
+     * Abort the open region of `ctx` (the hardware side of
+     * `aregion_abort` and of every implicit abort; paper Section
+     * 3.2): restore the register checkpoint, discard the store
+     * buffer and read/write sets, redirect to the region's
+     * alternate pc, and record the cause in the diagnosis
+     * registers (RegionRuntime::abortsByCause and the
+     * `machine.abort.*` telemetry counters).
+     *
+     * @param cause      hardware cause register value
+     * @param abort_id   software abort code (assert id) for
+     *                   AbortCause::Explicit, -1 otherwise
+     * @param resolve_pc global pc of the aborting instruction
+     */
     void doAbort(Ctx &ctx, AbortCause cause, int abort_id,
                  uint64_t resolve_pc);
+
+    /**
+     * Commit the open region of `ctx` (the hardware side of
+     * `aregion_end`; paper Section 3.1 "flash commit"): drain the
+     * store buffer to the heap atomically, publish conflicts to
+     * concurrently speculating contexts, and record the dynamic
+     * size and cache-footprint statistics.
+     */
     void commitRegion(Ctx &ctx);
+
+    /** Mirror MachineResult into the process-wide telemetry
+     *  registry (called once at the end of run()). */
+    void publishTelemetry();
 
     int64_t memRead(Ctx &ctx, uint64_t addr);
     void memWrite(Ctx &ctx, uint64_t addr, int64_t value);
@@ -187,6 +220,10 @@ class Machine
     uint64_t machineUops = 0;       ///< all contexts (interrupt clock)
     uint64_t tracedSeq = 0;         ///< trace sequence for context 0
     std::optional<vm::Trap> fatalTrap;
+
+    /** Cached telemetry slots (stable for the process lifetime). */
+    aregion::Histogram *readLinesHist = nullptr;
+    aregion::Histogram *writeLinesHist = nullptr;
 };
 
 } // namespace aregion::hw

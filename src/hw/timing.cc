@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
+
 namespace aregion::hw {
 
 TimingConfig
@@ -73,29 +76,39 @@ TimingModel::uop(const TraceUop &u)
     ++uopCount;
 
     // --- Dispatch -------------------------------------------------
+    // Each gate that raises the dispatch cycle is a stall candidate;
+    // the *last* gate to raise `d` dominated and gets the blame
+    // (telemetry `timing.stall.*`).
     uint64_t d = dispatchCycle;
+    uint64_t *blame = nullptr;
+    auto gate = [&](uint64_t at, uint64_t &bucket) {
+        if (at > d) {
+            d = at;
+            blame = &bucket;
+        }
+    };
     // ROB occupancy: wait for the uop robSize back to retire.
     if (u.seq > static_cast<uint64_t>(cfg.robSize)) {
-        d = std::max(d,
-                     retireRing[(u.seq - static_cast<uint64_t>(
-                         cfg.robSize)) % HIST]);
+        gate(retireRing[(u.seq - static_cast<uint64_t>(
+                 cfg.robSize)) % HIST],
+             stallRob);
     }
     // Scheduling window: bounded distance past incomplete uops.
     if (u.seq > static_cast<uint64_t>(cfg.schedWindow)) {
-        d = std::max(d,
-                     completeRing[(u.seq - static_cast<uint64_t>(
-                         cfg.schedWindow)) % HIST]);
+        gate(completeRing[(u.seq - static_cast<uint64_t>(
+                 cfg.schedWindow)) % HIST],
+             stallSched);
     }
-    d = std::max(d, fetchResumeAt);
+    gate(fetchResumeAt, stallFetch);
     // A pending locked operation gates later memory operations (the
     // store stream stays ordered); independent ALU work continues.
     if (u.isLoad || u.isStore || u.serializing)
-        d = std::max(d, serialGate);
+        gate(serialGate, stallSerial);
     if (u.serializing) {
         ++serializations;
         // Locked operations drain the store stream (prior stores and
         // serializing ops), not the whole instruction window.
-        d = std::max(d, maxStoreComplete);
+        gate(maxStoreComplete, stallSerial);
     }
     if (u.region == RegionEvent::Begin) {
         ++regionBegins;
@@ -105,12 +118,15 @@ TimingModel::uop(const TraceUop &u)
             break;    // rename-table checkpoint: free
           case TimingConfig::RegionImpl::StallBegin:
             d += static_cast<uint64_t>(cfg.beginStallCycles);
+            blame = &stallRegion;
             break;
           case TimingConfig::RegionImpl::SingleInflight:
-            d = std::max(d, lastRegionEndRetire);
+            gate(lastRegionEndRetire, stallRegion);
             break;
         }
     }
+    if (blame)
+        ++*blame;
     // Width-limited dispatch.
     if (d > dispatchCycle) {
         dispatchCycle = d;
@@ -228,6 +244,38 @@ void
 TimingModel::marker(int64_t id)
 {
     markerCycles.emplace_back(id, lastRetire);
+}
+
+void
+TimingModel::publishTelemetry() const
+{
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+    reg.add(keys::kTimingCycles, cycles());
+    reg.add(keys::kTimingUops, uopCount);
+    reg.add(keys::kTimingBranches, branches);
+    reg.add(keys::kTimingMispredicts, mispredicts);
+    reg.add(keys::kTimingIndirectMispredicts, indirectMispredicts);
+    reg.add(keys::kTimingSerializations, serializations);
+    reg.add(keys::kTimingRegionBegins, regionBegins);
+    reg.add(keys::kTimingAbortFlushes, abortFlushes);
+    reg.add(keys::kTimingL1Misses, l1Misses());
+    reg.add(keys::kTimingL2Misses, l2Misses());
+    reg.add(keys::kTimingStallRob, stallRob);
+    reg.add(keys::kTimingStallSched, stallSched);
+    reg.add(keys::kTimingStallFetch, stallFetch);
+    reg.add(keys::kTimingStallSerial, stallSerial);
+    reg.add(keys::kTimingStallRegion, stallRegion);
+    // IPC of the cumulative registry totals, so a multi-run bench
+    // reports its aggregate throughput.
+    const uint64_t total_uops = reg.counterValue(keys::kTimingUops);
+    const uint64_t total_cycles =
+        reg.counterValue(keys::kTimingCycles);
+    if (total_cycles > 0) {
+        reg.set(keys::kTimingIpc,
+                static_cast<double>(total_uops) /
+                    static_cast<double>(total_cycles));
+    }
 }
 
 } // namespace aregion::hw

@@ -84,6 +84,18 @@ class TimingModel : public TraceSink
     uint64_t regionBegins = 0;
     uint64_t abortFlushes = 0;
 
+    /** Dispatch-stall attribution: uops whose dispatch was delayed,
+     *  bucketed by the dominant gate (`timing.stall.*` keys). */
+    uint64_t stallRob = 0;          ///< ROB occupancy
+    uint64_t stallSched = 0;        ///< scheduling-window distance
+    uint64_t stallFetch = 0;        ///< mispredict/abort redirect
+    uint64_t stallSerial = 0;       ///< serialization / store drain
+    uint64_t stallRegion = 0;       ///< degraded aregion_begin impls
+
+    /** Mirror the model's counters into the process-wide telemetry
+     *  registry (`timing.*` keys). Call once per finished run. */
+    void publishTelemetry() const;
+
     uint64_t l1Misses() const { return caches.l1Misses(); }
     uint64_t l2Misses() const { return caches.l2Misses(); }
 

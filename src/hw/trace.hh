@@ -28,12 +28,20 @@ enum class LatClass : uint8_t {
     Serial,     ///< serializing (CAS, slow locks)
 };
 
-/** Why a region aborted (the cause register of Section 3.2). */
+/**
+ * Why a region aborted — the abort cause register of the paper's
+ * Section 3.2, which software reads after rollback to distinguish
+ * "my assert fired" (recompile the cold branch, Section 7) from
+ * environmental aborts that merely retry. Order is load-bearing:
+ * `RegionRuntime::abortsByCause` and the telemetry keys
+ * `machine.abort.*` (telemetry_keys.hh, kMachineAbortByCause) index
+ * by `static_cast<int>(cause)`.
+ */
 enum class AbortCause : uint8_t {
-    Explicit,   ///< aregion_abort (a compiler assert fired)
-    Conflict,   ///< coherence conflict with another context
-    Overflow,   ///< speculative footprint exceeded the L1 way limit
-    Interrupt,  ///< timer interrupt while speculative
+    Explicit,   ///< aregion_abort (a compiler assert fired, §4.1)
+    Conflict,   ///< coherence conflict with another context (SLE, §5.2)
+    Overflow,   ///< speculative footprint exceeded the L1 way limit (§3.1)
+    Interrupt,  ///< timer interrupt while speculative (§3.2)
     Exception,  ///< trap or blocking operation while speculative
     Io,         ///< irrevocable operation reached speculatively
 };

@@ -1,18 +1,63 @@
 #include "opt/pass.hh"
 
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
+
 namespace aregion::opt {
+
+namespace {
+
+/** Cumulative wall-clock slots for the `jit.pass.*_us` keys,
+ *  resolved once (registry references are stable). */
+struct PassTimers
+{
+    uint64_t &simplifyCfg;
+    uint64_t &constantFold;
+    uint64_t &cse;
+    uint64_t &copyProp;
+    uint64_t &dce;
+    uint64_t &inl;
+    uint64_t &unroll;
+
+    static PassTimers &get()
+    {
+        namespace keys = telemetry::keys;
+        auto &reg = telemetry::Registry::global();
+        static PassTimers timers{
+            reg.counter(keys::kJitPassSimplifyCfgUs),
+            reg.counter(keys::kJitPassConstantFoldUs),
+            reg.counter(keys::kJitPassCseUs),
+            reg.counter(keys::kJitPassCopyPropUs),
+            reg.counter(keys::kJitPassDceUs),
+            reg.counter(keys::kJitPassInlineUs),
+            reg.counter(keys::kJitPassUnrollUs),
+        };
+        return timers;
+    }
+};
+
+bool
+timed(uint64_t &slot, bool (*pass)(ir::Function &),
+      ir::Function &func)
+{
+    telemetry::ScopedTimerUs timer(slot);
+    return pass(func);
+}
+
+} // namespace
 
 bool
 runScalarPipeline(ir::Function &func, const OptContext &ctx)
 {
+    PassTimers &t = PassTimers::get();
     bool changed_any = false;
     for (int round = 0; round < ctx.maxScalarIters; ++round) {
         bool changed = false;
-        changed |= simplifyCfg(func);
-        changed |= constantFold(func);
-        changed |= commonSubexpressionElim(func);
-        changed |= copyPropagate(func);
-        changed |= deadCodeElim(func);
+        changed |= timed(t.simplifyCfg, simplifyCfg, func);
+        changed |= timed(t.constantFold, constantFold, func);
+        changed |= timed(t.cse, commonSubexpressionElim, func);
+        changed |= timed(t.copyProp, copyPropagate, func);
+        changed |= timed(t.dce, deadCodeElim, func);
         changed_any |= changed;
         if (!changed)
             break;
@@ -23,17 +68,28 @@ runScalarPipeline(ir::Function &func, const OptContext &ctx)
 void
 optimizeModule(ir::Module &mod, const OptContext &ctx)
 {
+    PassTimers &t = PassTimers::get();
+    telemetry::ScopedSpan span("opt.module");
     // Inline/devirtualize to a fixpoint, cleaning between sweeps so
     // size estimates see optimized callees.
     for (int round = 0; round < 4; ++round) {
-        const bool inlined = inlineCalls(mod, ctx);
+        bool inlined = false;
+        {
+            telemetry::ScopedTimerUs timer(t.inl);
+            inlined = inlineCalls(mod, ctx);
+        }
         for (auto &[mid, func] : mod.funcs)
             runScalarPipeline(func, ctx);
         if (!inlined)
             break;
     }
     for (auto &[mid, func] : mod.funcs) {
-        if (unrollLoops(func, ctx))
+        bool unrolled = false;
+        {
+            telemetry::ScopedTimerUs timer(t.unroll);
+            unrolled = unrollLoops(func, ctx);
+        }
+        if (unrolled)
             runScalarPipeline(func, ctx);
     }
 }

@@ -1,6 +1,8 @@
 #include "runtime/jit.hh"
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 #include "vm/interpreter.hh"
 
 namespace aregion::runtime {
@@ -40,6 +42,10 @@ executeCompiled(const core::Compiled &compiled,
                 const vm::Program &measure_prog,
                 const ExperimentConfig &config)
 {
+    telemetry::ScopedSpan span("jit.machine");
+    telemetry::ScopedTimerUs timer(
+        telemetry::Registry::global().counter(
+            telemetry::keys::kJitMachineUs));
     vm::Heap layout_heap(measure_prog, 1 << 16);
     const hw::MachineProgram mp = hw::lowerModule(
         compiled.mod, hw::LayoutInfo::fromHeap(layout_heap));
@@ -47,6 +53,7 @@ executeCompiled(const core::Compiled &compiled,
     hw::Machine machine(mp, config.hw, &timing);
     MachineRun run;
     run.result = machine.run();
+    timing.publishTelemetry();
     run.cycles = timing.cycles();
     run.mispredicts =
         timing.mispredicts + timing.indirectMispredicts;
@@ -64,18 +71,32 @@ runExperiment(const vm::Program &profile_prog,
               const ExperimentConfig &config,
               const std::vector<SampleSpec> &samples)
 {
+    namespace keys = telemetry::keys;
+    auto &registry = telemetry::Registry::global();
+    registry.add(keys::kJitRuns, 1);
+    telemetry::ScopedSpan run_span("jit.run");
+
     // Stage 1: first-pass profiling (interpreter).
     vm::Profile profile(profile_prog);
     {
+        telemetry::ScopedSpan span("jit.profile");
+        telemetry::ScopedTimerUs timer(
+            registry.counter(keys::kJitProfileUs));
         vm::Interpreter interp(profile_prog, &profile);
         const auto res = interp.run();
         AREGION_ASSERT(res.completed || res.trap.has_value(),
                        "profiling run hit the step budget");
     }
+    profile.publishTelemetry();
 
     // Stage 2: optimizing compilation.
-    core::Compiled compiled =
-        core::compileProgram(measure_prog, profile, config.compiler);
+    core::Compiled compiled = [&] {
+        telemetry::ScopedSpan span("jit.compile");
+        telemetry::ScopedTimerUs timer(
+            registry.counter(keys::kJitCompileUs));
+        return core::compileProgram(measure_prog, profile,
+                                    config.compiler);
+    }();
 
     // Stage 3: machine + timing execution.
     MachineRun run = executeCompiled(compiled, measure_prog, config);
@@ -86,14 +107,23 @@ runExperiment(const vm::Program &profile_prog,
         const auto overrides = config.controller.computeOverrides(
             compiled.mod, toTelemetry(run.result));
         if (!overrides.empty()) {
+            telemetry::ScopedSpan span("jit.adaptive");
             core::CompilerConfig updated = config.compiler;
             updated.region.warmOverrides = overrides;
-            compiled = core::compileProgram(measure_prog, profile,
-                                            updated);
+            {
+                telemetry::ScopedTimerUs timer(
+                    registry.counter(keys::kJitCompileUs));
+                compiled = core::compileProgram(measure_prog,
+                                                profile, updated);
+            }
             run = executeCompiled(compiled, measure_prog, config);
             recompiled = true;
+            registry.add(keys::kJitRecompiles, 1);
         }
     }
+    // Register the recompile counter even when it stays zero so the
+    // exported schema is stable.
+    registry.counter(keys::kJitRecompiles);
 
     // Stage 5: metrics.
     RunMetrics metrics;

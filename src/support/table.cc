@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
 
 namespace aregion {
 
@@ -86,6 +87,30 @@ TextTable::render() const
     os << std::string(total, '-') << '\n';
     for (const auto &row : rows)
         emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::toJson(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    const std::string pad2 = pad + pad;
+    std::ostringstream os;
+    auto cells = [&](const std::vector<std::string> &row) {
+        std::string out = "[";
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ", ";
+            out += telemetry::jsonQuote(row[c]);
+        }
+        return out + "]";
+    };
+    os << "{\n" << pad << "\"header\": " << cells(head) << ",\n"
+       << pad << "\"rows\": [";
+    for (size_t r = 0; r < rows.size(); ++r) {
+        os << (r ? ",\n" : "\n") << pad2 << cells(rows[r]);
+    }
+    os << (rows.empty() ? "" : "\n" + pad) << "]\n}";
     return os.str();
 }
 

@@ -33,6 +33,16 @@ class TextTable
     /** Render the full table, right-aligning numeric-looking cells. */
     std::string render() const;
 
+    /** JSON object {"header": [...], "rows": [[...], ...]} (used by
+     *  the bench binaries' --json export). */
+    std::string toJson(int indent = 2) const;
+
+    const std::vector<std::string> &header() const { return head; }
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows;
+    }
+
   private:
     std::vector<std::string> head;
     std::vector<std::vector<std::string>> rows;

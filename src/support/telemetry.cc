@@ -1,0 +1,278 @@
+#include "support/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "support/table.hh"
+
+namespace aregion::telemetry {
+
+namespace {
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Doubles print with enough digits to round-trip but without
+ *  locale surprises. */
+std::string
+fmtDouble(double v)
+{
+    std::ostringstream out;
+    out.precision(12);
+    out << v;
+    return out.str();
+}
+
+} // namespace
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+uint64_t &
+Registry::counter(const std::string &key)
+{
+    return counters[key];
+}
+
+void
+Registry::add(const std::string &key, uint64_t n)
+{
+    counters[key] += n;
+}
+
+void
+Registry::set(const std::string &key, double value)
+{
+    gauges[key] = value;
+}
+
+Histogram &
+Registry::histogram(const std::string &key)
+{
+    return hists[key];
+}
+
+uint64_t
+Registry::counterValue(const std::string &key) const
+{
+    auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+}
+
+double
+Registry::gaugeValue(const std::string &key) const
+{
+    auto it = gauges.find(key);
+    return it == gauges.end() ? 0.0 : it->second;
+}
+
+bool
+Registry::has(const std::string &key) const
+{
+    return counters.count(key) || gauges.count(key) ||
+           hists.count(key);
+}
+
+std::vector<std::string>
+Registry::keys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : counters)
+        out.push_back(k);
+    for (const auto &[k, v] : gauges)
+        out.push_back(k);
+    for (const auto &[k, v] : hists)
+        out.push_back(k);
+    // The three maps are individually sorted; merge-sort the result.
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+Registry::reset()
+{
+    for (auto &[k, v] : counters)
+        v = 0;
+    for (auto &[k, v] : gauges)
+        v = 0.0;
+    for (auto &[k, v] : hists)
+        v = Histogram{};
+    ring.clear();
+    spanCount = 0;
+    openDepth = 0;
+    if (tracingOn)
+        traceEpochNs = steadyNowNs();
+}
+
+void
+Registry::enableTracing(size_t capacity)
+{
+    tracingOn = capacity > 0;
+    ringCapacity = capacity;
+    ring.clear();
+    spanCount = 0;
+    openDepth = 0;
+    traceEpochNs = steadyNowNs();
+}
+
+void
+Registry::disableTracing()
+{
+    tracingOn = false;
+}
+
+uint64_t
+Registry::nowUs() const
+{
+    return (steadyNowNs() - traceEpochNs) / 1000;
+}
+
+int
+Registry::beginSpan()
+{
+    return openDepth++;
+}
+
+void
+Registry::endSpan(const char *name, uint64_t begin_us, int depth)
+{
+    openDepth = depth;
+    SpanRecord rec{name, begin_us, nowUs(), depth};
+    if (ring.size() < ringCapacity) {
+        ring.push_back(std::move(rec));
+    } else if (ringCapacity > 0) {
+        ring[spanCount % ringCapacity] = std::move(rec);
+    }
+    ++spanCount;
+}
+
+std::vector<SpanRecord>
+Registry::spans() const
+{
+    if (ring.size() < ringCapacity || ring.empty())
+        return ring;
+    // Ring wrapped: oldest entry is at spanCount % capacity.
+    std::vector<SpanRecord> out;
+    out.reserve(ring.size());
+    const size_t start = spanCount % ringCapacity;
+    for (size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(start + i) % ringCapacity]);
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Registry::toJson(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    const std::string pad2 = pad + pad;
+    const std::string pad3 = pad2 + pad;
+    std::ostringstream out;
+
+    out << "{\n" << pad << "\"counters\": {";
+    bool first = true;
+    for (const auto &[k, v] : counters) {
+        out << (first ? "\n" : ",\n") << pad2 << jsonQuote(k) << ": "
+            << v;
+        first = false;
+    }
+    out << (first ? "" : "\n" + pad) << "},\n";
+
+    out << pad << "\"gauges\": {";
+    first = true;
+    for (const auto &[k, v] : gauges) {
+        out << (first ? "\n" : ",\n") << pad2 << jsonQuote(k) << ": "
+            << fmtDouble(v);
+        first = false;
+    }
+    out << (first ? "" : "\n" + pad) << "},\n";
+
+    out << pad << "\"histograms\": {";
+    first = true;
+    for (const auto &[k, h] : hists) {
+        out << (first ? "\n" : ",\n") << pad2 << jsonQuote(k) << ": {"
+            << "\"count\": " << h.count()
+            << ", \"mean\": " << fmtDouble(h.mean())
+            << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+            << ", \"p95\": " << h.percentile(0.95) << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n" + pad) << "},\n";
+
+    out << pad << "\"spans\": [";
+    first = true;
+    for (const SpanRecord &s : spans()) {
+        out << (first ? "\n" : ",\n") << pad2 << "{\"name\": "
+            << jsonQuote(s.name) << ", \"begin_us\": " << s.beginUs
+            << ", \"end_us\": " << s.endUs
+            << ", \"depth\": " << s.depth << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n" + pad) << "]\n}";
+    return out.str();
+}
+
+std::string
+Registry::toTable() const
+{
+    TextTable table({"key", "kind", "value"});
+    for (const auto &[k, v] : counters)
+        table.addRow({k, "counter", std::to_string(v)});
+    for (const auto &[k, v] : gauges)
+        table.addRow({k, "gauge", TextTable::fmt(v, 3)});
+    for (const auto &[k, h] : hists) {
+        table.addRow({k, "histogram",
+                      "n=" + std::to_string(h.count()) +
+                          " mean=" + TextTable::fmt(h.mean(), 1) +
+                          " max=" + std::to_string(h.max())});
+    }
+    return table.render();
+}
+
+ScopedTimerUs::ScopedTimerUs(uint64_t &slot_)
+    : slot(slot_), startNs(steadyNowNs())
+{
+}
+
+ScopedTimerUs::~ScopedTimerUs()
+{
+    slot += (steadyNowNs() - startNs) / 1000;
+}
+
+} // namespace aregion::telemetry

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Process-wide telemetry: a named counter/gauge/histogram registry
+ * plus a lightweight scoped trace-event API, with JSON and text-table
+ * exporters.
+ *
+ * Keys are hierarchical dotted strings ("machine.abort.conflict",
+ * "jit.pass.cse_us"); the full schema lives in docs/TELEMETRY.md and
+ * is enforced against the catalog in telemetry_keys.hh by the
+ * `verify_docs` test. Design constraints:
+ *
+ *  - Hot paths never pay a string lookup: instrumented modules cache
+ *    the reference returned by counter()/histogram() once (references
+ *    are stable for the process lifetime; reset() zeroes values in
+ *    place and never invalidates them).
+ *  - Scoped tracing is zero-cost when disabled: the ScopedSpan
+ *    constructor reads one flag and does nothing else (no clock
+ *    access, no allocation).
+ *  - The registry is deterministic: all containers iterate in sorted
+ *    key order, so the JSON export is byte-stable across runs.
+ *
+ * Like the rest of the simulator the registry is single-threaded by
+ * design (simulated hardware contexts share one host thread); it is
+ * not guarded by locks.
+ */
+
+#ifndef AREGION_SUPPORT_TELEMETRY_HH
+#define AREGION_SUPPORT_TELEMETRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/statistics.hh"
+
+namespace aregion::telemetry {
+
+/** One begin/end trace event recorded by ScopedSpan. */
+struct SpanRecord
+{
+    std::string name;
+    uint64_t beginUs = 0;   ///< microseconds since tracing enabled
+    uint64_t endUs = 0;
+    int depth = 0;          ///< nesting depth at begin
+};
+
+/**
+ * The process-wide registry. Access through Registry::global();
+ * instances can also be created standalone (tests, isolated tools).
+ */
+class Registry
+{
+  public:
+    /** The process-wide instance. */
+    static Registry &global();
+
+    /** Monotonic counter slot for `key`, created at zero on first
+     *  use. The reference stays valid for the registry's lifetime. */
+    uint64_t &counter(const std::string &key);
+
+    /** counter(key) += n. */
+    void add(const std::string &key, uint64_t n = 1);
+
+    /** Last-write-wins gauge (floating point). */
+    void set(const std::string &key, double value);
+
+    /** Sparse histogram slot for `key` (same stability guarantee as
+     *  counter()). */
+    Histogram &histogram(const std::string &key);
+
+    /** Counter value, 0 when the key was never registered. */
+    uint64_t counterValue(const std::string &key) const;
+
+    /** Gauge value, 0.0 when the key was never registered. */
+    double gaugeValue(const std::string &key) const;
+
+    bool has(const std::string &key) const;
+
+    /** All registered keys (counters, gauges, histograms), sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Zero every counter/gauge/histogram in place and drop recorded
+     *  spans. Cached references stay valid; keys stay registered. */
+    void reset();
+
+    // --- Scoped tracing ------------------------------------------
+    /** Enable span recording into a ring buffer of `capacity`
+     *  events (oldest events are overwritten). */
+    void enableTracing(size_t capacity = 4096);
+    void disableTracing();
+    bool tracingEnabled() const { return tracingOn; }
+
+    /** Recorded spans, oldest first. Open spans (begin without end
+     *  yet) are not included. */
+    std::vector<SpanRecord> spans() const;
+
+    /** Total spans recorded since tracing was enabled (including
+     *  any that fell out of the ring). */
+    uint64_t spansRecorded() const { return spanCount; }
+
+    // --- Export ---------------------------------------------------
+    /**
+     * JSON object with stable (sorted) key ordering:
+     * {"counters": {...}, "gauges": {...}, "histograms": {key:
+     * {count, mean, min, max, p95}}, "spans": [...]}.
+     */
+    std::string toJson(int indent = 2) const;
+
+    /** Human-readable table of every key (support/table.hh). */
+    std::string toTable() const;
+
+  private:
+    friend class ScopedSpan;
+
+    /** Called by ScopedSpan only when tracing is on. */
+    int beginSpan();
+    void endSpan(const char *name, uint64_t begin_us, int depth);
+    uint64_t nowUs() const;
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> hists;
+
+    bool tracingOn = false;
+    size_t ringCapacity = 0;
+    uint64_t spanCount = 0;
+    int openDepth = 0;
+    std::vector<SpanRecord> ring;       ///< spanCount % cap ordering
+    uint64_t traceEpochNs = 0;          ///< steady_clock at enable
+};
+
+/**
+ * RAII trace span. When tracing is disabled construction and
+ * destruction read one flag each and do nothing else, so spans can
+ * be left in release binaries. `name` must outlive the span (string
+ * literals in practice).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name_,
+                        Registry &reg_ = Registry::global())
+        : reg(reg_)
+    {
+        if (reg.tracingOn) {
+            name = name_;
+            depth = reg.beginSpan();
+            beginUs = reg.nowUs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (name)
+            reg.endSpan(name, beginUs, depth);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Registry &reg;
+    const char *name = nullptr;
+    uint64_t beginUs = 0;
+    int depth = 0;
+};
+
+/**
+ * RAII wall-clock timer accumulating elapsed microseconds into a
+ * counter slot (always on — used for the per-pass JIT timing
+ * "jit.pass.*_us" keys, which run at compile frequency, not
+ * simulation frequency).
+ */
+class ScopedTimerUs
+{
+  public:
+    explicit ScopedTimerUs(uint64_t &slot_);
+    ~ScopedTimerUs();
+
+    ScopedTimerUs(const ScopedTimerUs &) = delete;
+    ScopedTimerUs &operator=(const ScopedTimerUs &) = delete;
+
+  private:
+    uint64_t &slot;
+    uint64_t startNs;
+};
+
+/** Escape and quote a string for JSON output. */
+std::string jsonQuote(const std::string &s);
+
+} // namespace aregion::telemetry
+
+#endif // AREGION_SUPPORT_TELEMETRY_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The canonical catalog of telemetry keys.
+ *
+ * Every counter/gauge/histogram key registered anywhere in the
+ * source MUST be listed here, and every key listed here MUST be
+ * documented in docs/TELEMETRY.md. Both directions are enforced:
+ *
+ *  - tools/verify_docs.cc (the `verify_docs` ctest) checks that
+ *    docs/TELEMETRY.md mentions every catalog key;
+ *  - tests/support_telemetry_test.cc runs a full experiment and
+ *    checks that every key registered at runtime is in the catalog.
+ *
+ * Instrumentation sites reference these constants instead of
+ * repeating string literals, so a typo becomes a compile error and
+ * a new key without a catalog entry fails the runtime check.
+ */
+
+#ifndef AREGION_SUPPORT_TELEMETRY_KEYS_HH
+#define AREGION_SUPPORT_TELEMETRY_KEYS_HH
+
+#include <string>
+#include <vector>
+
+#include "support/telemetry.hh"
+
+namespace aregion::telemetry::keys {
+
+// --- machine.* (src/hw/machine.cc) -------------------------------
+// Abort-cause counters mirror hw::AbortCause order (the cause
+// register of the paper's Section 3.2).
+inline constexpr const char *kMachineAbortByCause[6] = {
+    "machine.abort.explicit",  "machine.abort.conflict",
+    "machine.abort.overflow",  "machine.abort.interrupt",
+    "machine.abort.exception", "machine.abort.io",
+};
+inline constexpr const char *kMachineAbortTotal = "machine.abort.total";
+inline constexpr const char *kMachineRegionEntries =
+    "machine.region.entries";
+inline constexpr const char *kMachineRegionCommits =
+    "machine.region.commits";
+inline constexpr const char *kMachineRegionUops =
+    "machine.region.uops_retired";
+inline constexpr const char *kMachineRegionSize =
+    "machine.region.size_uops";            // histogram
+inline constexpr const char *kMachineRegionFootprint =
+    "machine.region.footprint_lines";      // histogram
+inline constexpr const char *kMachineRegionReadLines =
+    "machine.region.read_lines";           // histogram
+inline constexpr const char *kMachineRegionWriteLines =
+    "machine.region.write_lines";          // histogram
+inline constexpr const char *kMachineUopsRetired =
+    "machine.uops.retired";
+inline constexpr const char *kMachineUopsExecuted =
+    "machine.uops.executed";
+inline constexpr const char *kMachineUopsDiscarded =
+    "machine.uops.discarded";
+inline constexpr const char *kMachineUopsAllContexts =
+    "machine.uops.all_contexts";
+inline constexpr const char *kMachineMonitorFastEnters =
+    "machine.monitor.fast_enters";
+inline constexpr const char *kMachineRuns = "machine.runs";
+
+// --- timing.* (src/hw/timing.cc) ---------------------------------
+inline constexpr const char *kTimingCycles = "timing.cycles";
+inline constexpr const char *kTimingUops = "timing.uops";
+inline constexpr const char *kTimingIpc = "timing.ipc";     // gauge
+inline constexpr const char *kTimingBranches = "timing.branches";
+inline constexpr const char *kTimingMispredicts =
+    "timing.mispredicts";
+inline constexpr const char *kTimingIndirectMispredicts =
+    "timing.indirect_mispredicts";
+inline constexpr const char *kTimingSerializations =
+    "timing.serializations";
+inline constexpr const char *kTimingRegionBegins =
+    "timing.region_begins";
+inline constexpr const char *kTimingAbortFlushes =
+    "timing.abort_flushes";
+inline constexpr const char *kTimingL1Misses = "timing.l1_misses";
+inline constexpr const char *kTimingL2Misses = "timing.l2_misses";
+// Dispatch-stall attribution: uops whose dispatch was delayed,
+// bucketed by the dominant gate.
+inline constexpr const char *kTimingStallRob = "timing.stall.rob";
+inline constexpr const char *kTimingStallSched =
+    "timing.stall.sched_window";
+inline constexpr const char *kTimingStallFetch =
+    "timing.stall.fetch_redirect";
+inline constexpr const char *kTimingStallSerial =
+    "timing.stall.serialization";
+inline constexpr const char *kTimingStallRegion =
+    "timing.stall.region_begin";
+
+// --- jit.* (src/runtime/jit.cc, src/opt/pass.cc) -----------------
+inline constexpr const char *kJitRuns = "jit.runs";
+inline constexpr const char *kJitRecompiles = "jit.recompiles";
+inline constexpr const char *kJitProfileUs = "jit.profile_us";
+inline constexpr const char *kJitCompileUs = "jit.compile_us";
+inline constexpr const char *kJitMachineUs = "jit.machine_us";
+// Cumulative per-pass optimizer time (opt/pass.cc pipelines).
+inline constexpr const char *kJitPassSimplifyCfgUs =
+    "jit.pass.simplify_cfg_us";
+inline constexpr const char *kJitPassConstantFoldUs =
+    "jit.pass.constant_fold_us";
+inline constexpr const char *kJitPassCseUs = "jit.pass.cse_us";
+inline constexpr const char *kJitPassCopyPropUs =
+    "jit.pass.copy_prop_us";
+inline constexpr const char *kJitPassDceUs = "jit.pass.dce_us";
+inline constexpr const char *kJitPassInlineUs =
+    "jit.pass.inline_us";
+inline constexpr const char *kJitPassUnrollUs =
+    "jit.pass.unroll_us";
+
+// --- region.* (src/core/region_formation.cc) ---------------------
+inline constexpr const char *kRegionFormed = "region.formed";
+inline constexpr const char *kRegionAssertsConverted =
+    "region.asserts_converted";
+inline constexpr const char *kRegionBlocksReplicated =
+    "region.blocks_replicated";
+inline constexpr const char *kRegionExits = "region.exits";
+inline constexpr const char *kRegionUnrolled = "region.unrolled";
+
+// --- profile.* (src/vm/profile.cc) -------------------------------
+inline constexpr const char *kProfileMethods = "profile.methods";
+inline constexpr const char *kProfileBytecodes =
+    "profile.bytecodes";
+inline constexpr const char *kProfileBranchSites =
+    "profile.branch_sites";
+inline constexpr const char *kProfileCallSites =
+    "profile.call_sites";
+inline constexpr const char *kProfileInvocations =
+    "profile.invocations";
+
+/** Value kind of a catalogued key. */
+enum class KeyKind { Counter, Gauge, Hist };
+
+struct KeyInfo
+{
+    const char *key;
+    KeyKind kind;
+};
+
+/** Every key above with its kind, for the docs-coverage checks and
+ *  schema pre-registration. */
+inline std::vector<KeyInfo>
+catalogInfo()
+{
+    std::vector<KeyInfo> all;
+    for (const char *k : kMachineAbortByCause)
+        all.push_back({k, KeyKind::Counter});
+    for (const char *k :
+         {kMachineAbortTotal, kMachineRegionEntries,
+          kMachineRegionCommits, kMachineRegionUops,
+          kMachineUopsRetired, kMachineUopsExecuted,
+          kMachineUopsDiscarded, kMachineUopsAllContexts,
+          kMachineMonitorFastEnters, kMachineRuns, kTimingCycles,
+          kTimingUops, kTimingBranches, kTimingMispredicts,
+          kTimingIndirectMispredicts, kTimingSerializations,
+          kTimingRegionBegins, kTimingAbortFlushes, kTimingL1Misses,
+          kTimingL2Misses, kTimingStallRob, kTimingStallSched,
+          kTimingStallFetch, kTimingStallSerial, kTimingStallRegion,
+          kJitRuns, kJitRecompiles, kJitProfileUs, kJitCompileUs,
+          kJitMachineUs, kJitPassSimplifyCfgUs,
+          kJitPassConstantFoldUs, kJitPassCseUs, kJitPassCopyPropUs,
+          kJitPassDceUs, kJitPassInlineUs, kJitPassUnrollUs,
+          kRegionFormed, kRegionAssertsConverted,
+          kRegionBlocksReplicated, kRegionExits, kRegionUnrolled,
+          kProfileMethods, kProfileBytecodes, kProfileBranchSites,
+          kProfileCallSites, kProfileInvocations}) {
+        all.push_back({k, KeyKind::Counter});
+    }
+    all.push_back({kTimingIpc, KeyKind::Gauge});
+    for (const char *k :
+         {kMachineRegionSize, kMachineRegionFootprint,
+          kMachineRegionReadLines, kMachineRegionWriteLines}) {
+        all.push_back({k, KeyKind::Hist});
+    }
+    return all;
+}
+
+/** Catalogued key names only. */
+inline std::vector<std::string>
+catalog()
+{
+    std::vector<std::string> names;
+    for (const KeyInfo &info : catalogInfo())
+        names.push_back(info.key);
+    return names;
+}
+
+/** Register the full schema at zero so every export carries the
+ *  same key set regardless of which subsystems a binary exercised
+ *  (the bench harness calls this at startup). */
+inline void
+preregister(Registry &reg)
+{
+    for (const KeyInfo &info : catalogInfo()) {
+        switch (info.kind) {
+          case KeyKind::Counter: reg.counter(info.key); break;
+          case KeyKind::Gauge: reg.set(info.key, 0.0); break;
+          case KeyKind::Hist: reg.histogram(info.key); break;
+        }
+    }
+}
+
+} // namespace aregion::telemetry::keys
+
+#endif // AREGION_SUPPORT_TELEMETRY_KEYS_HH

@@ -1,6 +1,8 @@
 #include "vm/profile.hh"
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 
 namespace aregion::vm {
 
@@ -58,6 +60,31 @@ Profile::takenCount(MethodId m, int pc) const
     const auto &prof = forMethod(m);
     auto it = prof.branchTaken.find(pc);
     return it == prof.branchTaken.end() ? 0 : it->second;
+}
+
+void
+Profile::publishTelemetry() const
+{
+    namespace keys = telemetry::keys;
+    uint64_t bytecodes = 0;
+    uint64_t branch_sites = 0;
+    uint64_t call_sites = 0;
+    uint64_t invocations = 0;
+    uint64_t methods_run = 0;
+    for (const MethodProfile &prof : perMethod) {
+        for (uint64_t count : prof.execCount)
+            bytecodes += count;
+        branch_sites += prof.branchTaken.size();
+        call_sites += prof.callSites.size();
+        invocations += prof.invocations;
+        methods_run += prof.invocations > 0;
+    }
+    auto &reg = telemetry::Registry::global();
+    reg.add(keys::kProfileMethods, methods_run);
+    reg.add(keys::kProfileBytecodes, bytecodes);
+    reg.add(keys::kProfileBranchSites, branch_sites);
+    reg.add(keys::kProfileCallSites, call_sites);
+    reg.add(keys::kProfileInvocations, invocations);
 }
 
 double

@@ -59,6 +59,11 @@ class Profile
     /** Probability the branch at pc is taken (0.5 if unobserved). */
     double takenBias(MethodId m, int pc) const;
 
+    /** Summarize the profile into the process-wide telemetry
+     *  registry (`profile.*` keys; see docs/TELEMETRY.md). The JIT
+     *  pipeline calls this once after the profiling run. */
+    void publishTelemetry() const;
+
   private:
     std::vector<MethodProfile> perMethod;
 };

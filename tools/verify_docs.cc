@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Docs-coverage checker for the telemetry catalog.
+ *
+ * Usage: verify_docs <path/to/TELEMETRY.md>
+ *
+ * Reads the markdown file and requires that every key in
+ * telemetry::keys::catalog() appears in it verbatim. This is half of
+ * the enforcement triangle described in telemetry_keys.hh — the
+ * other half (runtime keys ⊆ catalog) lives in
+ * tests/support_telemetry_test.cc. Exit status 0 on full coverage,
+ * 1 with a per-key report otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/telemetry_keys.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <TELEMETRY.md>\n", argv[0]);
+        return 2;
+    }
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "verify_docs: cannot open %s\n",
+                     argv[1]);
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+
+    std::vector<std::string> missing;
+    for (const std::string &key :
+         aregion::telemetry::keys::catalog()) {
+        if (doc.find(key) == std::string::npos)
+            missing.push_back(key);
+    }
+    if (!missing.empty()) {
+        std::fprintf(stderr,
+                     "verify_docs: %zu catalog key(s) missing from "
+                     "%s:\n",
+                     missing.size(), argv[1]);
+        for (const std::string &key : missing)
+            std::fprintf(stderr, "  %s\n", key.c_str());
+        return 1;
+    }
+    std::printf("verify_docs: all %zu catalog keys documented in "
+                "%s\n",
+                aregion::telemetry::keys::catalog().size(), argv[1]);
+    return 0;
+}
