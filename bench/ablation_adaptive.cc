@@ -24,24 +24,32 @@ main(int argc, char **argv)
                 "workloads (Section 7)\n\n");
     TextTable table({"bench", "mode", "speedup", "abort%",
                      "recompiled"});
-    for (const char *name : {"pmd", "bloat", "hsqldb"}) {
-        const auto &w = wl::workloadByName(name);
-        const vm::Program profile_prog = w.build(true);
-        const vm::Program measure_prog = w.build(false);
-
+    // Grid: per workload a baseline cell plus static/adaptive atomic
+    // cells; all nine run through the parallel driver.
+    const std::vector<BuiltWorkload> built =
+        buildPrograms(suitePointers({"pmd", "bloat", "hsqldb"}));
+    std::vector<GridCell> cells;
+    for (size_t wi = 0; wi < built.size(); ++wi) {
         rt::ExperimentConfig base;
         base.compiler = core::CompilerConfig::baseline();
-        const auto mb = rt::runExperiment(profile_prog, measure_prog,
-                                          base, w.samples);
-
+        cells.push_back({wi, std::move(base)});
         for (bool adaptive : {false, true}) {
             rt::ExperimentConfig config;
             config.compiler =
                 core::CompilerConfig::atomicAggressiveInline();
             config.adaptiveRecompile = adaptive;
-            const auto m = rt::runExperiment(
-                profile_prog, measure_prog, config, w.samples);
-            table.addRow({name,
+            cells.push_back({wi, std::move(config)});
+        }
+    }
+    const std::vector<rt::RunMetrics> slots =
+        runCellGrid(built, cells);
+
+    size_t slot = 0;
+    for (const BuiltWorkload &b : built) {
+        const rt::RunMetrics &mb = slots[slot++];
+        for (bool adaptive : {false, true}) {
+            const rt::RunMetrics &m = slots[slot++];
+            table.addRow({b.workload->name,
                           adaptive ? "adaptive" : "static",
                           TextTable::fmt(speedupPct(mb, m), 1) + "%",
                           TextTable::pct(m.abortPct, 2),

@@ -25,29 +25,42 @@ main(int argc, char **argv)
                 "(atomic+aggr-inline, xalan + hsqldb + jython)\n\n");
     TextTable table({"R", "avg speedup", "avg region size",
                      "abort%", "overflow aborts"});
-    for (const double r : {25.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
-        std::vector<double> speedups;
-        double sizes = 0;
-        double aborts = 0;
-        uint64_t overflows = 0;
-        int n = 0;
-        for (const char *name : {"xalan", "hsqldb", "jython"}) {
-            const auto &w = wl::workloadByName(name);
-            const vm::Program pp = w.build(true);
-            const vm::Program mp = w.build(false);
-
-            rt::ExperimentConfig base;
-            base.compiler = core::CompilerConfig::baseline();
-            const auto mb = rt::runExperiment(pp, mp, base,
-                                              w.samples);
-
+    // Grid: one baseline cell per workload (the baseline does not
+    // depend on R, so it runs once instead of once per sweep point)
+    // plus a cell per (R, workload); all through the parallel driver.
+    const std::vector<double> sweep{25.0, 50.0, 100.0,
+                                    200.0, 400.0, 800.0};
+    const std::vector<BuiltWorkload> built =
+        buildPrograms(suitePointers({"xalan", "hsqldb", "jython"}));
+    std::vector<GridCell> cells;
+    for (size_t wi = 0; wi < built.size(); ++wi) {
+        rt::ExperimentConfig base;
+        base.compiler = core::CompilerConfig::baseline();
+        cells.push_back({wi, std::move(base)});
+    }
+    for (const double r : sweep) {
+        for (size_t wi = 0; wi < built.size(); ++wi) {
             rt::ExperimentConfig config;
             config.compiler =
                 core::CompilerConfig::atomicAggressiveInline();
             config.compiler.region.targetSize = r;
             config.compiler.region.loopPathThreshold = r;
-            const auto m = rt::runExperiment(pp, mp, config,
-                                             w.samples);
+            cells.push_back({wi, std::move(config)});
+        }
+    }
+    const std::vector<rt::RunMetrics> slots =
+        runCellGrid(built, cells);
+
+    for (size_t ri = 0; ri < sweep.size(); ++ri) {
+        std::vector<double> speedups;
+        double sizes = 0;
+        double aborts = 0;
+        uint64_t overflows = 0;
+        int n = 0;
+        for (size_t wi = 0; wi < built.size(); ++wi) {
+            const rt::RunMetrics &mb = slots[wi];
+            const rt::RunMetrics &m =
+                slots[built.size() * (1 + ri) + wi];
             speedups.push_back(speedupPct(mb, m));
             sizes += m.avgRegionSize;
             aborts += m.abortPct;
@@ -57,7 +70,7 @@ main(int argc, char **argv)
             }
             ++n;
         }
-        table.addRow({TextTable::fmt(r, 0),
+        table.addRow({TextTable::fmt(sweep[ri], 0),
                       TextTable::fmt(mean(speedups), 1) + "%",
                       TextTable::fmt(sizes / n, 0),
                       TextTable::pct(aborts / n, 2),

@@ -24,24 +24,33 @@ main(int argc, char **argv)
                 "(Section 6.4)\n\n");
     TextTable table({"bench", "speedup w/o elision",
                      "speedup w/ elision"});
-    for (const char *name : {"xalan", "hsqldb", "jython", "bloat"}) {
-        const auto &w = wl::workloadByName(name);
-        const vm::Program pp = w.build(true);
-        const vm::Program mp = w.build(false);
-
+    // Grid: baseline / elision-off / elision-on per workload, fanned
+    // across the parallel driver.
+    const std::vector<BuiltWorkload> built = buildPrograms(
+        suitePointers({"xalan", "hsqldb", "jython", "bloat"}));
+    std::vector<GridCell> cells;
+    for (size_t wi = 0; wi < built.size(); ++wi) {
         rt::ExperimentConfig base;
         base.compiler = core::CompilerConfig::baseline();
-        const auto mb = rt::runExperiment(pp, mp, base, w.samples);
+        cells.push_back({wi, std::move(base)});
 
         rt::ExperimentConfig off;
         off.compiler = core::CompilerConfig::atomicAggressiveInline();
-        const auto moff = rt::runExperiment(pp, mp, off, w.samples);
+        cells.push_back({wi, off});
 
         rt::ExperimentConfig on = off;
         on.compiler.elideSafepointsInRegions = true;
-        const auto mon = rt::runExperiment(pp, mp, on, w.samples);
+        cells.push_back({wi, std::move(on)});
+    }
+    const std::vector<rt::RunMetrics> slots =
+        runCellGrid(built, cells);
 
-        table.addRow({name,
+    size_t slot = 0;
+    for (const BuiltWorkload &b : built) {
+        const rt::RunMetrics &mb = slots[slot++];
+        const rt::RunMetrics &moff = slots[slot++];
+        const rt::RunMetrics &mon = slots[slot++];
+        table.addRow({b.workload->name,
                       TextTable::fmt(speedupPct(mb, moff), 1) + "%",
                       TextTable::fmt(speedupPct(mb, mon), 1) + "%"});
     }

@@ -22,27 +22,34 @@ main(int argc, char **argv)
                 "configuration)\n\n");
     TextTable table({"bench", "speedup w/o SLE", "speedup w/ SLE",
                      "CAS fast-path acquisitions w/o -> w/"});
-    for (const auto &w : wl::dacapoSuite()) {
-        const vm::Program profile_prog = w.build(true);
-        const vm::Program measure_prog = w.build(false);
-
+    // Grid: baseline / SLE-off / SLE-on per workload, run through
+    // the parallel driver; rows assembled serially in suite order.
+    const std::vector<BuiltWorkload> built =
+        buildPrograms(suitePointers());
+    std::vector<GridCell> cells;
+    for (size_t wi = 0; wi < built.size(); ++wi) {
         rt::ExperimentConfig base;
         base.compiler = core::CompilerConfig::baseline();
-        const auto mb = rt::runExperiment(profile_prog, measure_prog,
-                                          base, w.samples);
+        cells.push_back({wi, std::move(base)});
 
         rt::ExperimentConfig off;
         off.compiler = core::CompilerConfig::atomicAggressiveInline();
         off.compiler.sle = false;
-        const auto moff = rt::runExperiment(
-            profile_prog, measure_prog, off, w.samples);
+        cells.push_back({wi, std::move(off)});
 
         rt::ExperimentConfig on;
         on.compiler = core::CompilerConfig::atomicAggressiveInline();
-        const auto mon = rt::runExperiment(
-            profile_prog, measure_prog, on, w.samples);
+        cells.push_back({wi, std::move(on)});
+    }
+    const std::vector<rt::RunMetrics> slots =
+        runCellGrid(built, cells);
 
-        table.addRow({w.name,
+    size_t slot = 0;
+    for (const BuiltWorkload &b : built) {
+        const rt::RunMetrics &mb = slots[slot++];
+        const rt::RunMetrics &moff = slots[slot++];
+        const rt::RunMetrics &mon = slots[slot++];
+        table.addRow({b.workload->name,
                       TextTable::fmt(speedupPct(mb, moff), 1) + "%",
                       TextTable::fmt(speedupPct(mb, mon), 1) + "%",
                       std::to_string(moff.monitorFastEnters) +

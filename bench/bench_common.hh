@@ -12,12 +12,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "runtime/jit.hh"
+#include "support/parallel.hh"
 #include "support/table.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
@@ -164,6 +166,114 @@ runWorkload(const wl::Workload &w,
                                        config, w.samples));
     }
     return runs;
+}
+
+/** Profile/measure program pair built once per workload so a grid
+ *  of experiment cells can share it read-only. */
+struct BuiltWorkload
+{
+    const wl::Workload *workload;
+    vm::Program profile;
+    vm::Program measure;
+};
+
+/** Build the program pairs for a suite, serially (cheap next to the
+ *  experiments themselves, and keeps the build path deterministic). */
+inline std::vector<BuiltWorkload>
+buildPrograms(const std::vector<const wl::Workload *> &suite)
+{
+    std::vector<BuiltWorkload> built;
+    built.reserve(suite.size());
+    for (const wl::Workload *w : suite)
+        built.push_back({w, w->build(true), w->build(false)});
+    return built;
+}
+
+/** The full seven-benchmark suite as pointers for buildPrograms. */
+inline std::vector<const wl::Workload *>
+suitePointers()
+{
+    std::vector<const wl::Workload *> out;
+    for (const wl::Workload &w : wl::dacapoSuite())
+        out.push_back(&w);
+    return out;
+}
+
+/** Named subset of the suite, in the given order. */
+inline std::vector<const wl::Workload *>
+suitePointers(const std::vector<std::string> &names)
+{
+    std::vector<const wl::Workload *> out;
+    for (const std::string &name : names)
+        out.push_back(&wl::workloadByName(name));
+    return out;
+}
+
+/** One cell of an experiment grid: an index into the prebuilt
+ *  program list plus the full configuration to run it under. */
+struct GridCell
+{
+    size_t workload;
+    rt::ExperimentConfig config;
+};
+
+/**
+ * Run every cell of an experiment grid through the parallel driver
+ * (support/parallel.hh). Each cell writes into its own preallocated
+ * slot, so the returned vector is in cell order — tables assembled
+ * from it are byte-identical no matter how many worker threads ran
+ * the grid (AREGION_JOBS only changes wall-clock).
+ */
+inline std::vector<rt::RunMetrics>
+runCellGrid(const std::vector<BuiltWorkload> &built,
+            const std::vector<GridCell> &cells)
+{
+    std::vector<rt::RunMetrics> slots(cells.size());
+    parallel::runGrid(cells.size(), [&](size_t i) {
+        const GridCell &cell = cells[i];
+        const BuiltWorkload &b = built[cell.workload];
+        slots[i] = rt::runExperiment(b.profile, b.measure,
+                                     cell.config,
+                                     b.workload->samples);
+    });
+    return slots;
+}
+
+/**
+ * Parallel counterpart of calling runWorkload() per suite entry:
+ * fans workload × configuration cells across the driver, then
+ * assembles per-workload results in suite order. `configsFor` lets
+ * individual workloads add configurations (Figure 7's grey bar).
+ */
+inline std::vector<WorkloadRuns>
+runSuiteGrid(const std::vector<BuiltWorkload> &built,
+             const std::function<std::vector<core::CompilerConfig>(
+                 const wl::Workload &)> &configsFor,
+             const hw::TimingConfig &timing = hw::TimingConfig::baseline(),
+             const hw::HwConfig &hwc = {})
+{
+    std::vector<GridCell> cells;
+    std::vector<std::vector<std::string>> names(built.size());
+    for (size_t wi = 0; wi < built.size(); ++wi) {
+        for (const core::CompilerConfig &cc :
+             configsFor(*built[wi].workload)) {
+            rt::ExperimentConfig config;
+            config.compiler = cc;
+            config.timing = timing;
+            config.hw = hwc;
+            names[wi].push_back(cc.name);
+            cells.push_back({wi, std::move(config)});
+        }
+    }
+    std::vector<rt::RunMetrics> slots = runCellGrid(built, cells);
+    std::vector<WorkloadRuns> out(built.size());
+    size_t i = 0;
+    for (size_t wi = 0; wi < built.size(); ++wi) {
+        out[wi].workload = built[wi].workload->name;
+        for (const std::string &name : names[wi])
+            out[wi].byConfig.emplace(name, std::move(slots[i++]));
+    }
+    return out;
 }
 
 /** Percentage speedup of `other` over `base` (weighted cycles). */

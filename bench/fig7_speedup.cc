@@ -33,17 +33,24 @@ main(int argc, char **argv)
     std::printf("(paper values in parentheses; same hardware, "
                 "different compilers)\n\n");
 
-    for (const auto &w : wl::dacapoSuite()) {
-        const bool grey = w.name == "jython";
-        const WorkloadRuns runs =
-            runWorkload(w, paperConfigs(grey));
+    // All workload × configuration cells run through the parallel
+    // driver; the table below is assembled serially in suite order,
+    // so output is identical whatever AREGION_JOBS is.
+    const std::vector<WorkloadRuns> suite_runs = runSuiteGrid(
+        buildPrograms(suitePointers()), [](const wl::Workload &w) {
+            return paperConfigs(w.name == "jython");
+        });
+
+    for (const WorkloadRuns &runs : suite_runs) {
+        const std::string &name = runs.workload;
+        const bool grey = name == "jython";
         const auto &base = runs.byConfig.at("no-atomic");
-        std::vector<std::string> row{w.name};
+        std::vector<std::string> row{name};
         for (const auto &config : configs) {
             const double measured =
                 speedupPct(base, runs.byConfig.at(config));
             const double paper =
-                paperFigure7().at(w.name).at(config);
+                paperFigure7().at(name).at(config);
             row.push_back(TextTable::fmt(measured, 1) + "%");
             row.push_back("(" + TextTable::fmt(paper, 0) + "%)");
             averages[config].push_back(measured);

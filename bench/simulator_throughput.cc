@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_common.hh"
 #include "hw/codegen.hh"
 #include "hw/machine.hh"
@@ -19,6 +21,26 @@ using namespace aregion;
 using namespace aregion::bench;
 
 namespace {
+
+/** Set in main() so the benchmark bodies can publish their measured
+ *  rates into the --json export (tools/perf_snapshot.sh reads
+ *  `bench.simulator_throughput.*` from BENCH_simulator.json). */
+BenchReport *g_report = nullptr;
+
+void
+recordRate(const char *key, uint64_t events, double secs)
+{
+    if (g_report && secs > 0)
+        g_report->addMetric(key, static_cast<double>(events) / secs);
+}
+
+double
+secsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 struct Prepared
 {
@@ -60,12 +82,14 @@ BM_FunctionalSimulator(benchmark::State &state)
 {
     const Prepared &p = prepared();
     uint64_t uops = 0;
+    const auto start = std::chrono::steady_clock::now();
     for (auto _ : state) {
         hw::Machine machine(p.machine, hw::HwConfig{});
         const auto res = machine.run();
         uops += res.allContextUops;
         benchmark::DoNotOptimize(res.retiredUops);
     }
+    recordRate("functional_uops_per_sec", uops, secsSince(start));
     state.counters["uops/s"] = benchmark::Counter(
         static_cast<double>(uops), benchmark::Counter::kIsRate);
 }
@@ -76,13 +100,20 @@ BM_FunctionalPlusTiming(benchmark::State &state)
 {
     const Prepared &p = prepared();
     uint64_t uops = 0;
+    const auto start = std::chrono::steady_clock::now();
     for (auto _ : state) {
         hw::TimingModel timing(hw::TimingConfig::baseline());
         hw::Machine machine(p.machine, hw::HwConfig{}, &timing);
         const auto res = machine.run();
         uops += res.allContextUops;
         benchmark::DoNotOptimize(timing.cycles());
+        // Accumulate the model's counters into the registry so the
+        // --json export can correlate throughput with behavioural
+        // drift (cycles, stalls, mispredicts should never move).
+        timing.publishTelemetry();
     }
+    recordRate("functional_plus_timing_uops_per_sec", uops,
+               secsSince(start));
     state.counters["uops/s"] = benchmark::Counter(
         static_cast<double>(uops), benchmark::Counter::kIsRate);
 }
@@ -93,12 +124,15 @@ BM_Interpreter(benchmark::State &state)
 {
     const Prepared &p = prepared();
     uint64_t instrs = 0;
+    const auto start = std::chrono::steady_clock::now();
     for (auto _ : state) {
         vm::Interpreter interp(p.prog);
         const auto res = interp.run();
         instrs += res.instructions;
         benchmark::DoNotOptimize(res.instructions);
     }
+    recordRate("interpreter_bytecodes_per_sec", instrs,
+               secsSince(start));
     state.counters["bytecodes/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
@@ -131,6 +165,7 @@ main(int argc, char **argv)
     // Strip --json before google-benchmark sees the flags it does
     // not recognize.
     BenchReport report("simulator_throughput", argc, argv);
+    g_report = &report;
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -14,30 +14,41 @@
 
 namespace aregion::hw {
 
-/** Two-bit saturating counter table helper. */
+/** Two-bit saturating counter table helper. Counters are packed
+ *  four per byte, so the 64K-entry gshare table occupies 16 KB of
+ *  host memory — small enough that the simulator's random index
+ *  stream mostly hits the host cache. */
 class CounterTable
 {
   public:
     explicit CounterTable(size_t entries)
-        : table(entries, 2)     // weakly taken
+        : indexMask(entries - 1), table((entries + 3) / 4, 0xaa)
     {
+        // 0xaa = four counters at 2 (weakly taken).
     }
 
-    bool taken(size_t index) const { return table[mask(index)] >= 2; }
+    bool
+    taken(size_t index) const
+    {
+        const size_t i = index & indexMask;
+        return ((table[i >> 2] >> ((i & 3) * 2)) & 3) >= 2;
+    }
 
     void
     update(size_t index, bool taken_outcome)
     {
-        uint8_t &c = table[mask(index)];
+        const size_t i = index & indexMask;
+        uint8_t &byte = table[i >> 2];
+        const int shift = static_cast<int>(i & 3) * 2;
+        const uint8_t c = (byte >> shift) & 3;
         if (taken_outcome && c < 3)
-            ++c;
+            byte = static_cast<uint8_t>(byte + (1u << shift));
         else if (!taken_outcome && c > 0)
-            --c;
+            byte = static_cast<uint8_t>(byte - (1u << shift));
     }
 
   private:
-    size_t mask(size_t index) const { return index & (table.size() - 1); }
-
+    size_t indexMask;
     std::vector<uint8_t> table;
 };
 

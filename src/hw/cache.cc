@@ -1,5 +1,7 @@
 #include "hw/cache.hh"
 
+#include <bit>
+
 #include "support/logging.hh"
 
 namespace aregion::hw {
@@ -10,14 +12,16 @@ Cache::Cache(int num_lines, int assoc_)
 {
     AREGION_ASSERT(num_lines % assoc_ == 0, "lines not divisible");
     AREGION_ASSERT(numSets > 0, "empty cache");
+    const auto sets = static_cast<uint64_t>(numSets);
+    setsPow2 = (sets & (sets - 1)) == 0;
+    setMask = sets - 1;
 }
 
 bool
 Cache::access(uint64_t line)
 {
     ++clock;
-    const auto set = static_cast<size_t>(
-        line % static_cast<uint64_t>(numSets));
+    const size_t set = setOf(line);
     Way *lru = nullptr;
     for (int w = 0; w < assoc; ++w) {
         Way &way = ways[set * static_cast<size_t>(assoc) +
@@ -40,8 +44,7 @@ void
 Cache::install(uint64_t line)
 {
     ++clock;
-    const auto set = static_cast<size_t>(
-        line % static_cast<uint64_t>(numSets));
+    const size_t set = setOf(line);
     Way *lru = nullptr;
     for (int w = 0; w < assoc; ++w) {
         Way &way = ways[set * static_cast<size_t>(assoc) +
@@ -68,7 +71,11 @@ CacheHierarchy::CacheHierarchy(int l1_lines, int l1_assoc,
 int
 CacheHierarchy::accessLatency(uint64_t word_addr, int line_words)
 {
-    const uint64_t line = word_addr / static_cast<uint64_t>(line_words);
+    const auto words = static_cast<uint64_t>(line_words);
+    const uint64_t line =
+        (words & (words - 1)) == 0
+            ? word_addr >> std::countr_zero(words)
+            : word_addr / words;
     if (l1.access(line))
         return l1Lat;
     // Stream prefetch: a second consecutive miss line pulls the next

@@ -9,6 +9,7 @@
 #ifndef AREGION_HW_CACHE_HH
 #define AREGION_HW_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,8 +37,20 @@ class Cache
         uint64_t lastUse = 0;
     };
 
+    /** Set index of a line; the division is a shift/mask whenever
+     *  the geometry is a power of two (every Table 1 config is). */
+    size_t
+    setOf(uint64_t line) const
+    {
+        return static_cast<size_t>(
+            setsPow2 ? line & setMask
+                     : line % static_cast<uint64_t>(numSets));
+    }
+
     int assoc;
     int numSets;
+    bool setsPow2;
+    uint64_t setMask;
     std::vector<Way> ways;      ///< numSets x assoc
     uint64_t clock = 0;
 };
@@ -50,7 +63,9 @@ class CacheHierarchy
                    int l2_assoc, int l1_lat, int l2_lat, int mem_lat,
                    bool prefetch);
 
-    /** Latency (cycles) of a data access at the word address. */
+    /** Latency (cycles) of a data access at the word address.
+     *  line_words must match across calls (it is the config's fixed
+     *  line size; pow2 values use a shift instead of a divide). */
     int accessLatency(uint64_t word_addr, int line_words);
 
     uint64_t l1Misses() const { return l1.misses; }

@@ -63,7 +63,7 @@ class Lowerer
     }
 
     MUop
-    mk(MKind kind, MReg dst = NO_MREG, std::vector<MReg> srcs = {},
+    mk(MKind kind, MReg dst = NO_MREG, SrcList srcs = {},
        int64_t imm = 0, int aux = 0)
     {
         MUop uop;
@@ -302,8 +302,9 @@ Lowerer::lowerInstr(const ir::Instr &in, const ir::Block &blk,
         const MReg callee = temp();
         emit(mk(MKind::Load, callee, {row},
                 static_cast<int64_t>(lay.vtableBase) + in.aux));
-        std::vector<MReg> srcs{callee};
-        srcs.insert(srcs.end(), in.srcs.begin(), in.srcs.end());
+        SrcList srcs{callee};
+        for (MReg r : in.srcs)
+            srcs.push_back(r);
         emit(mk(MKind::CallIndirect, in.dst, std::move(srcs)));
         break;
       }

@@ -20,7 +20,9 @@
 #ifndef AREGION_HW_ISA_HH
 #define AREGION_HW_ISA_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -32,6 +34,142 @@ namespace aregion::hw {
 /** Machine register index (virtual; frames are register files). */
 using MReg = int;
 constexpr MReg NO_MREG = -1;
+
+/**
+ * Source-operand list of a uop. Up to four registers — every uop
+ * shape except long call-argument lists — live inline in the MUop
+ * itself, so the executor's operand fetch reads the uop's own cache
+ * line instead of chasing a per-uop heap allocation. Longer lists
+ * spill to an owned heap array. Same 24-byte footprint as the
+ * std::vector<MReg> it replaces.
+ */
+class SrcList
+{
+  public:
+    SrcList() = default;
+    SrcList(std::initializer_list<MReg> regs)
+    {
+        for (MReg r : regs)
+            push_back(r);
+    }
+    SrcList(const std::vector<MReg> &regs)
+    {
+        for (MReg r : regs)
+            push_back(r);
+    }
+    SrcList(const SrcList &o) { copyFrom(o); }
+    SrcList(SrcList &&o) noexcept { stealFrom(o); }
+
+    SrcList &
+    operator=(const SrcList &o)
+    {
+        if (this != &o) {
+            clear();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    SrcList &
+    operator=(SrcList &&o) noexcept
+    {
+        if (this != &o) {
+            clear();
+            stealFrom(o);
+        }
+        return *this;
+    }
+
+    SrcList &
+    operator=(const std::vector<MReg> &regs)
+    {
+        clear();
+        for (MReg r : regs)
+            push_back(r);
+        return *this;
+    }
+
+    ~SrcList() { clear(); }
+
+    void
+    push_back(MReg r)
+    {
+        if (count < INLINE) {
+            inl[count++] = r;
+            return;
+        }
+        if (count == INLINE) {
+            // First spill: move the inline regs to a heap array.
+            MReg *arr = new MReg[2 * INLINE];
+            std::copy(inl, inl + INLINE, arr);
+            spill.arr = arr;
+            spill.cap = 2 * INLINE;
+        } else if (count == spill.cap) {
+            MReg *arr = new MReg[2 * spill.cap];
+            std::copy(spill.arr, spill.arr + count, arr);
+            delete[] spill.arr;
+            spill.arr = arr;
+            spill.cap *= 2;
+        }
+        spill.arr[count++] = r;
+    }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const MReg *data() const { return count <= INLINE ? inl : spill.arr; }
+    const MReg *begin() const { return data(); }
+    const MReg *end() const { return data() + count; }
+    MReg operator[](size_t i) const { return data()[i]; }
+    MReg back() const { return data()[count - 1]; }
+
+  private:
+    static constexpr uint32_t INLINE = 4;
+
+    struct Spill
+    {
+        MReg *arr;
+        uint32_t cap;
+    };
+
+    void
+    clear()
+    {
+        if (count > INLINE)
+            delete[] spill.arr;
+        count = 0;
+    }
+
+    void
+    copyFrom(const SrcList &o)
+    {
+        count = o.count;
+        if (count > INLINE) {
+            spill.arr = new MReg[o.spill.cap];
+            spill.cap = o.spill.cap;
+            std::copy(o.spill.arr, o.spill.arr + count, spill.arr);
+        } else {
+            std::copy(o.inl, o.inl + count, inl);
+        }
+    }
+
+    void
+    stealFrom(SrcList &o)
+    {
+        count = o.count;
+        if (count > INLINE) {
+            spill = o.spill;
+            o.count = 0;
+        } else {
+            std::copy(o.inl, o.inl + count, inl);
+        }
+    }
+
+    union {
+        MReg inl[INLINE];
+        Spill spill;
+    };
+    uint32_t count = 0;
+};
 
 /** ALU operation for MKind::Alu. */
 enum class AluOp : uint8_t {
@@ -102,7 +240,7 @@ struct MUop
     MKind kind = MKind::Nop;
     AluOp alu = AluOp::Add;
     MReg dst = NO_MREG;
-    std::vector<MReg> srcs;
+    SrcList srcs;
     int64_t imm = 0;        ///< immediate / address displacement
     int target = -1;        ///< branch/alt target (uop offset)
     int aux = 0;            ///< callee / class / region / abort / trap

@@ -1,5 +1,7 @@
 #include "hw/machine.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
@@ -11,6 +13,19 @@ namespace aregion::hw {
 namespace layout = vm::layout;
 using vm::Trap;
 using vm::TrapKind;
+
+namespace {
+
+size_t
+nextPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
 
 const char *
 abortCauseName(AbortCause cause)
@@ -39,34 +54,83 @@ MachineResult::outputChecksum() const
     return h;
 }
 
+void
+Machine::StoreBuffer::grow()
+{
+    std::vector<Slot> old_slots = std::move(slots);
+    std::vector<uint32_t> old_live = std::move(live);
+    slots.assign(old_slots.size() * 2, Slot{});
+    live.clear();
+    live.reserve(slots.size());
+    mask = slots.size() - 1;
+    // Only this epoch's entries survive; stale epochs are dead.
+    for (uint32_t idx : old_live) {
+        const Slot &s = old_slots[idx];
+        for (uint64_t i = hashMix(s.addr) & mask;;
+             i = (i + 1) & mask) {
+            Slot &d = slots[i];
+            if (d.epoch != epoch) {
+                d = s;
+                live.push_back(static_cast<uint32_t>(i));
+                break;
+            }
+        }
+    }
+}
+
 Machine::Machine(const MachineProgram &prog, const HwConfig &config_,
                  TraceSink *sink_, uint64_t max_words)
     : mp(prog), config(config_), sink(sink_),
       heapImpl(*prog.prog, max_words)
 {
-    // Cache registry slots once; commitRegion must not pay a string
-    // lookup per commit.
-    auto &reg = telemetry::Registry::global();
-    readLinesHist = &reg.histogram(telemetry::keys::kMachineRegionReadLines);
-    writeLinesHist =
-        &reg.histogram(telemetry::keys::kMachineRegionWriteLines);
+    lineWordsU = static_cast<uint64_t>(std::max(1, config.lineWords));
+    lineIsPow2 = (lineWordsU & (lineWordsU - 1)) == 0;
+    for (uint64_t w = lineWordsU; w > 1; w >>= 1)
+        ++lineShift;
+    AREGION_ASSERT(config.l1Assoc > 0 &&
+                   config.l1Lines >= config.l1Assoc,
+                   "bad L1 geometry");
+    numSetsU = static_cast<uint64_t>(config.l1Lines / config.l1Assoc);
+    setsArePow2 = (numSetsU & (numSetsU - 1)) == 0;
+    setMask = numSetsU - 1;
+    lineTableCap = nextPow2(
+        2 * static_cast<size_t>(std::max(1, config.l1Lines)));
+    // TraceUop carries global pcs (method << 16 | offset) in 32 bits.
+    AREGION_ASSERT(prog.prog->numMethods() < (1 << 16),
+                   "method ids overflow the 32-bit trace pc");
+    batch.reserve(BATCH_CAP);
 }
 
-RegionRuntime &
-Machine::regionStats(const Ctx &ctx)
+void
+Machine::initCtx(Ctx &ctx)
 {
-    return result.regions[{ctx.spec->method, ctx.spec->regionId}];
+    ctx.spec.storeBuf.init(256);
+    ctx.spec.readLines.init(lineTableCap);
+    ctx.spec.writeLines.init(lineTableCap);
+    ctx.spec.setOccupancy.init(static_cast<size_t>(numSetsU));
+    ctx.argScratch.reserve(8);
+}
+
+void
+Machine::flushTrace()
+{
+    if (batch.empty())
+        return;
+    sink->uopBatch(batch.data(), batch.size());
+    ++batchFlushes;
+    batchUops += batch.size();
+    batch.clear();
 }
 
 void
 Machine::trackSpecLine(Ctx &ctx, uint64_t line)
 {
-    Spec &spec = *ctx.spec;
-    if (spec.readLines.count(line) || spec.writeLines.count(line))
+    Spec &spec = ctx.spec;
+    if (spec.readLines.contains(line) ||
+        spec.writeLines.contains(line)) {
         return;
-    const int num_sets = config.l1Lines / config.l1Assoc;
-    const uint64_t set = line % static_cast<uint64_t>(num_sets);
-    const int occupancy = ++spec.setOccupancy[set];
+    }
+    const int occupancy = spec.setOccupancy.increment(setOf(line));
     const auto total = spec.readLines.size() + spec.writeLines.size();
     if (occupancy > config.l1Assoc ||
         total + 1 > static_cast<size_t>(config.l1Lines)) {
@@ -77,13 +141,15 @@ Machine::trackSpecLine(Ctx &ctx, uint64_t line)
 void
 Machine::signalConflicts(Ctx &writer_ctx, uint64_t line)
 {
+    if (ctxs.size() < 2)
+        return;
     for (Ctx &other : ctxs) {
-        if (other.id == writer_ctx.id || !other.spec ||
+        if (other.id == writer_ctx.id || !other.spec.active ||
             other.pendingAbort) {
             continue;
         }
-        if (other.spec->readLines.count(line) ||
-            other.spec->writeLines.count(line)) {
+        if (other.spec.readLines.contains(line) ||
+            other.spec.writeLines.contains(line)) {
             other.pendingAbort = AbortCause::Conflict;
         }
     }
@@ -92,14 +158,12 @@ Machine::signalConflicts(Ctx &writer_ctx, uint64_t line)
 int64_t
 Machine::memRead(Ctx &ctx, uint64_t addr)
 {
-    const uint64_t line = addr / static_cast<uint64_t>(
-        config.lineWords);
-    if (ctx.spec) {
+    if (ctx.spec.active) {
+        const uint64_t line = lineOf(addr);
         trackSpecLine(ctx, line);
-        ctx.spec->readLines.insert(line);
-        auto it = ctx.spec->storeBuf.find(addr);
-        if (it != ctx.spec->storeBuf.end())
-            return it->second;
+        ctx.spec.readLines.insert(line);
+        if (const int64_t *buffered = ctx.spec.storeBuf.lookup(addr))
+            return *buffered;
         // Speculative wild loads (a postdominating check may not
         // have run yet) read as zero.
         if (!heapImpl.inBounds(addr))
@@ -112,12 +176,11 @@ Machine::memRead(Ctx &ctx, uint64_t addr)
 void
 Machine::memWrite(Ctx &ctx, uint64_t addr, int64_t value)
 {
-    const uint64_t line = addr / static_cast<uint64_t>(
-        config.lineWords);
-    if (ctx.spec) {
+    const uint64_t line = lineOf(addr);
+    if (ctx.spec.active) {
         trackSpecLine(ctx, line);
-        ctx.spec->writeLines.insert(line);
-        ctx.spec->storeBuf[addr] = value;
+        ctx.spec.writeLines.insert(line);
+        ctx.spec.storeBuf.put(addr, value);
         signalConflicts(ctx, line);
         return;
     }
@@ -136,7 +199,7 @@ Machine::checkRef(Ctx &ctx, int64_t value, const MUop &uop)
 void
 Machine::raiseTrap(Ctx &ctx, TrapKind kind, const MUop &uop)
 {
-    if (ctx.spec) {
+    if (ctx.spec.active) {
         // Precise exceptions: abort first, re-raise non-speculatively.
         throw RegionAbort{AbortCause::Exception, -1};
     }
@@ -147,15 +210,15 @@ void
 Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
                  uint64_t resolve_pc)
 {
-    AREGION_ASSERT(ctx.spec.has_value(), "abort without region");
-    Spec &spec = *ctx.spec;
+    AREGION_ASSERT(ctx.spec.active, "abort without region");
+    Spec &spec = ctx.spec;
 
-    RegionRuntime &stats = regionStats(ctx);
+    RegionRuntime &stats = *spec.stats;
     stats.abortsByCause[static_cast<int>(cause)]++;
     if (cause == AbortCause::Explicit && abort_id >= 0)
         stats.abortsByAssert[abort_id]++;
 
-    Frame &frame = ctx.stack.back();
+    Frame &frame = ctx.top();
     frame.regs = spec.regsSnapshot;
     frame.lastWriter = spec.writersSnapshot;
     frame.pc = spec.altPc;
@@ -163,68 +226,75 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
     result.regionAborts++;
     if (ctx.id == 0) {
         result.discardedUops += spec.uops;
-        if (sink)
+        if (sink) {
+            flushTrace();
             sink->abortFlush({cause, spec.uops, resolve_pc});
+        }
     }
-    ctx.spec.reset();
+    spec.active = false;
 }
 
 void
 Machine::commitRegion(Ctx &ctx)
 {
-    Spec &spec = *ctx.spec;
-    for (const auto &[addr, value] : spec.storeBuf) {
-        AREGION_ASSERT(heapImpl.inBounds(addr),
-                       "commit of wild speculative store at ", addr);
-        heapImpl.store(addr, value);
+    Spec &spec = ctx.spec;
+    for (uint32_t idx : spec.storeBuf.live) {
+        const StoreBuffer::Slot &slot = spec.storeBuf.slots[idx];
+        AREGION_ASSERT(heapImpl.inBounds(slot.addr),
+                       "commit of wild speculative store at ",
+                       slot.addr);
+        heapImpl.store(slot.addr, slot.value);
     }
     // Commit makes the region's writes visible: regions that started
     // after our buffered stores and read those lines must conflict.
-    for (uint64_t line : spec.writeLines)
+    for (uint64_t line : spec.writeLines.items)
         signalConflicts(ctx, line);
 
-    RegionRuntime &stats = regionStats(ctx);
+    RegionRuntime &stats = *spec.stats;
     stats.commits++;
     stats.dynamicSize.add(static_cast<int64_t>(spec.uops));
     stats.footprintLines.add(static_cast<int64_t>(
         spec.readLines.size() + spec.writeLines.size()));
     // Read/write-set occupancy at commit (Section 6.2 footprint
-    // split), recorded straight into the registry: the per-region
-    // stats keep only the combined footprint.
-    readLinesHist->add(static_cast<int64_t>(spec.readLines.size()));
-    writeLinesHist->add(static_cast<int64_t>(spec.writeLines.size()));
+    // split); kept per-run and merged into the registry once at
+    // publishTelemetry.
+    readLinesLocal.add(static_cast<int64_t>(spec.readLines.size()));
+    writeLinesLocal.add(static_cast<int64_t>(spec.writeLines.size()));
     result.regionCommits++;
     if (ctx.id == 0)
         result.regionUopsRetired += spec.uops;
-    ctx.spec.reset();
+    spec.active = false;
 }
 
 void
-Machine::invoke(Ctx &ctx, vm::MethodId callee,
-                const std::vector<int64_t> &argv, MReg ret_dst,
-                uint64_t call_seq)
+Machine::invoke(Ctx &ctx, vm::MethodId callee, const int64_t *argv,
+                size_t argc, MReg ret_dst, uint64_t call_seq)
 {
     const MachineFunction &fn = mp.func(callee);
-    AREGION_ASSERT(static_cast<int>(argv.size()) == fn.numArgs,
+    AREGION_ASSERT(static_cast<int>(argc) == fn.numArgs,
                    "machine call arity mismatch into ", fn.name);
-    Frame frame;
+    if (ctx.depth == ctx.stack.size())
+        ctx.stack.emplace_back();
+    Frame &frame = ctx.stack[ctx.depth++];
     frame.fn = &fn;
-    frame.regs.assign(static_cast<size_t>(fn.numRegs), 0);
-    frame.lastWriter.assign(static_cast<size_t>(fn.numRegs), 0);
-    for (size_t i = 0; i < argv.size(); ++i) {
-        frame.regs[i] = argv[i];
-        frame.lastWriter[i] = call_seq;
-    }
+    frame.pc = 0;
     frame.retDst = ret_dst;
-    ctx.stack.push_back(std::move(frame));
+    frame.regs.assign(static_cast<size_t>(fn.numRegs), 0);
+    for (size_t i = 0; i < argc; ++i)
+        frame.regs[i] = argv[i];
+    if (ctx.id == 0 && sink) {
+        frame.lastWriter.assign(static_cast<size_t>(fn.numRegs), 0);
+        for (size_t i = 0; i < argc; ++i)
+            frame.lastWriter[i] = call_seq;
+    }
 }
 
 void
 Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
 {
     namespace arith = vm::arith;
-    Frame &frame = ctx.stack.back();
-    const bool traced = ctx.id == 0;
+    Frame &frame = ctx.top();
+    const bool tracing = ctx.id == 0 && sink != nullptr;
 
     auto reg = [&](MReg r) -> int64_t & {
         AREGION_ASSERT(r >= 0 &&
@@ -233,8 +303,11 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         return frame.regs[static_cast<size_t>(r)];
     };
 
+    // Sequence numbers and register dependences exist only for the
+    // sink-visible trace, so none of that bookkeeping runs unless
+    // context 0 is actually being traced.
     TraceUop t;
-    if (traced) {
+    if (tracing) {
         t.seq = ++tracedSeq;
         t.pc = pc;
         t.numSrcs = static_cast<int>(
@@ -246,7 +319,8 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
     }
     auto writeDst = [&](MReg dst, int64_t value) {
         reg(dst) = value;
-        frame.lastWriter[static_cast<size_t>(dst)] = t.seq;
+        if (tracing)
+            frame.lastWriter[static_cast<size_t>(dst)] = t.seq;
     };
 
     int next_pc = frame.pc + 1;
@@ -320,8 +394,7 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         t.isStore = true;
         t.lat = LatClass::Store;
         t.memAddr = addr;
-        AREGION_ASSERT(heapImpl.inBounds(addr) ||
-                       ctx.spec.has_value(),
+        AREGION_ASSERT(heapImpl.inBounds(addr) || ctx.spec.active,
                        "non-speculative wild store");
         memWrite(ctx, addr, value);
         break;
@@ -347,13 +420,13 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
 
       case MKind::CallDirect:
       case MKind::CallIndirect: {
-        AREGION_ASSERT(!ctx.spec.has_value(),
+        AREGION_ASSERT(!ctx.spec.active,
                        "call inside atomic region");
         vm::MethodId callee;
-        std::vector<int64_t> argv;
+        std::vector<int64_t> &argv = ctx.argScratch;
+        argv.clear();
         if (uop.kind == MKind::CallDirect) {
             callee = uop.aux;
-            argv.reserve(uop.srcs.size());
             for (MReg r : uop.srcs)
                 argv.push_back(reg(r));
         } else {
@@ -363,35 +436,38 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
                            "indirect call to bad method id ", callee);
             t.indirect = true;
             t.targetPc = globalPc(callee, 0);
-            argv.reserve(uop.srcs.size() - 1);
             for (size_t i = 1; i < uop.srcs.size(); ++i)
                 argv.push_back(reg(uop.srcs[i]));
         }
         frame.pc = next_pc;     // return continuation
-        if (traced && sink)
-            sink->uop(t);
-        invoke(ctx, callee, argv, uop.dst, t.seq);
+        if (tracing)
+            pushTrace(t);
+        invoke(ctx, callee, argv.data(), argv.size(), uop.dst,
+               t.seq);
         return;
       }
       case MKind::Ret: {
-        AREGION_ASSERT(!ctx.spec.has_value(),
+        AREGION_ASSERT(!ctx.spec.active,
                        "return inside atomic region");
         std::optional<int64_t> value;
         if (!uop.srcs.empty())
             value = reg(uop.srcs[0]);
-        const MReg ret_dst = ctx.stack.back().retDst;
-        ctx.stack.pop_back();
-        if (ctx.stack.empty()) {
+        const MReg ret_dst = frame.retDst;
+        --ctx.depth;
+        if (ctx.depth == 0) {
             ctx.finished = true;
         } else if (ret_dst != NO_MREG) {
             AREGION_ASSERT(value.has_value(),
                            "void return into destination");
-            Frame &caller = ctx.stack.back();
+            Frame &caller = ctx.top();
             caller.regs[static_cast<size_t>(ret_dst)] = *value;
-            caller.lastWriter[static_cast<size_t>(ret_dst)] = t.seq;
+            if (tracing) {
+                caller.lastWriter[static_cast<size_t>(ret_dst)] =
+                    t.seq;
+            }
         }
-        if (traced && sink)
-            sink->uop(t);
+        if (tracing)
+            pushTrace(t);
         return;
       }
 
@@ -416,7 +492,7 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         writeDst(uop.dst, layout::lockWord(ctx.id, 1));
         break;
       case MKind::LockSlow: {
-        if (ctx.spec)
+        if (ctx.spec.active)
             throw RegionAbort{AbortCause::Exception, -1};
         const auto obj = checkRef(ctx, reg(uop.srcs[0]), uop);
         const uint64_t lock_addr = obj + layout::HDR_LOCK;
@@ -438,7 +514,7 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         break;
       }
       case MKind::UnlockSlow: {
-        if (ctx.spec)
+        if (ctx.spec.active)
             throw RegionAbort{AbortCause::Exception, -1};
         const auto obj = checkRef(ctx, reg(uop.srcs[0]), uop);
         const uint64_t lock_addr = obj + layout::HDR_LOCK;
@@ -487,33 +563,39 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
       }
 
       case MKind::Print:
-        if (ctx.spec)
+        if (ctx.spec.active)
             throw RegionAbort{AbortCause::Io, -1};
         result.output.push_back(reg(uop.srcs[0]));
         break;
       case MKind::Marker:
-        if (ctx.spec)
+        if (ctx.spec.active)
             throw RegionAbort{AbortCause::Io, -1};
         if (ctx.id == 0) {
             result.markers.push_back(
                 {uop.imm,
                  result.executedUops - result.discardedUops});
-            if (sink)
+            if (sink) {
+                flushTrace();
                 sink->marker(uop.imm);
+            }
         }
         break;
       case MKind::Spawn: {
-        if (ctx.spec)
+        if (ctx.spec.active)
             throw RegionAbort{AbortCause::Io, -1};
         AREGION_ASSERT(ctxs.size() < layout::MAX_THREADS,
                        "context limit exceeded");
-        std::vector<int64_t> argv;
+        std::vector<int64_t> &argv = ctx.argScratch;
+        argv.clear();
         for (MReg r : uop.srcs)
             argv.push_back(reg(r));
-        Ctx fresh;
-        fresh.id = static_cast<int>(ctxs.size());
-        ctxs.push_back(std::move(fresh));
-        invoke(ctxs.back(), uop.aux, argv, NO_MREG, 0);
+        // ctxs is reserved to MAX_THREADS up front, so this never
+        // reallocates under the live `ctx`/`frame` references.
+        ctxs.emplace_back();
+        Ctx &fresh = ctxs.back();
+        fresh.id = static_cast<int>(ctxs.size()) - 1;
+        initCtx(fresh);
+        invoke(fresh, uop.aux, argv.data(), argv.size(), NO_MREG, 0);
         break;
       }
 
@@ -522,29 +604,35 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         break;
 
       case MKind::ABegin: {
-        AREGION_ASSERT(!ctx.spec.has_value(), "nested atomic region");
-        Spec spec;
+        AREGION_ASSERT(!ctx.spec.active, "nested atomic region");
+        Spec &spec = ctx.spec;
+        spec.active = true;
         spec.regionId = uop.aux;
         spec.method = frame.fn->methodId;
         spec.altPc = uop.target;
         spec.beginPc = pc;
+        spec.uops = 0;
         spec.regsSnapshot = frame.regs;
         spec.writersSnapshot = frame.lastWriter;
-        ctx.spec = std::move(spec);
-        regionStats(ctx).entries++;
+        spec.storeBuf.beginEpoch();
+        spec.readLines.beginEpoch();
+        spec.writeLines.beginEpoch();
+        spec.setOccupancy.beginEpoch();
+        spec.stats = &result.regions[{spec.method, spec.regionId}];
+        spec.stats->entries++;
         result.regionEntries++;
         t.region = RegionEvent::Begin;
         t.regionId = uop.aux;
         break;
       }
       case MKind::AEnd:
-        AREGION_ASSERT(ctx.spec.has_value(),
+        AREGION_ASSERT(ctx.spec.active,
                        "aregion_end without begin");
         t.region = RegionEvent::End;
         t.regionId = uop.aux;
         frame.pc = next_pc;
-        if (traced && sink)
-            sink->uop(t);
+        if (tracing)
+            pushTrace(t);
         commitRegion(ctx);
         return;
       case MKind::AAbort:
@@ -555,8 +643,8 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
     }
 
     frame.pc = next_pc;
-    if (traced && sink)
-        sink->uop(t);
+    if (tracing)
+        pushTrace(t);
 }
 
 void
@@ -566,15 +654,14 @@ Machine::step(Ctx &ctx)
     if (ctx.pendingAbort) {
         const AbortCause cause = *ctx.pendingAbort;
         ctx.pendingAbort.reset();
-        if (ctx.spec) {
+        if (ctx.spec.active) {
             doAbort(ctx, cause, -1,
-                    globalPc(ctx.stack.back().fn->methodId,
-                             ctx.stack.back().pc));
+                    globalPc(ctx.top().fn->methodId, ctx.top().pc));
             return;
         }
     }
 
-    Frame &frame = ctx.stack.back();
+    Frame &frame = ctx.top();
     const auto &code = frame.fn->code;
     AREGION_ASSERT(frame.pc >= 0 &&
                    static_cast<size_t>(frame.pc) < code.size(),
@@ -593,24 +680,32 @@ Machine::step(Ctx &ctx)
 
     const uint64_t pc = globalPc(frame.fn->methodId, frame.pc);
     ++machineUops;
+    --interruptCountdown;
     result.allContextUops++;
     if (ctx.id == 0)
         result.executedUops++;
-    if (ctx.spec)
-        ctx.spec->uops++;
+    if (ctx.spec.active)
+        ctx.spec.uops++;
 
     try {
         execute(ctx, uop, pc);
     } catch (const RegionAbort &abort) {
-        AREGION_ASSERT(ctx.spec.has_value(),
+        AREGION_ASSERT(ctx.spec.active,
                        "region abort outside region");
+        // An interrupt slot coinciding with an abort is absorbed by
+        // the abort (the region is already gone).
+        if (interruptCountdown == 0)
+            interruptCountdown = config.interruptPeriod;
         doAbort(ctx, abort.cause, abort.abortId, pc);
         return;
     }
 
     // Timer interrupt: aborts any in-flight region on this context.
-    if (machineUops % config.interruptPeriod == 0 && ctx.spec)
-        doAbort(ctx, AbortCause::Interrupt, -1, pc);
+    if (interruptCountdown == 0) {
+        interruptCountdown = config.interruptPeriod;
+        if (ctx.spec.active)
+            doAbort(ctx, AbortCause::Interrupt, -1, pc);
+    }
 }
 
 void
@@ -643,18 +738,22 @@ Machine::publishTelemetry()
     reg.add(keys::kMachineMonitorFastEnters,
             result.monitorFastEnters);
     reg.add(keys::kMachineRuns, 1);
+    reg.add(keys::kMachineBatchFlushes, batchFlushes);
+    reg.add(keys::kMachineBatchUops, batchUops);
 
-    Histogram &size_hist = reg.histogram(keys::kMachineRegionSize);
-    Histogram &fp_hist =
-        reg.histogram(keys::kMachineRegionFootprint);
+    // Histograms go through the registry's one locked write path;
+    // everything above is an atomic add. Both are safe under the
+    // parallel experiment driver.
+    Histogram size_local;
+    Histogram fp_local;
     for (const auto &[key, stats] : result.regions) {
-        for (const auto &[value, weight] :
-             stats.dynamicSize.buckets())
-            size_hist.add(value, weight);
-        for (const auto &[value, weight] :
-             stats.footprintLines.buckets())
-            fp_hist.add(value, weight);
+        size_local.merge(stats.dynamicSize);
+        fp_local.merge(stats.footprintLines);
     }
+    reg.merge(keys::kMachineRegionSize, size_local);
+    reg.merge(keys::kMachineRegionFootprint, fp_local);
+    reg.merge(keys::kMachineRegionReadLines, readLinesLocal);
+    reg.merge(keys::kMachineRegionWriteLines, writeLinesLocal);
 }
 
 MachineResult
@@ -663,21 +762,30 @@ Machine::run(uint64_t max_uops)
     telemetry::ScopedSpan span("machine.run");
     result = MachineResult{};
     ctxs.clear();
+    // Spawn pushes new contexts while references into `ctxs` are
+    // live, so the vector must never reallocate mid-run.
+    ctxs.reserve(layout::MAX_THREADS);
     machineUops = 0;
     tracedSeq = 0;
+    interruptCountdown = config.interruptPeriod;
+    batch.clear();
+    batchFlushes = 0;
+    batchUops = 0;
+    readLinesLocal = Histogram{};
+    writeLinesLocal = Histogram{};
 
-    Ctx main;
-    main.id = 0;
-    ctxs.push_back(std::move(main));
-    invoke(ctxs[0], mp.prog->mainMethod, {}, NO_MREG, 0);
+    ctxs.emplace_back();
+    ctxs[0].id = 0;
+    initCtx(ctxs[0]);
+    invoke(ctxs[0], mp.prog->mainMethod, nullptr, 0, NO_MREG, 0);
 
     try {
         while (!ctxs[0].finished && machineUops < max_uops) {
             bool progressed = false;
             for (size_t c = 0; c < ctxs.size(); ++c) {
+                Ctx &ctx = ctxs[c];
                 const uint64_t before = machineUops;
                 for (uint64_t q = 0; q < config.quantum; ++q) {
-                    Ctx &ctx = ctxs[c];
                     if (ctx.finished || ctxs[0].finished)
                         break;
                     step(ctx);
@@ -693,6 +801,7 @@ Machine::run(uint64_t max_uops)
             }
         }
     } catch (const Trap &trap) {
+        flushTrace();
         result.trap = trap;
         result.retiredUops =
             result.executedUops - result.discardedUops;
@@ -700,6 +809,7 @@ Machine::run(uint64_t max_uops)
         return result;
     }
 
+    flushTrace();
     result.completed = ctxs[0].finished;
     result.retiredUops = result.executedUops - result.discardedUops;
     publishTelemetry();

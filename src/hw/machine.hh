@@ -11,16 +11,23 @@
  *
  * Threads are deterministic hardware contexts scheduled round-robin;
  * context 0 (the benchmark thread) streams its uops to a TraceSink
- * for timing simulation.
+ * for timing simulation. Trace delivery is batched through
+ * TraceSink::uopBatch; batches are flushed before every abortFlush()
+ * and marker() so the sink observes the same event order as with
+ * per-uop delivery.
+ *
+ * All speculative state lives in flat, epoch-tagged containers that
+ * are allocated once per context and reset in O(1) at aregion_begin,
+ * so steady-state region entry never touches the allocator — the
+ * "checkpoint is cheap" premise the paper's Section 3 argues for in
+ * hardware, mirrored in the simulator's own hot loop.
  */
 
 #ifndef AREGION_HW_MACHINE_HH
 #define AREGION_HW_MACHINE_HH
 
-#include <deque>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "hw/isa.hh"
@@ -125,39 +132,233 @@ class Machine
     const vm::Heap &heap() const { return heapImpl; }
 
   private:
+    /** splitmix64-style avalanche for the open-addressing probes. */
+    static uint64_t
+    hashMix(uint64_t x)
+    {
+        x *= 0x9e3779b97f4a7c15ull;
+        x ^= x >> 32;
+        return x;
+    }
+
     struct Frame
     {
-        const MachineFunction *fn;
+        const MachineFunction *fn = nullptr;
         std::vector<int64_t> regs;
         std::vector<uint64_t> lastWriter;   ///< reg -> producer seq
         int pc = 0;
         MReg retDst = NO_MREG;
     };
 
-    /** Open speculation state (one region; no nesting). */
+    /**
+     * Speculative store buffer: open-addressing hash table keyed by
+     * word address. Slots are epoch-tagged, so aregion_begin
+     * invalidates every entry in O(1) without deallocating; `live`
+     * lists the slots written this epoch in insertion order for the
+     * commit drain. Valid only between beginEpoch() calls (epoch 0
+     * would alias the zero-initialized slots).
+     */
+    struct StoreBuffer
+    {
+        struct Slot
+        {
+            uint64_t addr = 0;
+            int64_t value = 0;
+            uint64_t epoch = 0;
+        };
+
+        std::vector<Slot> slots;        ///< power-of-two size
+        std::vector<uint32_t> live;     ///< slots used this epoch
+        uint64_t mask = 0;
+        uint64_t epoch = 0;
+
+        void
+        init(size_t capacity_pow2)
+        {
+            slots.assign(capacity_pow2, Slot{});
+            live.clear();
+            live.reserve(capacity_pow2);
+            mask = capacity_pow2 - 1;
+            epoch = 0;
+        }
+
+        void
+        beginEpoch()
+        {
+            ++epoch;
+            live.clear();
+        }
+
+        const int64_t *
+        lookup(uint64_t addr) const
+        {
+            for (uint64_t i = hashMix(addr) & mask;;
+                 i = (i + 1) & mask) {
+                const Slot &s = slots[i];
+                if (s.epoch != epoch)
+                    return nullptr;
+                if (s.addr == addr)
+                    return &s.value;
+            }
+        }
+
+        void
+        put(uint64_t addr, int64_t value)
+        {
+            for (uint64_t i = hashMix(addr) & mask;;
+                 i = (i + 1) & mask) {
+                Slot &s = slots[i];
+                if (s.epoch != epoch) {
+                    s.addr = addr;
+                    s.value = value;
+                    s.epoch = epoch;
+                    live.push_back(static_cast<uint32_t>(i));
+                    if (live.size() * 4 > slots.size() * 3)
+                        grow();
+                    return;
+                }
+                if (s.addr == addr) {
+                    s.value = value;
+                    return;
+                }
+            }
+        }
+
+        void grow();
+    };
+
+    /**
+     * Hash set of L1 line numbers (the read/write sets of Section
+     * 3.1), epoch-tagged like the store buffer. Capacity is fixed at
+     * construction: the overflow abort bounds each set to l1Lines
+     * distinct lines, so a table of next_pow2(2 * l1Lines) never
+     * exceeds half load and never needs to grow. `items` keeps this
+     * epoch's members for the commit walk.
+     */
+    struct LineSet
+    {
+        std::vector<uint64_t> keys;
+        std::vector<uint64_t> epochs;
+        std::vector<uint64_t> items;
+        uint64_t mask = 0;
+        uint64_t epoch = 0;
+
+        void
+        init(size_t capacity_pow2)
+        {
+            keys.assign(capacity_pow2, 0);
+            epochs.assign(capacity_pow2, 0);
+            items.clear();
+            items.reserve(capacity_pow2 / 2);
+            mask = capacity_pow2 - 1;
+            epoch = 0;
+        }
+
+        void
+        beginEpoch()
+        {
+            ++epoch;
+            items.clear();
+        }
+
+        bool
+        contains(uint64_t line) const
+        {
+            for (uint64_t i = hashMix(line) & mask;;
+                 i = (i + 1) & mask) {
+                if (epochs[i] != epoch)
+                    return false;
+                if (keys[i] == line)
+                    return true;
+            }
+        }
+
+        void
+        insert(uint64_t line)
+        {
+            for (uint64_t i = hashMix(line) & mask;;
+                 i = (i + 1) & mask) {
+                if (epochs[i] != epoch) {
+                    epochs[i] = epoch;
+                    keys[i] = line;
+                    items.push_back(line);
+                    return;
+                }
+                if (keys[i] == line)
+                    return;
+            }
+        }
+
+        size_t size() const { return items.size(); }
+    };
+
+    /** Per-L1-set speculative line counts for the associativity
+     *  overflow check, indexed directly by set number. */
+    struct SetOccupancy
+    {
+        std::vector<int> counts;
+        std::vector<uint64_t> epochs;
+        uint64_t epoch = 0;
+
+        void
+        init(size_t num_sets)
+        {
+            counts.assign(num_sets, 0);
+            epochs.assign(num_sets, 0);
+            epoch = 0;
+        }
+
+        void beginEpoch() { ++epoch; }
+
+        int
+        increment(uint64_t set)
+        {
+            if (epochs[set] != epoch) {
+                epochs[set] = epoch;
+                counts[set] = 0;
+            }
+            return ++counts[set];
+        }
+    };
+
+    /**
+     * Speculative state of one context (one open region; no
+     * nesting). Lives persistently inside the Ctx: aregion_begin
+     * bumps the container epochs instead of reconstructing, so
+     * steady-state region entry is allocation-free.
+     */
     struct Spec
     {
-        int regionId;
-        int method;
-        int altPc;
-        uint64_t beginPc;
+        bool active = false;
+        int regionId = -1;
+        int method = -1;
+        int altPc = 0;
+        uint64_t beginPc = 0;
+        uint64_t uops = 0;
+        RegionRuntime *stats = nullptr; ///< map node cached at begin
         std::vector<int64_t> regsSnapshot;
         std::vector<uint64_t> writersSnapshot;
-        std::map<uint64_t, int64_t> storeBuf;
-        std::set<uint64_t> readLines;
-        std::set<uint64_t> writeLines;
-        std::map<uint64_t, int> setOccupancy;
-        uint64_t uops = 0;
+        StoreBuffer storeBuf;
+        LineSet readLines;
+        LineSet writeLines;
+        SetOccupancy setOccupancy;
     };
 
     struct Ctx
     {
         int id = 0;
+        /** Frame pool: [0, depth) are the live call stack; returning
+         *  pops depth but keeps the frame (and its register vectors'
+         *  capacity) for the next invoke. */
         std::vector<Frame> stack;
-        std::optional<Spec> spec;
+        size_t depth = 0;
+        Spec spec;
         bool finished = false;
         uint64_t blockedOn = 0;             ///< monitor address or 0
         std::optional<AbortCause> pendingAbort;
+        std::vector<int64_t> argScratch;    ///< call-argument staging
+
+        Frame &top() { return stack[depth - 1]; }
     };
 
     /** Thrown internally to unwind to the abort handler. */
@@ -167,11 +368,11 @@ class Machine
         int abortId = -1;
     };
 
+    void initCtx(Ctx &ctx);
     void step(Ctx &ctx);
     void execute(Ctx &ctx, const MUop &uop, uint64_t pc);
-    void invoke(Ctx &ctx, vm::MethodId callee,
-                const std::vector<int64_t> &argv, MReg ret_dst,
-                uint64_t call_seq);
+    void invoke(Ctx &ctx, vm::MethodId callee, const int64_t *argv,
+                size_t argc, MReg ret_dst, uint64_t call_seq);
     /**
      * Abort the open region of `ctx` (the hardware side of
      * `aregion_abort` and of every implicit abort; paper Section
@@ -206,24 +407,67 @@ class Machine
     void memWrite(Ctx &ctx, uint64_t addr, int64_t value);
     void trackSpecLine(Ctx &ctx, uint64_t line);
     void signalConflicts(Ctx &writer_ctx, uint64_t line);
-    RegionRuntime &regionStats(const Ctx &ctx);
 
     uint64_t checkRef(Ctx &ctx, int64_t value, const MUop &uop);
     void raiseTrap(Ctx &ctx, vm::TrapKind kind, const MUop &uop);
+
+    uint64_t
+    lineOf(uint64_t addr) const
+    {
+        return lineIsPow2 ? addr >> lineShift : addr / lineWordsU;
+    }
+
+    uint64_t
+    setOf(uint64_t line) const
+    {
+        return setsArePow2 ? line & setMask : line % numSetsU;
+    }
+
+    /** Append to the trace batch; flushes when the ring fills. The
+     *  per-uop entry is built in a local (register-allocated) struct
+     *  and copied in here once complete — an in-place emplace was
+     *  measured slower because the indirection blocks scalar
+     *  replacement of the entry's fields. */
+    void
+    pushTrace(const TraceUop &t)
+    {
+        batch.push_back(t);
+        if (batch.size() >= BATCH_CAP)
+            flushTrace();
+    }
+
+    /** Hand the buffered uops to the sink in one uopBatch call. */
+    void flushTrace();
 
     const MachineProgram &mp;
     HwConfig config;
     TraceSink *sink;
     vm::Heap heapImpl;
-    std::deque<Ctx> ctxs;
+    std::vector<Ctx> ctxs;
     MachineResult result;
     uint64_t machineUops = 0;       ///< all contexts (interrupt clock)
     uint64_t tracedSeq = 0;         ///< trace sequence for context 0
-    std::optional<vm::Trap> fatalTrap;
+    uint64_t interruptCountdown = 0;
 
-    /** Cached telemetry slots (stable for the process lifetime). */
-    aregion::Histogram *readLinesHist = nullptr;
-    aregion::Histogram *writeLinesHist = nullptr;
+    /** HwConfig-derived constants, computed once at construction. */
+    bool lineIsPow2 = false;
+    uint32_t lineShift = 0;
+    uint64_t lineWordsU = 8;
+    bool setsArePow2 = false;
+    uint64_t setMask = 0;
+    uint64_t numSetsU = 1;
+    size_t lineTableCap = 2;
+
+    static constexpr size_t BATCH_CAP = 256;
+    std::vector<TraceUop> batch;
+    uint64_t batchFlushes = 0;
+    uint64_t batchUops = 0;
+
+    /** Per-run commit-footprint histograms, accumulated locally and
+     *  merged into the registry at publishTelemetry so concurrent
+     *  machines (support/parallel.hh) never race. */
+    aregion::Histogram readLinesLocal;
+    aregion::Histogram writeLinesLocal;
 };
 
 } // namespace aregion::hw

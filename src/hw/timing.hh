@@ -68,7 +68,16 @@ class TimingModel : public TraceSink
   public:
     explicit TimingModel(const TimingConfig &config);
 
-    void uop(const TraceUop &u) override;
+    void uop(const TraceUop &u) override { processUop(u); }
+
+    /** Batched delivery: one virtual dispatch per machine flush, a
+     *  plain loop over the non-virtual per-uop model inside. */
+    void uopBatch(const TraceUop *u, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            processUop(u[i]);
+    }
+
     void abortFlush(const AbortEvent &event) override;
     void marker(int64_t id) override;
 
@@ -103,15 +112,29 @@ class TimingModel : public TraceSink
     std::vector<std::pair<int64_t, uint64_t>> markerCycles;
 
   private:
+    void processUop(const TraceUop &u);
     uint64_t historyComplete(uint64_t seq) const;
+
+    /** Advance ringBase so `anchor - ringBase` fits in 32 bits,
+     *  shifting every stored ring offset to the new origin. */
+    void rebaseRings(uint64_t anchor);
 
     TimingConfig cfg;
     BranchPredictor predictor;
     CacheHierarchy caches;
 
     static constexpr size_t HIST = 8192;
-    std::vector<uint64_t> completeRing;     ///< seq % HIST -> cycle
-    std::vector<uint64_t> retireRing;       ///< seq % HIST -> cycle
+    /** Completion/retire cycles of the last HIST uops, stored as
+     *  32-bit offsets from ringBase so both rings together occupy
+     *  64 KB of host memory instead of 128 KB — the dependence-wakeup
+     *  lookups into completeRing are the model's hottest random
+     *  memory traffic. ringBase is rebased roughly every 2^31 cycles
+     *  (rebaseRings), which keeps live offsets exact: values still
+     *  reachable by any read sit within a few million cycles of the
+     *  current dispatch cycle, while the origin trails it by 2^31. */
+    std::vector<uint32_t> completeRing;     ///< seq % HIST -> cycle
+    std::vector<uint32_t> retireRing;       ///< seq % HIST -> cycle
+    uint64_t ringBase = 0;
 
     uint64_t dispatchCycle = 0;
     int dispatchedInCycle = 0;

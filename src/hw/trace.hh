@@ -13,6 +13,7 @@
 #ifndef AREGION_HW_TRACE_HH
 #define AREGION_HW_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace aregion::hw {
@@ -51,11 +52,25 @@ const char *abortCauseName(AbortCause cause);
 /** Region lifecycle markers attached to trace uops. */
 enum class RegionEvent : uint8_t { None, Begin, End, Abort };
 
-/** One executed uop of the traced context. */
-struct TraceUop
+/** One executed uop of the traced context. Field order and widths
+ *  keep the struct at 64 bytes, and the alignment pins batch entries
+ *  to cache-line boundaries (exactly one line per uop): the machine
+ *  copies one per traced uop into its batch ring, and the timing
+ *  model reads them back out. */
+struct alignas(64) TraceUop
 {
     uint64_t seq = 0;           ///< 1-based sequence number
-    uint64_t pc = 0;
+    uint64_t memAddr = 0;       ///< word address for loads/stores
+
+    /** Producer seqs of the register sources (0 = no producer). */
+    uint64_t srcSeq[3] = {0, 0, 0};
+
+    /** Global pcs are `method << 16 | offset` (hw/isa.hh) with both
+     *  halves under 2^16 — see the method-count check in the Machine
+     *  constructor — so 32 bits hold them exactly. */
+    uint32_t pc = 0;
+    uint32_t targetPc = 0;      ///< branch/indirect actual target
+
     LatClass lat = LatClass::Int;
     bool isLoad = false;
     bool isStore = false;
@@ -63,16 +78,13 @@ struct TraceUop
     bool taken = false;
     bool indirect = false;      ///< indirect call (target prediction)
     bool serializing = false;
-    uint64_t targetPc = 0;      ///< branch/indirect actual target
-    uint64_t memAddr = 0;       ///< word address for loads/stores
-
-    /** Producer seqs of the register sources (0 = no producer). */
-    uint64_t srcSeq[3] = {0, 0, 0};
-    int numSrcs = 0;
+    int8_t numSrcs = 0;
 
     RegionEvent region = RegionEvent::None;
-    int regionId = -1;
+    int16_t regionId = -1;
 };
+static_assert(sizeof(TraceUop) == 64,
+              "TraceUop should stay one cache line");
 
 /** Emitted when the traced context's region aborts. */
 struct AbortEvent
@@ -88,6 +100,20 @@ class TraceSink
   public:
     virtual ~TraceSink() = default;
     virtual void uop(const TraceUop &u) = 0;
+
+    /** Contiguous run of uops in program order. The machine batches
+     *  trace delivery through this hook so the per-uop virtual call
+     *  disappears from the hot loop; sinks that care only about
+     *  individual uops inherit this per-uop fallback. Ordering
+     *  contract: a batch is flushed before every abortFlush() and
+     *  marker() call, so relative order with those events is
+     *  preserved exactly as if uop() had been called n times. */
+    virtual void uopBatch(const TraceUop *u, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            uop(u[i]);
+    }
+
     virtual void abortFlush(const AbortEvent &event) { (void)event; }
     virtual void marker(int64_t id) { (void)id; }
 };

@@ -11,13 +11,13 @@ namespace {
  *  resolved once (registry references are stable). */
 struct PassTimers
 {
-    uint64_t &simplifyCfg;
-    uint64_t &constantFold;
-    uint64_t &cse;
-    uint64_t &copyProp;
-    uint64_t &dce;
-    uint64_t &inl;
-    uint64_t &unroll;
+    std::atomic<uint64_t> &simplifyCfg;
+    std::atomic<uint64_t> &constantFold;
+    std::atomic<uint64_t> &cse;
+    std::atomic<uint64_t> &copyProp;
+    std::atomic<uint64_t> &dce;
+    std::atomic<uint64_t> &inl;
+    std::atomic<uint64_t> &unroll;
 
     static PassTimers &get()
     {
@@ -37,7 +37,7 @@ struct PassTimers
 };
 
 bool
-timed(uint64_t &slot, bool (*pass)(ir::Function &),
+timed(std::atomic<uint64_t> &slot, bool (*pass)(ir::Function &),
       ir::Function &func)
 {
     telemetry::ScopedTimerUs timer(slot);

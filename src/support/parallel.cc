@@ -1,0 +1,103 @@
+#include "support/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
+
+namespace aregion::parallel {
+
+namespace {
+
+size_t
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("AREGION_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+size_t
+plannedThreads(size_t tasks)
+{
+    if (tasks == 0)
+        return 1;
+    const size_t jobs = jobsFromEnv();
+    return std::max<size_t>(1, std::min(tasks, jobs));
+}
+
+void
+runGrid(size_t tasks, const std::function<void(size_t)> &fn)
+{
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+    const auto start = std::chrono::steady_clock::now();
+    const size_t threads = plannedThreads(tasks);
+
+    std::exception_ptr first_error = nullptr;
+
+    if (threads <= 1) {
+        // Inline on the calling thread: no pool, no atomics, and
+        // exceptions propagate only after the remaining cells ran —
+        // the same drain-then-rethrow contract as the pooled path.
+        for (size_t i = 0; i < tasks; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    } else {
+        std::atomic<size_t> next{0};
+        std::mutex error_mu;
+        auto worker = [&]() {
+            for (;;) {
+                const size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= tasks)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        for (size_t t = 0; t + 1 < threads; ++t)
+            pool.emplace_back(worker);
+        worker();               // the calling thread pulls cells too
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    const auto wall_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    reg.add(keys::kDriverTasks, tasks);
+    reg.add(keys::kDriverWallUs, static_cast<uint64_t>(wall_us));
+    reg.set(keys::kDriverThreads, static_cast<double>(threads));
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace aregion::parallel

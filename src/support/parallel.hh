@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parallel experiment driver: a bounded worker pool that fans a grid
+ * of independent experiment cells (workload × configuration) out
+ * over host threads.
+ *
+ * The figure and ablation binaries run dozens of full simulator
+ * pipelines that share nothing but the process-wide telemetry
+ * registry (thread-safe; see support/telemetry.hh). Each cell writes
+ * its result into a caller-preallocated slot, so the caller can
+ * assemble tables in deterministic order afterwards regardless of
+ * completion order.
+ *
+ * Worker count: min(grid size, jobs()), where jobs() is the
+ * AREGION_JOBS environment variable when set, else the host's
+ * hardware concurrency. Single-threaded hosts (or AREGION_JOBS=1)
+ * run the cells inline on the calling thread with no pool at all,
+ * so results are byte-identical either way.
+ */
+
+#ifndef AREGION_SUPPORT_PARALLEL_HH
+#define AREGION_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace aregion::parallel {
+
+/** Worker count runGrid will use for a grid of `tasks` cells:
+ *  min(tasks, AREGION_JOBS or hardware_concurrency), at least 1. */
+size_t plannedThreads(size_t tasks);
+
+/**
+ * Run `fn(i)` for every i in [0, tasks) across plannedThreads(tasks)
+ * workers. Blocks until all cells finish. The first exception thrown
+ * by any cell is rethrown on the calling thread after the pool
+ * drains (remaining queued cells still run; in-flight ones finish).
+ *
+ * Publishes `driver.tasks`, `driver.wall_us`, and `driver.threads`
+ * telemetry. Cells must be independent: anything they share beyond
+ * the telemetry registry needs the caller's own synchronization.
+ */
+void runGrid(size_t tasks, const std::function<void(size_t)> &fn);
+
+} // namespace aregion::parallel
+
+#endif // AREGION_SUPPORT_PARALLEL_HH

@@ -44,6 +44,15 @@ Histogram::add(int64_t value, uint64_t weight)
     n += weight;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    for (const auto &[value, weight] : other.data) {
+        data[value] += weight;
+        n += weight;
+    }
+}
+
 double
 Histogram::mean() const
 {

@@ -47,6 +47,10 @@ class Histogram
   public:
     void add(int64_t value, uint64_t weight = 1);
 
+    /** Accumulate every bucket of `other` (order-independent, so
+     *  per-thread histograms can be merged into a shared one). */
+    void merge(const Histogram &other);
+
     uint64_t count() const { return n; }
     double mean() const;
     int64_t min() const;

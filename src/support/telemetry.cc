@@ -40,40 +40,56 @@ Registry::global()
     return instance;
 }
 
-uint64_t &
+std::atomic<uint64_t> &
 Registry::counter(const std::string &key)
 {
+    // map nodes are stable, so the reference outlives the lock; the
+    // value itself is atomic, so later increments need no lock.
+    std::lock_guard<std::mutex> lock(mu);
     return counters[key];
 }
 
 void
 Registry::add(const std::string &key, uint64_t n)
 {
-    counters[key] += n;
+    counter(key).fetch_add(n, std::memory_order_relaxed);
 }
 
 void
 Registry::set(const std::string &key, double value)
 {
+    std::lock_guard<std::mutex> lock(mu);
     gauges[key] = value;
 }
 
 Histogram &
 Registry::histogram(const std::string &key)
 {
+    std::lock_guard<std::mutex> lock(mu);
     return hists[key];
+}
+
+void
+Registry::merge(const std::string &key, const Histogram &local)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    hists[key].merge(local);
 }
 
 uint64_t
 Registry::counterValue(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = counters.find(key);
-    return it == counters.end() ? 0 : it->second;
+    return it == counters.end()
+               ? 0
+               : it->second.load(std::memory_order_relaxed);
 }
 
 double
 Registry::gaugeValue(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(mu);
     auto it = gauges.find(key);
     return it == gauges.end() ? 0.0 : it->second;
 }
@@ -81,6 +97,7 @@ Registry::gaugeValue(const std::string &key) const
 bool
 Registry::has(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(mu);
     return counters.count(key) || gauges.count(key) ||
            hists.count(key);
 }
@@ -88,6 +105,7 @@ Registry::has(const std::string &key) const
 std::vector<std::string>
 Registry::keys() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     std::vector<std::string> out;
     for (const auto &[k, v] : counters)
         out.push_back(k);
@@ -103,8 +121,9 @@ Registry::keys() const
 void
 Registry::reset()
 {
+    std::lock_guard<std::mutex> lock(mu);
     for (auto &[k, v] : counters)
-        v = 0;
+        v.store(0, std::memory_order_relaxed);
     for (auto &[k, v] : gauges)
         v = 0.0;
     for (auto &[k, v] : hists)
@@ -119,6 +138,7 @@ Registry::reset()
 void
 Registry::enableTracing(size_t capacity)
 {
+    std::lock_guard<std::mutex> lock(mu);
     tracingOn = capacity > 0;
     ringCapacity = capacity;
     ring.clear();
@@ -160,6 +180,13 @@ Registry::endSpan(const char *name, uint64_t begin_us, int depth)
 
 std::vector<SpanRecord>
 Registry::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return spansLocked();
+}
+
+std::vector<SpanRecord>
+Registry::spansLocked() const
 {
     if (ring.size() < ringCapacity || ring.empty())
         return ring;
@@ -204,12 +231,13 @@ Registry::toJson(int indent) const
     const std::string pad2 = pad + pad;
     const std::string pad3 = pad2 + pad;
     std::ostringstream out;
+    std::lock_guard<std::mutex> lock(mu);
 
     out << "{\n" << pad << "\"counters\": {";
     bool first = true;
     for (const auto &[k, v] : counters) {
         out << (first ? "\n" : ",\n") << pad2 << jsonQuote(k) << ": "
-            << v;
+            << v.load(std::memory_order_relaxed);
         first = false;
     }
     out << (first ? "" : "\n" + pad) << "},\n";
@@ -237,7 +265,7 @@ Registry::toJson(int indent) const
 
     out << pad << "\"spans\": [";
     first = true;
-    for (const SpanRecord &s : spans()) {
+    for (const SpanRecord &s : spansLocked()) {
         out << (first ? "\n" : ",\n") << pad2 << "{\"name\": "
             << jsonQuote(s.name) << ", \"begin_us\": " << s.beginUs
             << ", \"end_us\": " << s.endUs
@@ -252,8 +280,11 @@ std::string
 Registry::toTable() const
 {
     TextTable table({"key", "kind", "value"});
-    for (const auto &[k, v] : counters)
-        table.addRow({k, "counter", std::to_string(v)});
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[k, v] : counters) {
+        table.addRow({k, "counter",
+                      std::to_string(v.load(std::memory_order_relaxed))});
+    }
     for (const auto &[k, v] : gauges)
         table.addRow({k, "gauge", TextTable::fmt(v, 3)});
     for (const auto &[k, h] : hists) {
@@ -265,14 +296,15 @@ Registry::toTable() const
     return table.render();
 }
 
-ScopedTimerUs::ScopedTimerUs(uint64_t &slot_)
+ScopedTimerUs::ScopedTimerUs(std::atomic<uint64_t> &slot_)
     : slot(slot_), startNs(steadyNowNs())
 {
 }
 
 ScopedTimerUs::~ScopedTimerUs()
 {
-    slot += (steadyNowNs() - startNs) / 1000;
+    slot.fetch_add((steadyNowNs() - startNs) / 1000,
+                   std::memory_order_relaxed);
 }
 
 } // namespace aregion::telemetry

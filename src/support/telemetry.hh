@@ -19,16 +19,26 @@
  *  - The registry is deterministic: all containers iterate in sorted
  *    key order, so the JSON export is byte-stable across runs.
  *
- * Like the rest of the simulator the registry is single-threaded by
- * design (simulated hardware contexts share one host thread); it is
- * not guarded by locks.
+ * Thread-safety (for the parallel experiment driver,
+ * support/parallel.hh): counter slots are atomics, so cached
+ * references can be incremented from concurrent experiment runs, and
+ * every registry method takes an internal mutex. Two exceptions by
+ * design:
+ *
+ *  - histogram() returns a plain Histogram reference; concurrent
+ *    writers must accumulate into a local Histogram and publish it
+ *    with merge() (what Machine::publishTelemetry does).
+ *  - Scoped tracing is a single-threaded debugging aid; span nesting
+ *    depth is not meaningful when several threads record spans.
  */
 
 #ifndef AREGION_SUPPORT_TELEMETRY_HH
 #define AREGION_SUPPORT_TELEMETRY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,8 +66,9 @@ class Registry
     static Registry &global();
 
     /** Monotonic counter slot for `key`, created at zero on first
-     *  use. The reference stays valid for the registry's lifetime. */
-    uint64_t &counter(const std::string &key);
+     *  use. The reference stays valid for the registry's lifetime,
+     *  and being atomic it may be incremented from any thread. */
+    std::atomic<uint64_t> &counter(const std::string &key);
 
     /** counter(key) += n. */
     void add(const std::string &key, uint64_t n = 1);
@@ -66,8 +77,13 @@ class Registry
     void set(const std::string &key, double value);
 
     /** Sparse histogram slot for `key` (same stability guarantee as
-     *  counter()). */
+     *  counter()). NOT safe for concurrent writers — accumulate into
+     *  a local Histogram and publish with merge(). */
     Histogram &histogram(const std::string &key);
+
+    /** Locked histogram(key).merge(local): the one histogram write
+     *  path that is safe from concurrent experiment threads. */
+    void merge(const std::string &key, const Histogram &local);
 
     /** Counter value, 0 when the key was never registered. */
     uint64_t counterValue(const std::string &key) const;
@@ -117,8 +133,12 @@ class Registry
     int beginSpan();
     void endSpan(const char *name, uint64_t begin_us, int depth);
     uint64_t nowUs() const;
+    std::vector<SpanRecord> spansLocked() const;
 
-    std::map<std::string, uint64_t> counters;
+    // std::map never moves nodes, so atomic values (non-movable) are
+    // fine and cached counter references survive later insertions.
+    mutable std::mutex mu;
+    std::map<std::string, std::atomic<uint64_t>> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, Histogram> hists;
 
@@ -175,14 +195,14 @@ class ScopedSpan
 class ScopedTimerUs
 {
   public:
-    explicit ScopedTimerUs(uint64_t &slot_);
+    explicit ScopedTimerUs(std::atomic<uint64_t> &slot_);
     ~ScopedTimerUs();
 
     ScopedTimerUs(const ScopedTimerUs &) = delete;
     ScopedTimerUs &operator=(const ScopedTimerUs &) = delete;
 
   private:
-    uint64_t &slot;
+    std::atomic<uint64_t> &slot;
     uint64_t startNs;
 };
 

@@ -60,6 +60,18 @@ inline constexpr const char *kMachineUopsAllContexts =
 inline constexpr const char *kMachineMonitorFastEnters =
     "machine.monitor.fast_enters";
 inline constexpr const char *kMachineRuns = "machine.runs";
+// Trace-batching stats: uops delivered to the sink through
+// TraceSink::uopBatch and how many batch flushes carried them.
+inline constexpr const char *kMachineBatchFlushes =
+    "machine.batch.flushes";
+inline constexpr const char *kMachineBatchUops =
+    "machine.batch.uops";
+
+// --- driver.* (src/support/parallel.cc) --------------------------
+inline constexpr const char *kDriverTasks = "driver.tasks";
+inline constexpr const char *kDriverWallUs = "driver.wall_us";
+inline constexpr const char *kDriverThreads =
+    "driver.threads";                       // gauge
 
 // --- timing.* (src/hw/timing.cc) ---------------------------------
 inline constexpr const char *kTimingCycles = "timing.cycles";
@@ -152,7 +164,9 @@ catalogInfo()
           kMachineRegionCommits, kMachineRegionUops,
           kMachineUopsRetired, kMachineUopsExecuted,
           kMachineUopsDiscarded, kMachineUopsAllContexts,
-          kMachineMonitorFastEnters, kMachineRuns, kTimingCycles,
+          kMachineMonitorFastEnters, kMachineRuns,
+          kMachineBatchFlushes, kMachineBatchUops, kDriverTasks,
+          kDriverWallUs, kTimingCycles,
           kTimingUops, kTimingBranches, kTimingMispredicts,
           kTimingIndirectMispredicts, kTimingSerializations,
           kTimingRegionBegins, kTimingAbortFlushes, kTimingL1Misses,
@@ -169,6 +183,7 @@ catalogInfo()
         all.push_back({k, KeyKind::Counter});
     }
     all.push_back({kTimingIpc, KeyKind::Gauge});
+    all.push_back({kDriverThreads, KeyKind::Gauge});
     for (const char *k :
          {kMachineRegionSize, kMachineRegionFootprint,
           kMachineRegionReadLines, kMachineRegionWriteLines}) {

@@ -94,20 +94,6 @@ Heap::allocArray(int64_t length)
     return addr;
 }
 
-int64_t
-Heap::load(uint64_t addr) const
-{
-    AREGION_ASSERT(inBounds(addr), "load out of bounds: ", addr);
-    return mem[addr];
-}
-
-void
-Heap::store(uint64_t addr, int64_t value)
-{
-    AREGION_ASSERT(inBounds(addr), "store out of bounds: ", addr);
-    mem[addr] = value;
-}
-
 void
 Heap::allocReset(uint64_t mark)
 {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/logging.hh"
 #include "vm/layout.hh"
 #include "vm/program.hh"
 
@@ -44,8 +45,22 @@ class Heap
         return fieldCounts[static_cast<size_t>(cls)];
     }
 
-    int64_t load(uint64_t addr) const;
-    void store(uint64_t addr, int64_t value);
+    // Inline: these two are the memory interface of the machine
+    // simulator's hottest loop, and an out-of-line call per access
+    // dominates the load/store path.
+    int64_t
+    load(uint64_t addr) const
+    {
+        AREGION_ASSERT(inBounds(addr), "load out of bounds: ", addr);
+        return mem[addr];
+    }
+
+    void
+    store(uint64_t addr, int64_t value)
+    {
+        AREGION_ASSERT(inBounds(addr), "store out of bounds: ", addr);
+        mem[addr] = value;
+    }
 
     /** True if addr points into mapped memory (metadata or heap). */
     bool inBounds(uint64_t addr) const

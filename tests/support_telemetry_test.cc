@@ -36,7 +36,7 @@ namespace keys = aregion::telemetry::keys;
 TEST(Registry, CounterGaugeHistogramRoundTrip)
 {
     telemetry::Registry reg;
-    uint64_t &c = reg.counter("a.count");
+    auto &c = reg.counter("a.count");
     EXPECT_EQ(c, 0u);
     c += 3;
     reg.add("a.count", 2);
@@ -62,7 +62,7 @@ TEST(Registry, CounterGaugeHistogramRoundTrip)
 TEST(Registry, ResetZeroesInPlaceAndKeepsReferences)
 {
     telemetry::Registry reg;
-    uint64_t &c = reg.counter("x");
+    auto &c = reg.counter("x");
     Histogram &h = reg.histogram("y");
     c = 42;
     h.add(7);

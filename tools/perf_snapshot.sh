@@ -1,0 +1,21 @@
+#!/bin/sh
+# Refresh the host-performance snapshot: run the simulator_throughput
+# microbenchmarks and write their --json export (tables + telemetry +
+# the bench.simulator_throughput.*_per_sec gauges) to
+# BENCH_simulator.json at the repo root.
+#
+# Usage: tools/perf_snapshot.sh [simulator_throughput-binary] [out.json]
+# Defaults assume the standard build directory layout.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${1:-$root/build/bench/simulator_throughput}"
+out="${2:-$root/BENCH_simulator.json}"
+
+if [ ! -x "$bin" ]; then
+    echo "perf_snapshot: $bin not built (cmake --build build --target simulator_throughput)" >&2
+    exit 1
+fi
+
+"$bin" --json "$out"
+echo "perf_snapshot: wrote $out"
