@@ -11,6 +11,7 @@
 #define AREGION_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "runtime/jit.hh"
+#include "support/failpoint.hh"
 #include "support/parallel.hh"
 #include "support/table.hh"
 #include "support/telemetry.hh"
@@ -40,6 +42,13 @@ namespace wl = aregion::workloads;
  * table it registered plus the full process telemetry snapshot
  * (docs/TELEMETRY.md), so `BENCH_*.json` trajectories can be
  * automated (see EXPERIMENTS.md).
+ *
+ * Fault-injection flags (docs/RESILIENCE.md): `--inject
+ * <name:spec,...>` arms failpoints for the whole run (same grammar
+ * as AREGION_FAILPOINTS) and `--seed <n>` fixes the injection PRNG
+ * seed. When either is given, the JSON export records the canonical
+ * armed set and the seed so injected runs are reproducible from
+ * their report alone.
  *
  * Usage in a binary:
  *
@@ -63,15 +72,42 @@ class BenchReport
         // zero-valued when the binary never exercised it.
         telemetry::keys::preregister(telemetry::Registry::global());
         int out = 1;
+        std::string inject_csv;
+        std::string seed_arg;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--json" && i + 1 < argc) {
                 jsonPath = argv[++i];
+            } else if (arg == "--inject" && i + 1 < argc) {
+                inject_csv = argv[++i];
+            } else if (arg == "--seed" && i + 1 < argc) {
+                seed_arg = argv[++i];
             } else {
                 argv[out++] = argv[i];
             }
         }
         argc = out;
+        auto &fps = failpoint::Registry::global();
+        if (!seed_arg.empty()) {
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(seed_arg.c_str(), &end, 10);
+            if (end == seed_arg.c_str() || *end != '\0') {
+                std::fprintf(stderr, "--seed: not a number: %s\n",
+                             seed_arg.c_str());
+                std::exit(2);
+            }
+            fps.setSeed(static_cast<uint64_t>(parsed));
+            injectRecorded = true;
+        }
+        if (!inject_csv.empty()) {
+            std::string err;
+            if (fps.configure(inject_csv, &err) < 0) {
+                std::fprintf(stderr, "--inject: %s\n", err.c_str());
+                std::exit(2);
+            }
+            injectRecorded = true;
+        }
     }
 
     /** Register a rendered table for the JSON export. */
@@ -100,8 +136,14 @@ class BenchReport
                          jsonPath.c_str());
             return 1;
         }
-        out << "{\n  \"bench\": " << telemetry::jsonQuote(name)
-            << ",\n  \"tables\": {";
+        out << "{\n  \"bench\": " << telemetry::jsonQuote(name);
+        if (injectRecorded) {
+            auto &fps = failpoint::Registry::global();
+            out << ",\n  \"inject\": "
+                << telemetry::jsonQuote(fps.describe())
+                << ",\n  \"inject_seed\": " << fps.seed();
+        }
+        out << ",\n  \"tables\": {";
         for (size_t i = 0; i < tables.size(); ++i) {
             out << (i ? ",\n" : "\n") << "    "
                 << telemetry::jsonQuote(tables[i].first) << ": "
@@ -116,6 +158,7 @@ class BenchReport
   private:
     std::string name;
     std::string jsonPath;
+    bool injectRecorded = false;    ///< --inject/--seed was given
     std::vector<std::pair<std::string, aregion::TextTable>> tables;
 };
 

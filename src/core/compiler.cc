@@ -79,6 +79,15 @@ compileProgram(const vm::Program &prog, const vm::Profile &profile,
 
     if (config.atomicRegions) {
         for (auto &[mid, func] : result.mod.funcs) {
+            if (config.region.blacklistMethods.count(mid)) {
+                // Abort-storm resilience condemned this method:
+                // compile it non-speculative (no regions, no
+                // region-dependent passes) but still give the
+                // scalar pipeline its normal pass.
+                result.stats.funcsBlacklisted++;
+                opt::runScalarPipeline(func, ctx);
+                continue;
+            }
             const RegionStats rs = formRegions(func, config.region);
             result.stats.regions.regionsFormed += rs.regionsFormed;
             result.stats.regions.assertsCreated += rs.assertsCreated;

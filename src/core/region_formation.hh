@@ -62,6 +62,11 @@ struct RegionConfig
     /** Cold edges at these (bcMethod, bcPc) sites are treated as warm
      *  (adaptive recompilation feedback; Section 7). */
     std::set<std::pair<int, int>> warmOverrides;
+
+    /** Methods compiled permanently non-speculative: no regions are
+     *  formed for these ids (abort-storm resilience gave up on them;
+     *  runtime/resilience.hh). */
+    std::set<int> blacklistMethods;
 };
 
 /** Formation statistics for reporting and tests. */

@@ -1,7 +1,10 @@
 #include "hw/machine.hh"
 
 #include <algorithm>
+#include <iterator>
 
+#include "hw/oracle.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
@@ -13,6 +16,19 @@ namespace aregion::hw {
 namespace layout = vm::layout;
 using vm::Trap;
 using vm::TrapKind;
+
+// Adding an AbortCause must grow the per-region stats array and the
+// machine.abort.* telemetry vector in lockstep; a mismatch here
+// would silently truncate (or read past) the cause histogram.
+static_assert(sizeof(RegionRuntime::abortsByCause) /
+                      sizeof(uint64_t) ==
+                  kNumAbortCauses,
+              "RegionRuntime::abortsByCause must cover every "
+              "AbortCause enumerator");
+static_assert(std::size(telemetry::keys::kMachineAbortByCause) ==
+                  kNumAbortCauses,
+              "telemetry kMachineAbortByCause must cover every "
+              "AbortCause enumerator");
 
 namespace {
 
@@ -132,8 +148,10 @@ Machine::trackSpecLine(Ctx &ctx, uint64_t line)
     }
     const int occupancy = spec.setOccupancy.increment(setOf(line));
     const auto total = spec.readLines.size() + spec.writeLines.size();
+    // capLines is config.l1Lines except when the machine.capacity
+    // failpoint squeezed this region at aregion_begin.
     if (occupancy > config.l1Assoc ||
-        total + 1 > static_cast<size_t>(config.l1Lines)) {
+        total + 1 > static_cast<size_t>(spec.capLines)) {
         throw RegionAbort{AbortCause::Overflow, -1};
     }
 }
@@ -232,6 +250,18 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
         }
     }
     spec.active = false;
+
+    if (oracle) {
+        oracle->checkAbort(ctx.id, ctxs.size(), frame.regs, frame.pc,
+                           heapImpl);
+    }
+    if (config.maxConsecutiveAborts > 0 &&
+        ++ctx.consecutiveAborts >= config.maxConsecutiveAborts &&
+        !ctx.specSuppressed) {
+        ctx.specSuppressed = true;
+        ctx.suppressedEntries = 0;
+        result.livelockTrips++;
+    }
 }
 
 void
@@ -264,6 +294,13 @@ Machine::commitRegion(Ctx &ctx)
     if (ctx.id == 0)
         result.regionUopsRetired += spec.uops;
     spec.active = false;
+
+    if (oracle)
+        oracle->onCommit(ctx.id);
+    // A commit proves the region can make progress: re-enable
+    // speculation if the livelock guard had given up on it.
+    ctx.consecutiveAborts = 0;
+    ctx.specSuppressed = false;
 }
 
 void
@@ -605,6 +642,15 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
 
       case MKind::ABegin: {
         AREGION_ASSERT(!ctx.spec.active, "nested atomic region");
+        // Livelock guard engaged: take the non-speculative
+        // alternate path directly, probing speculation again every
+        // 64th entry (commitRegion lifts the suppression).
+        if (ctx.specSuppressed &&
+            ++ctx.suppressedEntries % 64 != 0) {
+            result.specSuppressedEntries++;
+            next_pc = uop.target;
+            break;
+        }
         Spec &spec = ctx.spec;
         spec.active = true;
         spec.regionId = uop.aux;
@@ -612,6 +658,7 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         spec.altPc = uop.target;
         spec.beginPc = pc;
         spec.uops = 0;
+        spec.capLines = config.l1Lines;
         spec.regsSnapshot = frame.regs;
         spec.writersSnapshot = frame.lastWriter;
         spec.storeBuf.beginEpoch();
@@ -623,6 +670,32 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
         result.regionEntries++;
         t.region = RegionEvent::Begin;
         t.regionId = uop.aux;
+        if (oracle) {
+            oracle->captureBegin(ctx.id, ctxs.size(), frame.regs,
+                                 uop.target, heapImpl);
+        }
+        if (injectOn) {
+            // Artificial capacity pressure: shrink this region's
+            // effective line budget (payload = lines; default one
+            // way's worth, which overflows almost immediately).
+            if (fpCapacity && fpCapacity->evaluate()) {
+                result.injectedCapacity++;
+                const int64_t lines = fpCapacity->value();
+                spec.capLines =
+                    lines > 0 ? static_cast<int>(std::min<int64_t>(
+                                    lines, config.l1Lines))
+                              : config.l1Assoc;
+            }
+            // Forced assert failure: the region aborts explicitly
+            // before its first instruction, as if a compiler assert
+            // at the region head fired (payload = assert id).
+            if (fpAssert && fpAssert->evaluate()) {
+                result.injectedAsserts++;
+                const int64_t id = fpAssert->value();
+                throw RegionAbort{AbortCause::Explicit,
+                                  id > 0 ? static_cast<int>(id) : -1};
+            }
+        }
         break;
       }
       case MKind::AEnd:
@@ -706,6 +779,14 @@ Machine::step(Ctx &ctx)
         if (ctx.spec.active)
             doAbort(ctx, AbortCause::Interrupt, -1, pc);
     }
+
+    // Injected spurious interrupt/context switch: one failpoint hit
+    // per speculative uop, so `p` rates scale with region length.
+    if (injectOn && fpInterrupt && ctx.spec.active &&
+        fpInterrupt->evaluate()) {
+        result.injectedInterrupts++;
+        doAbort(ctx, AbortCause::Interrupt, -1, pc);
+    }
 }
 
 void
@@ -714,19 +795,36 @@ Machine::publishTelemetry()
     namespace keys = telemetry::keys;
     auto &reg = telemetry::Registry::global();
 
-    // Register all six cause counters even when zero so every
-    // snapshot carries the full cause vector.
+    // Register every cause counter even when zero so each snapshot
+    // carries the full cause vector.
     uint64_t total_aborts = 0;
-    uint64_t by_cause[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t by_cause[kNumAbortCauses] = {};
     for (const auto &[key, stats] : result.regions) {
-        for (int c = 0; c < 6; ++c)
+        for (size_t c = 0; c < kNumAbortCauses; ++c)
             by_cause[c] += stats.abortsByCause[c];
     }
-    for (int c = 0; c < 6; ++c) {
+    for (size_t c = 0; c < kNumAbortCauses; ++c) {
         reg.add(keys::kMachineAbortByCause[c], by_cause[c]);
         total_aborts += by_cause[c];
     }
     reg.add(keys::kMachineAbortTotal, total_aborts);
+
+    // Injection/guard counters only exist when the features are on,
+    // so default runs register nothing new.
+    if (injectOn) {
+        reg.add(keys::kMachineInjectInterrupt,
+                result.injectedInterrupts);
+        reg.add(keys::kMachineInjectCapacity, result.injectedCapacity);
+        reg.add(keys::kMachineInjectAssert, result.injectedAsserts);
+        reg.add(keys::kMachineInjectTotal,
+                result.injectedInterrupts + result.injectedCapacity +
+                    result.injectedAsserts);
+    }
+    if (config.maxConsecutiveAborts > 0) {
+        reg.add(keys::kMachineSpecSuppressed,
+                result.specSuppressedEntries);
+        reg.add(keys::kMachineLivelockTrips, result.livelockTrips);
+    }
 
     reg.add(keys::kMachineRegionEntries, result.regionEntries);
     reg.add(keys::kMachineRegionCommits, result.regionCommits);
@@ -760,6 +858,18 @@ MachineResult
 Machine::run(uint64_t max_uops)
 {
     telemetry::ScopedSpan span("machine.run");
+    // Resolve failpoint handles once; with nothing armed the hooks
+    // reduce to a single always-false branch on `injectOn`.
+    auto &fps = failpoint::Registry::global();
+    if (fps.anyArmed()) {
+        fpInterrupt = fps.find(failpoint::kMachineInterrupt);
+        fpCapacity = fps.find(failpoint::kMachineCapacity);
+        fpAssert = fps.find(failpoint::kMachineAssert);
+    } else {
+        fpInterrupt = fpCapacity = fpAssert = nullptr;
+    }
+    injectOn = fpInterrupt || fpCapacity || fpAssert;
+
     result = MachineResult{};
     ctxs.clear();
     // Spawn pushes new contexts while references into `ctxs` are

@@ -37,7 +37,13 @@
 #include "vm/heap.hh"
 #include "vm/trap.hh"
 
+namespace aregion::failpoint {
+class Failpoint;
+} // namespace aregion::failpoint
+
 namespace aregion::hw {
+
+class RollbackOracle;
 
 /** Architectural (functional) hardware parameters. */
 struct HwConfig
@@ -53,6 +59,18 @@ struct HwConfig
 
     /** Scheduler quantum (uops) per context. */
     uint64_t quantum = 50;
+
+    /**
+     * Livelock guard: after this many consecutive aborts on one
+     * context with no intervening commit, region entry is suppressed
+     * (aregion_begin branches straight to the alternate pc, i.e. the
+     * non-speculative path) so an always-aborting region still makes
+     * forward progress. Every 64th suppressed entry probes
+     * speculation again; a commit clears the suppression. 0 disables
+     * the guard (the default — benchmarks keep the paper's
+     * retry-forever hardware).
+     */
+    uint64_t maxConsecutiveAborts = 0;
 };
 
 /** Runtime statistics for one static region. */
@@ -67,7 +85,7 @@ struct RegionRuntime
     /** Aborts indexed by static_cast<int>(AbortCause); mirrored
      *  process-wide as the `machine.abort.*` telemetry counters
      *  (see docs/TELEMETRY.md). */
-    uint64_t abortsByCause[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t abortsByCause[kNumAbortCauses] = {};
     aregion::Histogram dynamicSize;     ///< uops per committed region
     aregion::Histogram footprintLines;  ///< lines touched at commit
 
@@ -106,6 +124,16 @@ struct MachineResult
     uint64_t regionAborts = 0;
     uint64_t monitorFastEnters = 0; ///< CAS fast-path acquisitions
 
+    /** Fault-injection effects (zero unless failpoints are armed;
+     *  `machine.inject.*` telemetry). */
+    uint64_t injectedInterrupts = 0;
+    uint64_t injectedCapacity = 0;  ///< regions squeezed at begin
+    uint64_t injectedAsserts = 0;
+
+    /** Livelock guard (`HwConfig::maxConsecutiveAborts`). */
+    uint64_t specSuppressedEntries = 0; ///< begins run non-speculatively
+    uint64_t livelockTrips = 0;         ///< times the guard engaged
+
     /** Per static region: (methodId, regionId) -> stats. */
     std::map<std::pair<int, int>, RegionRuntime> regions;
 
@@ -130,6 +158,11 @@ class Machine
     MachineResult run(uint64_t max_uops = 1ull << 33);
 
     const vm::Heap &heap() const { return heapImpl; }
+
+    /** Attach a rollback consistency oracle (hw/oracle.hh). Test
+     *  harness only: snapshots the heap at every region entry. Must
+     *  outlive run(); nullptr (the default) is fully inert. */
+    void setOracle(RollbackOracle *o) { oracle = o; }
 
   private:
     /** splitmix64-style avalanche for the open-addressing probes. */
@@ -335,6 +368,10 @@ class Machine
         int altPc = 0;
         uint64_t beginPc = 0;
         uint64_t uops = 0;
+        /** Effective line limit for this region's footprint; set at
+         *  aregion_begin to HwConfig::l1Lines, or lower when the
+         *  machine.capacity failpoint fires (artificial pressure). */
+        int capLines = 0;
         RegionRuntime *stats = nullptr; ///< map node cached at begin
         std::vector<int64_t> regsSnapshot;
         std::vector<uint64_t> writersSnapshot;
@@ -357,6 +394,11 @@ class Machine
         uint64_t blockedOn = 0;             ///< monitor address or 0
         std::optional<AbortCause> pendingAbort;
         std::vector<int64_t> argScratch;    ///< call-argument staging
+
+        /** Livelock guard state (HwConfig::maxConsecutiveAborts). */
+        uint64_t consecutiveAborts = 0;
+        uint64_t suppressedEntries = 0;     ///< probe counter
+        bool specSuppressed = false;
 
         Frame &top() { return stack[depth - 1]; }
     };
@@ -442,6 +484,16 @@ class Machine
     const MachineProgram &mp;
     HwConfig config;
     TraceSink *sink;
+    RollbackOracle *oracle = nullptr;
+
+    /** Failpoint handles, resolved once per run() so the armed case
+     *  costs a pointer test per hook and the unarmed case costs the
+     *  single `injectOn` branch (support/failpoint.hh). */
+    bool injectOn = false;
+    failpoint::Failpoint *fpInterrupt = nullptr;
+    failpoint::Failpoint *fpCapacity = nullptr;
+    failpoint::Failpoint *fpAssert = nullptr;
+
     vm::Heap heapImpl;
     std::vector<Ctx> ctxs;
     MachineResult result;

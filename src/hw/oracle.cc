@@ -1,0 +1,116 @@
+#include "hw/oracle.hh"
+
+#include <sstream>
+
+#include "vm/layout.hh"
+
+namespace aregion::hw {
+
+namespace layout = vm::layout;
+
+RollbackOracle::Snapshot &
+RollbackOracle::slot(int ctx_id)
+{
+    const auto idx = static_cast<size_t>(ctx_id);
+    if (idx >= snapshots.size())
+        snapshots.resize(idx + 1);
+    return snapshots[idx];
+}
+
+void
+RollbackOracle::captureBegin(int ctx_id, size_t num_ctxs,
+                             const std::vector<int64_t> &regs,
+                             int alt_pc, const vm::Heap &heap)
+{
+    Snapshot &snap = slot(ctx_id);
+    snap.valid = true;
+    snap.altPc = alt_pc;
+    snap.regs = regs;
+    snap.allocMark = heap.allocMark();
+    // Copying the whole live heap per region entry is O(heap) — fine
+    // for the oracle's random-program tests, wrong for benchmarks;
+    // that is why the oracle is attach-only.
+    snap.heapValid = num_ctxs == 1;
+    if (snap.heapValid) {
+        snap.heapWords.clear();
+        snap.heapWords.reserve(snap.allocMark - layout::POISON_WORDS);
+        for (uint64_t a = layout::POISON_WORDS; a < snap.allocMark;
+             ++a) {
+            snap.heapWords.push_back(heap.load(a));
+        }
+    }
+    ++captureCount;
+}
+
+void
+RollbackOracle::checkAbort(int ctx_id, size_t num_ctxs,
+                           const std::vector<int64_t> &regs, int pc,
+                           const vm::Heap &heap)
+{
+    Snapshot &snap = slot(ctx_id);
+    if (!snap.valid) {
+        found.push_back({ctx_id, "abort without a captured begin"});
+        return;
+    }
+    snap.valid = false;
+    ++checkCount;
+
+    auto diverge = [&](const std::string &what) {
+        found.push_back({ctx_id, what});
+    };
+
+    if (pc != snap.altPc) {
+        std::ostringstream os;
+        os << "abort resumed at pc " << pc
+           << ", expected alternate pc " << snap.altPc;
+        diverge(os.str());
+    }
+    if (regs.size() != snap.regs.size()) {
+        std::ostringstream os;
+        os << "register file size changed: " << snap.regs.size()
+           << " -> " << regs.size();
+        diverge(os.str());
+    } else {
+        for (size_t r = 0; r < regs.size(); ++r) {
+            if (regs[r] != snap.regs[r]) {
+                std::ostringstream os;
+                os << "register r" << r << " not restored: checkpoint "
+                   << snap.regs[r] << ", post-abort " << regs[r];
+                diverge(os.str());
+            }
+        }
+    }
+
+    // Heap equivalence holds only if no other context existed at
+    // either end of the window (one could have committed stores).
+    if (!snap.heapValid || num_ctxs != 1)
+        return;
+    ++heapCheckCount;
+    if (heap.allocMark() < snap.allocMark) {
+        std::ostringstream os;
+        os << "alloc mark moved backwards: " << snap.allocMark
+           << " -> " << heap.allocMark();
+        diverge(os.str());
+        return;
+    }
+    for (uint64_t a = layout::POISON_WORDS; a < snap.allocMark; ++a) {
+        const int64_t now = heap.load(a);
+        const int64_t then =
+            snap.heapWords[static_cast<size_t>(a -
+                                               layout::POISON_WORDS)];
+        if (now != then) {
+            std::ostringstream os;
+            os << "heap word " << a << " leaked a speculative store: "
+               << then << " -> " << now;
+            diverge(os.str());
+        }
+    }
+}
+
+void
+RollbackOracle::onCommit(int ctx_id)
+{
+    slot(ctx_id).valid = false;
+}
+
+} // namespace aregion::hw

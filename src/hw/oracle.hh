@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Rollback consistency oracle.
+ *
+ * Hardware atomicity's core contract (paper Sections 3.1–3.2) is that
+ * an abort restores *exact* architectural state: registers revert to
+ * the aregion_begin checkpoint, no speculative store reaches memory,
+ * and control lands on the region's alternate pc. The machine
+ * simulator implements that with snapshots and a store buffer — and
+ * this oracle checks it with an independent mechanism, so a bug in
+ * the machine's rollback path cannot also hide the evidence.
+ *
+ * When attached (Machine::setOracle; tests only — nullptr and fully
+ * inert in production), the oracle takes its own copy of the
+ * architectural state at every aregion_begin:
+ *
+ *   - the executing frame's register file,
+ *   - the region's alternate pc,
+ *   - the heap prefix [layout::POISON_WORDS, allocMark) — which
+ *     includes object fields, array elements, and monitor lock words.
+ *
+ * After every abort it re-reads the machine state and records a
+ * Divergence for any mismatch: register files differ, the resumed pc
+ * is not the alternate pc, or any pre-existing heap word changed.
+ * Words allocated *inside* the region are not compared (the machine
+ * leaks the bump-pointer advance on abort by design; the words
+ * themselves were only ever written speculatively).
+ *
+ * The heap comparison is only sound when a single hardware context
+ * exists for the whole begin..abort window — another context may
+ * legitimately commit between the two points. The oracle skips the
+ * heap check (but still checks registers and pc) in that case.
+ */
+
+#ifndef AREGION_HW_ORACLE_HH
+#define AREGION_HW_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/heap.hh"
+
+namespace aregion::hw {
+
+/** One observed violation of the rollback contract. */
+struct Divergence
+{
+    int ctxId;
+    std::string what;
+};
+
+class RollbackOracle
+{
+  public:
+    /** Snapshot state at aregion_begin of context `ctx_id`. */
+    void captureBegin(int ctx_id, size_t num_ctxs,
+                      const std::vector<int64_t> &regs, int alt_pc,
+                      const vm::Heap &heap);
+
+    /** Cross-check state after the abort handler ran. */
+    void checkAbort(int ctx_id, size_t num_ctxs,
+                    const std::vector<int64_t> &regs, int pc,
+                    const vm::Heap &heap);
+
+    /** The region committed; drop the pending snapshot. */
+    void onCommit(int ctx_id);
+
+    const std::vector<Divergence> &divergences() const
+    {
+        return found;
+    }
+    uint64_t captures() const { return captureCount; }
+    uint64_t checks() const { return checkCount; }
+    uint64_t heapChecks() const { return heapCheckCount; }
+
+  private:
+    struct Snapshot
+    {
+        bool valid = false;
+        bool heapValid = false;     ///< single-context capture
+        int altPc = 0;
+        std::vector<int64_t> regs;
+        uint64_t allocMark = 0;
+        std::vector<int64_t> heapWords;     ///< [POISON, allocMark)
+    };
+
+    Snapshot &slot(int ctx_id);
+
+    std::vector<Snapshot> snapshots;    ///< indexed by context id
+    std::vector<Divergence> found;
+    uint64_t captureCount = 0;
+    uint64_t checkCount = 0;
+    uint64_t heapCheckCount = 0;
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_ORACLE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
@@ -61,6 +62,10 @@ TimingModel::TimingModel(const TimingConfig &config)
              config.memLatency, config.prefetcher),
       completeRing(HIST, 0), retireRing(HIST, 0)
 {
+    auto &fps = failpoint::Registry::global();
+    fpMispredict =
+        fps.anyArmed() ? fps.find(failpoint::kTimingMispredict)
+                       : nullptr;
 }
 
 uint64_t
@@ -210,8 +215,17 @@ TimingModel::processUop(const TraceUop &u)
     if (u.isBranch) {
         ++branches;
         const bool predicted = predictor.predictTaken(u.pc);
+        bool flushed = false;
         if (predicted != u.taken) {
             ++mispredicts;
+            flushed = true;
+        } else if (fpMispredict && fpMispredict->evaluate()) {
+            // Forced flush: model front-end pressure by charging a
+            // correctly-predicted branch the full redirect penalty.
+            ++injectedMispredicts;
+            flushed = true;
+        }
+        if (flushed) {
             fetchResumeAt = std::max(
                 fetchResumeAt,
                 complete + static_cast<uint64_t>(
@@ -296,6 +310,8 @@ TimingModel::publishTelemetry() const
     reg.add(keys::kTimingStallFetch, stallFetch);
     reg.add(keys::kTimingStallSerial, stallSerial);
     reg.add(keys::kTimingStallRegion, stallRegion);
+    if (fpMispredict)
+        reg.add(keys::kTimingInjectMispredict, injectedMispredicts);
     // IPC of the cumulative registry totals, so a multi-run bench
     // reports its aggregate throughput.
     const uint64_t total_uops = reg.counterValue(keys::kTimingUops);

@@ -47,6 +47,13 @@ enum class AbortCause : uint8_t {
     Io,         ///< irrevocable operation reached speculatively
 };
 
+/** Number of AbortCause enumerators. Arrays indexed by cause
+ *  (RegionRuntime::abortsByCause, kMachineAbortByCause) size
+ *  themselves from this so a new cause can't silently truncate
+ *  stats — machine.cc static_asserts the telemetry side. */
+inline constexpr size_t kNumAbortCauses =
+    static_cast<size_t>(AbortCause::Io) + 1;
+
 const char *abortCauseName(AbortCause cause);
 
 /** Region lifecycle markers attached to trace uops. */

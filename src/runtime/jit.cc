@@ -40,7 +40,8 @@ struct MachineRun
 MachineRun
 executeCompiled(const core::Compiled &compiled,
                 const vm::Program &measure_prog,
-                const ExperimentConfig &config)
+                const ExperimentConfig &config,
+                const hw::HwConfig &hw_config)
 {
     telemetry::ScopedSpan span("jit.machine");
     telemetry::ScopedTimerUs timer(
@@ -50,7 +51,7 @@ executeCompiled(const core::Compiled &compiled,
     const hw::MachineProgram mp = hw::lowerModule(
         compiled.mod, hw::LayoutInfo::fromHeap(layout_heap));
     hw::TimingModel timing(config.timing);
-    hw::Machine machine(mp, config.hw, &timing);
+    hw::Machine machine(mp, hw_config, &timing);
     MachineRun run;
     run.result = machine.run();
     timing.publishTelemetry();
@@ -98,12 +99,58 @@ runExperiment(const vm::Program &profile_prog,
                                     config.compiler);
     }();
 
-    // Stage 3: machine + timing execution.
-    MachineRun run = executeCompiled(compiled, measure_prog, config);
+    // Stage 3: machine + timing execution. Resilience (when enabled)
+    // arms the machine's livelock guard for every run, including the
+    // first, unless the experiment already configured one.
+    hw::HwConfig hw_eff = config.hw;
+    if (config.resilience.enabled &&
+        config.resilience.livelockBound > 0 &&
+        hw_eff.maxConsecutiveAborts == 0) {
+        hw_eff.maxConsecutiveAborts = config.resilience.livelockBound;
+    }
+    MachineRun run =
+        executeCompiled(compiled, measure_prog, config, hw_eff);
 
     // Stage 4: adaptive recompilation on abort feedback.
     bool recompiled = false;
-    if (config.adaptiveRecompile && run.result.completed) {
+    if (config.resilience.enabled && run.result.completed) {
+        // Abort-storm resilience: bounded recompilation rounds with
+        // exponential backoff, falling back to blacklisting methods
+        // whose regions cannot be repaired (docs/RESILIENCE.md).
+        telemetry::ScopedSpan span("jit.resilience");
+        ResilienceTracker tracker(config.resilience);
+        core::CompilerConfig updated = config.compiler;
+        const int round_cap = tracker.roundCap();
+        for (int round = 0; round < round_cap; ++round) {
+            const auto storms = tracker.stormingRegions(run.result);
+            if (storms.empty())
+                break;
+            const auto computed = config.controller.computeOverrides(
+                compiled.mod, toTelemetry(run.result));
+            const size_t before = updated.region.warmOverrides.size();
+            updated.region.warmOverrides.insert(computed.begin(),
+                                                computed.end());
+            const bool new_overrides =
+                updated.region.warmOverrides.size() > before;
+            const auto decision =
+                tracker.decide(storms, new_overrides);
+            if (!decision.recompile)
+                continue;   // backing off this round
+            updated.region.blacklistMethods = tracker.blacklisted();
+            {
+                telemetry::ScopedTimerUs timer(
+                    registry.counter(keys::kJitCompileUs));
+                compiled = core::compileProgram(measure_prog,
+                                                profile, updated);
+            }
+            run = executeCompiled(compiled, measure_prog, config,
+                                  hw_eff);
+            recompiled = true;
+            tracker.noteRecompile();
+            registry.add(keys::kJitRecompiles, 1);
+        }
+        tracker.publishTelemetry();
+    } else if (config.adaptiveRecompile && run.result.completed) {
         const auto overrides = config.controller.computeOverrides(
             compiled.mod, toTelemetry(run.result));
         if (!overrides.empty()) {
@@ -116,7 +163,8 @@ runExperiment(const vm::Program &profile_prog,
                 compiled = core::compileProgram(measure_prog,
                                                 profile, updated);
             }
-            run = executeCompiled(compiled, measure_prog, config);
+            run = executeCompiled(compiled, measure_prog, config,
+                                  hw_eff);
             recompiled = true;
             registry.add(keys::kJitRecompiles, 1);
         }

@@ -24,6 +24,7 @@
 #include "hw/codegen.hh"
 #include "hw/machine.hh"
 #include "hw/timing.hh"
+#include "runtime/resilience.hh"
 #include "vm/program.hh"
 
 namespace aregion::runtime {
@@ -39,6 +40,12 @@ struct ExperimentConfig
      *  exceeds the adaptive controller's threshold, then re-run. */
     bool adaptiveRecompile = false;
     core::AdaptiveController controller;
+
+    /** Abort-storm resilience (runtime/resilience.hh). When enabled
+     *  it subsumes the single-shot adaptive recompile above: the
+     *  controller's overrides feed a bounded retry loop with
+     *  backoff and method blacklisting. Off by default. */
+    ResiliencePolicy resilience;
 };
 
 /** Metrics for one marker-delimited sample. */

@@ -1,0 +1,319 @@
+#include "support/failpoint.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace aregion::failpoint {
+
+namespace {
+
+// FNV-1a, so a failpoint's stream depends on its name: two points
+// armed with the same spec and seed still fire at different hits.
+uint64_t
+hashName(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+// splitmix64 finalizer: stateless mix of (derived seed, hit index)
+// into a uniform 64-bit value. Matching Rng's scramble keeps the
+// whole codebase on one family of mixers.
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+bool
+parseUint(const std::string &text, uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    *out = static_cast<uint64_t>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+parseSpec(const std::string &text, Spec *out, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = "failpoint spec '" + text + "': " + msg;
+        return false;
+    };
+
+    std::string body = text;
+    Spec spec;
+    if (const size_t eq = body.find('='); eq != std::string::npos) {
+        const std::string payload = body.substr(eq + 1);
+        body.resize(eq);
+        if (payload.empty())
+            return fail("empty '=' payload");
+        char *end = nullptr;
+        errno = 0;
+        const long long v = std::strtoll(payload.c_str(), &end, 10);
+        if (errno != 0 || end != payload.c_str() + payload.size())
+            return fail("bad integer payload '" + payload + "'");
+        spec.value = static_cast<int64_t>(v);
+    }
+
+    if (body.rfind("once", 0) == 0) {
+        spec.trigger = Trigger::OneShot;
+        const std::string arg = body.substr(4);
+        // Bare "once" means "the first hit".
+        spec.n = 1;
+        if (!arg.empty() && (!parseUint(arg, &spec.n) || spec.n == 0))
+            return fail("bad hit index '" + arg + "'");
+    } else if (body.rfind("n", 0) == 0) {
+        spec.trigger = Trigger::EveryNth;
+        if (!parseUint(body.substr(1), &spec.n) || spec.n == 0)
+            return fail("bad period '" + body.substr(1) + "'");
+    } else if (body.rfind("p", 0) == 0) {
+        spec.trigger = Trigger::Probability;
+        const std::string arg = body.substr(1);
+        char *end = nullptr;
+        errno = 0;
+        spec.probability = std::strtod(arg.c_str(), &end);
+        if (arg.empty() || errno != 0 ||
+            end != arg.c_str() + arg.size() || spec.probability < 0.0 ||
+            spec.probability > 1.0) {
+            return fail("bad probability '" + arg + "'");
+        }
+    } else {
+        return fail("unknown trigger (want p<float>, n<N>, once<N>)");
+    }
+    *out = spec;
+    return true;
+}
+
+bool
+Failpoint::evaluate()
+{
+    // 1-based hit index, claimed atomically so concurrent contexts
+    // never share a draw.
+    const uint64_t hit =
+        hitCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fired = false;
+    switch (pointSpec.trigger) {
+      case Trigger::Probability:
+        if (pointSpec.probability >= 1.0) {
+            fired = true;
+        } else if (pointSpec.probability > 0.0) {
+            const double draw =
+                static_cast<double>(mix(derivedSeed ^ hit) >> 11) *
+                (1.0 / 9007199254740992.0);
+            fired = draw < pointSpec.probability;
+        }
+        break;
+      case Trigger::EveryNth:
+        fired = hit % pointSpec.n == 0;
+        break;
+      case Trigger::OneShot:
+        fired = hit == pointSpec.n;
+        break;
+    }
+    if (fired)
+        fireCount.fetch_add(1, std::memory_order_relaxed);
+    return fired;
+}
+
+Registry::Registry()
+{
+    if (const char *env = std::getenv("AREGION_FAILPOINT_SEED")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            baseSeed = static_cast<uint64_t>(v);
+        else
+            AREGION_WARN("ignoring non-numeric AREGION_FAILPOINT_SEED '",
+                         env, "'");
+    }
+    if (const char *env = std::getenv("AREGION_FAILPOINTS")) {
+        std::string err;
+        if (configure(env, &err) < 0)
+            AREGION_WARN("AREGION_FAILPOINTS: ", err);
+    }
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+uint64_t
+Registry::deriveSeed(const std::string &name) const
+{
+    return mix(baseSeed ^ hashName(name));
+}
+
+void
+Registry::arm(const std::string &name, const Spec &spec)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = points[name];
+    if (!slot) {
+        slot = std::make_unique<Failpoint>();
+        slot->pointName = name;
+    }
+    slot->pointSpec = spec;
+    slot->derivedSeed = deriveSeed(name);
+    slot->hitCount.store(0, std::memory_order_relaxed);
+    slot->fireCount.store(0, std::memory_order_relaxed);
+    armedCount.store(points.size(), std::memory_order_relaxed);
+}
+
+int
+Registry::configure(const std::string &list, std::string *err)
+{
+    int armed = 0;
+    size_t pos = 0;
+    while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string entry = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        const size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            if (err)
+                *err = "entry '" + entry + "' is not <name>:<spec>";
+            return -1;
+        }
+        Spec spec;
+        if (!parseSpec(entry.substr(colon + 1), &spec, err))
+            return -1;
+        arm(entry.substr(0, colon), spec);
+        ++armed;
+    }
+    return armed;
+}
+
+void
+Registry::disarm(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    points.erase(name);
+    armedCount.store(points.size(), std::memory_order_relaxed);
+}
+
+void
+Registry::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    points.clear();
+    armedCount.store(0, std::memory_order_relaxed);
+}
+
+void
+Registry::setSeed(uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    baseSeed = seed;
+    for (auto &[name, point] : points) {
+        point->derivedSeed = deriveSeed(name);
+        point->hitCount.store(0, std::memory_order_relaxed);
+        point->fireCount.store(0, std::memory_order_relaxed);
+    }
+}
+
+uint64_t
+Registry::seed() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return baseSeed;
+}
+
+Failpoint *
+Registry::find(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = points.find(name);
+    return it == points.end() ? nullptr : it->second.get();
+}
+
+bool
+Registry::fire(const std::string &name)
+{
+    Failpoint *point = find(name);
+    return point != nullptr && point->evaluate();
+}
+
+uint64_t
+Registry::hitCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = points.find(name);
+    return it == points.end() ? 0 : it->second->hits();
+}
+
+uint64_t
+Registry::fireCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = points.find(name);
+    return it == points.end() ? 0 : it->second->fires();
+}
+
+std::vector<std::string>
+Registry::armedNames() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> names;
+    names.reserve(points.size());
+    for (const auto &[name, point] : points)
+        names.push_back(name);
+    return names;
+}
+
+std::string
+Registry::describe() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &[name, point] : points) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << name << ':';
+        const Spec &spec = point->pointSpec;
+        switch (spec.trigger) {
+          case Trigger::Probability:
+            out << 'p' << spec.probability;
+            break;
+          case Trigger::EveryNth:
+            out << 'n' << spec.n;
+            break;
+          case Trigger::OneShot:
+            out << "once" << spec.n;
+            break;
+        }
+        if (spec.value != 0)
+            out << '=' << spec.value;
+    }
+    return out.str();
+}
+
+} // namespace aregion::failpoint

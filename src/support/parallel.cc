@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/logging.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
 
@@ -16,16 +18,49 @@ namespace aregion::parallel {
 
 namespace {
 
+// Absurd AREGION_JOBS values (fat-fingered "1000" for "10") would
+// oversubscribe the host into thrashing; cap well above any sane
+// machine but below pathology.
+constexpr long kMaxJobs = 256;
+
 size_t
 jobsFromEnv()
 {
-    if (const char *env = std::getenv("AREGION_JOBS")) {
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed > 0)
-            return static_cast<size_t>(parsed);
-    }
+    // Warn at most once per process: runGrid is called per figure
+    // table and a bad env var would otherwise spam every call.
+    static std::atomic<bool> warned{false};
+    auto warnOnce = [&](auto &&...parts) {
+        if (!warned.exchange(true))
+            AREGION_WARN(std::forward<decltype(parts)>(parts)...);
+    };
+
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    const size_t fallback = hw > 0 ? hw : 1;
+    const char *env = std::getenv("AREGION_JOBS");
+    if (!env)
+        return fallback;
+
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warnOnce("AREGION_JOBS='", env,
+                 "' is not a number; using hardware concurrency (",
+                 fallback, ")");
+        return fallback;
+    }
+    if (errno == ERANGE || parsed > kMaxJobs) {
+        warnOnce("AREGION_JOBS='", env, "' is absurd; clamping to ",
+                 kMaxJobs);
+        return static_cast<size_t>(kMaxJobs);
+    }
+    if (parsed <= 0) {
+        warnOnce("AREGION_JOBS='", env,
+                 "' must be positive; using hardware concurrency (",
+                 fallback, ")");
+        return fallback;
+    }
+    return static_cast<size_t>(parsed);
 }
 
 } // namespace

@@ -66,6 +66,22 @@ inline constexpr const char *kMachineBatchFlushes =
     "machine.batch.flushes";
 inline constexpr const char *kMachineBatchUops =
     "machine.batch.uops";
+// Fault-injection counters (support/failpoint.hh hooks): aborts and
+// capacity squeezes forced into the machine, plus the livelock
+// guard's suppressed region entries. Zero unless failpoints are
+// armed / HwConfig::maxConsecutiveAborts is set.
+inline constexpr const char *kMachineInjectInterrupt =
+    "machine.inject.interrupt";
+inline constexpr const char *kMachineInjectCapacity =
+    "machine.inject.capacity";
+inline constexpr const char *kMachineInjectAssert =
+    "machine.inject.assert";
+inline constexpr const char *kMachineInjectTotal =
+    "machine.inject.total";
+inline constexpr const char *kMachineSpecSuppressed =
+    "machine.region.spec_suppressed";
+inline constexpr const char *kMachineLivelockTrips =
+    "machine.region.livelock_trips";
 
 // --- driver.* (src/support/parallel.cc) --------------------------
 inline constexpr const char *kDriverTasks = "driver.tasks";
@@ -101,6 +117,9 @@ inline constexpr const char *kTimingStallSerial =
     "timing.stall.serialization";
 inline constexpr const char *kTimingStallRegion =
     "timing.stall.region_begin";
+// Forced branch mispredicts (timing.mispredict failpoint).
+inline constexpr const char *kTimingInjectMispredict =
+    "timing.inject.mispredict";
 
 // --- jit.* (src/runtime/jit.cc, src/opt/pass.cc) -----------------
 inline constexpr const char *kJitRuns = "jit.runs";
@@ -121,6 +140,19 @@ inline constexpr const char *kJitPassInlineUs =
     "jit.pass.inline_us";
 inline constexpr const char *kJitPassUnrollUs =
     "jit.pass.unroll_us";
+
+// --- runtime.resilience.* (src/runtime/resilience.cc) ------------
+// Abort-storm handling: storms detected, bounded recompiles spent on
+// them, recompiles skipped while backing off, and regions given up
+// on (permanently non-speculative).
+inline constexpr const char *kResilienceStorms =
+    "runtime.resilience.storms";
+inline constexpr const char *kResilienceRecompiles =
+    "runtime.resilience.recompiles";
+inline constexpr const char *kResilienceBackoffs =
+    "runtime.resilience.backoffs";
+inline constexpr const char *kResilienceBlacklisted =
+    "runtime.resilience.blacklisted";
 
 // --- region.* (src/core/region_formation.cc) ---------------------
 inline constexpr const char *kRegionFormed = "region.formed";
@@ -165,17 +197,23 @@ catalogInfo()
           kMachineUopsRetired, kMachineUopsExecuted,
           kMachineUopsDiscarded, kMachineUopsAllContexts,
           kMachineMonitorFastEnters, kMachineRuns,
-          kMachineBatchFlushes, kMachineBatchUops, kDriverTasks,
+          kMachineBatchFlushes, kMachineBatchUops,
+          kMachineInjectInterrupt, kMachineInjectCapacity,
+          kMachineInjectAssert, kMachineInjectTotal,
+          kMachineSpecSuppressed, kMachineLivelockTrips, kDriverTasks,
           kDriverWallUs, kTimingCycles,
           kTimingUops, kTimingBranches, kTimingMispredicts,
           kTimingIndirectMispredicts, kTimingSerializations,
           kTimingRegionBegins, kTimingAbortFlushes, kTimingL1Misses,
           kTimingL2Misses, kTimingStallRob, kTimingStallSched,
           kTimingStallFetch, kTimingStallSerial, kTimingStallRegion,
+          kTimingInjectMispredict,
           kJitRuns, kJitRecompiles, kJitProfileUs, kJitCompileUs,
           kJitMachineUs, kJitPassSimplifyCfgUs,
           kJitPassConstantFoldUs, kJitPassCseUs, kJitPassCopyPropUs,
           kJitPassDceUs, kJitPassInlineUs, kJitPassUnrollUs,
+          kResilienceStorms, kResilienceRecompiles,
+          kResilienceBackoffs, kResilienceBlacklisted,
           kRegionFormed, kRegionAssertsConverted,
           kRegionBlocksReplicated, kRegionExits, kRegionUnrolled,
           kProfileMethods, kProfileBytecodes, kProfileBranchSites,

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/failpoint.hh"
+
+namespace fp = aregion::failpoint;
+
+namespace {
+
+// Tests share the global registry; keep each one hermetic.
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::Registry::global().disarmAll(); }
+    void TearDown() override { fp::Registry::global().disarmAll(); }
+};
+
+TEST_F(FailpointTest, ParseProbability)
+{
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("p0.25", &spec, &err)) << err;
+    EXPECT_EQ(spec.trigger, fp::Trigger::Probability);
+    EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+    EXPECT_EQ(spec.value, 0);
+}
+
+TEST_F(FailpointTest, ParseEveryNth)
+{
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("n100", &spec, &err)) << err;
+    EXPECT_EQ(spec.trigger, fp::Trigger::EveryNth);
+    EXPECT_EQ(spec.n, 100u);
+}
+
+TEST_F(FailpointTest, ParseOneShotWithPayload)
+{
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("once5=-24", &spec, &err)) << err;
+    EXPECT_EQ(spec.trigger, fp::Trigger::OneShot);
+    EXPECT_EQ(spec.n, 5u);
+    EXPECT_EQ(spec.value, -24);
+
+    ASSERT_TRUE(fp::parseSpec("once", &spec, &err)) << err;
+    EXPECT_EQ(spec.n, 1u);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformed)
+{
+    fp::Spec spec;
+    std::string err;
+    EXPECT_FALSE(fp::parseSpec("", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("x3", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("p1.5", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("p-0.1", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("n0", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("nabc", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("once0", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("n3=", &spec, &err));
+    EXPECT_FALSE(fp::parseSpec("n3=xyz", &spec, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(FailpointTest, UnarmedFindReturnsNull)
+{
+    auto &reg = fp::Registry::global();
+    EXPECT_EQ(reg.find("no.such.point"), nullptr);
+    EXPECT_FALSE(reg.anyArmed());
+    EXPECT_FALSE(reg.fire("no.such.point"));
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnSchedule)
+{
+    auto &reg = fp::Registry::global();
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("n3", &spec, &err)) << err;
+    reg.arm("test.point", spec);
+    EXPECT_TRUE(reg.anyArmed());
+
+    fp::Failpoint *point = reg.find("test.point");
+    ASSERT_NE(point, nullptr);
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(point->evaluate());
+    const std::vector<bool> want = {false, false, true,  false, false,
+                                    true,  false, false, true};
+    EXPECT_EQ(fired, want);
+    EXPECT_EQ(point->hits(), 9u);
+    EXPECT_EQ(point->fires(), 3u);
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnce)
+{
+    auto &reg = fp::Registry::global();
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("once4", &spec, &err)) << err;
+    reg.arm("test.point", spec);
+    fp::Failpoint *point = reg.find("test.point");
+    ASSERT_NE(point, nullptr);
+    int fires = 0;
+    for (int i = 0; i < 100; ++i)
+        fires += point->evaluate() ? 1 : 0;
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(point->fires(), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicInSeed)
+{
+    auto &reg = fp::Registry::global();
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("p0.3", &spec, &err)) << err;
+
+    auto stream = [&](uint64_t seed) {
+        reg.setSeed(seed);
+        reg.arm("test.point", spec);
+        fp::Failpoint *point = reg.find("test.point");
+        std::vector<bool> fired;
+        for (int i = 0; i < 200; ++i)
+            fired.push_back(point->evaluate());
+        return fired;
+    };
+
+    const auto a = stream(42);
+    const auto b = stream(42);
+    const auto c = stream(43);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+
+    // Sanity: the rate is in the right ballpark for p=0.3, n=200.
+    const long fires = std::count(a.begin(), a.end(), true);
+    EXPECT_GT(fires, 30);
+    EXPECT_LT(fires, 90);
+}
+
+TEST_F(FailpointTest, DistinctNamesGetDistinctStreams)
+{
+    auto &reg = fp::Registry::global();
+    reg.setSeed(7);
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("p0.5", &spec, &err)) << err;
+    reg.arm("point.a", spec);
+    reg.arm("point.b", spec);
+    fp::Failpoint *a = reg.find("point.a");
+    fp::Failpoint *b = reg.find("point.b");
+    std::vector<bool> sa, sb;
+    for (int i = 0; i < 64; ++i) {
+        sa.push_back(a->evaluate());
+        sb.push_back(b->evaluate());
+    }
+    EXPECT_NE(sa, sb);
+}
+
+TEST_F(FailpointTest, SeedOrderDoesNotMatter)
+{
+    auto &reg = fp::Registry::global();
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("p0.5", &spec, &err)) << err;
+
+    reg.setSeed(99);
+    reg.arm("test.point", spec);
+    std::vector<bool> seed_first;
+    for (int i = 0; i < 50; ++i)
+        seed_first.push_back(reg.find("test.point")->evaluate());
+
+    reg.disarmAll();
+    reg.setSeed(0);
+    reg.arm("test.point", spec);
+    reg.setSeed(99);   // re-derives and resets counters
+    std::vector<bool> seed_last;
+    for (int i = 0; i < 50; ++i)
+        seed_last.push_back(reg.find("test.point")->evaluate());
+
+    EXPECT_EQ(seed_first, seed_last);
+}
+
+TEST_F(FailpointTest, ConfigureParsesCsv)
+{
+    auto &reg = fp::Registry::global();
+    std::string err;
+    EXPECT_EQ(reg.configure("a.x:n2,b.y:p0.5=7,c.z:once3", &err), 3)
+        << err;
+    const auto names = reg.armedNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.x");
+    EXPECT_EQ(names[1], "b.y");
+    EXPECT_EQ(names[2], "c.z");
+    fp::Failpoint *b = reg.find("b.y");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->value(), 7);
+
+    EXPECT_EQ(reg.configure("bad-entry-no-colon", &err), -1);
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(reg.configure("", &err), 0);
+}
+
+TEST_F(FailpointTest, DescribeRoundTrips)
+{
+    auto &reg = fp::Registry::global();
+    std::string err;
+    ASSERT_EQ(reg.configure("a.x:n2,b.y:once3=9", &err), 2) << err;
+    const std::string desc = reg.describe();
+    EXPECT_EQ(desc, "a.x:n2,b.y:once3=9");
+
+    reg.disarmAll();
+    ASSERT_EQ(reg.configure(desc, &err), 2) << err;
+    EXPECT_EQ(reg.describe(), desc);
+}
+
+TEST_F(FailpointTest, DisarmRemovesPoint)
+{
+    auto &reg = fp::Registry::global();
+    std::string err;
+    ASSERT_EQ(reg.configure("a.x:n2,b.y:n3", &err), 2) << err;
+    reg.disarm("a.x");
+    EXPECT_EQ(reg.find("a.x"), nullptr);
+    EXPECT_NE(reg.find("b.y"), nullptr);
+    EXPECT_TRUE(reg.anyArmed());
+    reg.disarmAll();
+    EXPECT_FALSE(reg.anyArmed());
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluateCountsEveryHit)
+{
+    auto &reg = fp::Registry::global();
+    fp::Spec spec;
+    std::string err;
+    ASSERT_TRUE(fp::parseSpec("n10", &spec, &err)) << err;
+    reg.arm("test.point", spec);
+    fp::Failpoint *point = reg.find("test.point");
+
+    constexpr int kThreads = 4;
+    constexpr int kHitsPer = 2500;
+    std::vector<std::thread> workers;
+    std::vector<uint64_t> fires(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kHitsPer; ++i)
+                fires[static_cast<size_t>(t)] +=
+                    point->evaluate() ? 1 : 0;
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(point->hits(), uint64_t{kThreads} * kHitsPer);
+    // Every-10th over 10000 total hits: exactly 1000 fires, however
+    // the threads interleave.
+    uint64_t total = 0;
+    for (const uint64_t f : fires)
+        total += f;
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(point->fires(), 1000u);
+}
+
+} // namespace
