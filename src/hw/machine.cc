@@ -70,30 +70,6 @@ MachineResult::outputChecksum() const
     return h;
 }
 
-void
-Machine::StoreBuffer::grow()
-{
-    std::vector<Slot> old_slots = std::move(slots);
-    std::vector<uint32_t> old_live = std::move(live);
-    slots.assign(old_slots.size() * 2, Slot{});
-    live.clear();
-    live.reserve(slots.size());
-    mask = slots.size() - 1;
-    // Only this epoch's entries survive; stale epochs are dead.
-    for (uint32_t idx : old_live) {
-        const Slot &s = old_slots[idx];
-        for (uint64_t i = hashMix(s.addr) & mask;;
-             i = (i + 1) & mask) {
-            Slot &d = slots[i];
-            if (d.epoch != epoch) {
-                d = s;
-                live.push_back(static_cast<uint32_t>(i));
-                break;
-            }
-        }
-    }
-}
-
 Machine::Machine(const MachineProgram &prog, const HwConfig &config_,
                  TraceSink *sink_, uint64_t max_words)
     : mp(prog), config(config_), sink(sink_),

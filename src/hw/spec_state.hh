@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Flat, epoch-tagged containers for per-context speculative state.
+ *
+ * These are the machine simulator's hottest data structures (one set
+ * per hardware context, reset in O(1) at every aregion_begin), kept
+ * in their own header so the wraparound/tombstone stress tests can
+ * exercise them directly — probe wraparound at the table mask
+ * boundary, mid-epoch growth, and stale-epoch slot reuse are exactly
+ * the cases a full machine run rarely reaches.
+ *
+ * Epoch tagging replaces tombstones: bumping `epoch` invalidates
+ * every entry at once, and a slot whose tag differs from the current
+ * epoch acts as empty for both probing and insertion. Consequently
+ * the containers are valid only between beginEpoch() calls — epoch 0
+ * would alias the zero-initialized slots.
+ */
+
+#ifndef AREGION_HW_SPEC_STATE_HH
+#define AREGION_HW_SPEC_STATE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aregion::hw {
+
+/** splitmix64-style avalanche for the open-addressing probes. */
+inline uint64_t
+specHashMix(uint64_t x)
+{
+    x *= 0x9e3779b97f4a7c15ull;
+    x ^= x >> 32;
+    return x;
+}
+
+/**
+ * Speculative store buffer: open-addressing hash table keyed by
+ * word address. Slots are epoch-tagged, so aregion_begin
+ * invalidates every entry in O(1) without deallocating; `live`
+ * lists the slots written this epoch in insertion order for the
+ * commit drain.
+ */
+struct StoreBuffer
+{
+    struct Slot
+    {
+        uint64_t addr = 0;
+        int64_t value = 0;
+        uint64_t epoch = 0;
+    };
+
+    std::vector<Slot> slots;        ///< power-of-two size
+    std::vector<uint32_t> live;     ///< slots used this epoch
+    uint64_t mask = 0;
+    uint64_t epoch = 0;
+
+    void
+    init(size_t capacity_pow2)
+    {
+        slots.assign(capacity_pow2, Slot{});
+        live.clear();
+        live.reserve(capacity_pow2);
+        mask = capacity_pow2 - 1;
+        epoch = 0;
+    }
+
+    void
+    beginEpoch()
+    {
+        ++epoch;
+        live.clear();
+    }
+
+    const int64_t *
+    lookup(uint64_t addr) const
+    {
+        for (uint64_t i = specHashMix(addr) & mask;;
+             i = (i + 1) & mask) {
+            const Slot &s = slots[i];
+            if (s.epoch != epoch)
+                return nullptr;
+            if (s.addr == addr)
+                return &s.value;
+        }
+    }
+
+    void
+    put(uint64_t addr, int64_t value)
+    {
+        for (uint64_t i = specHashMix(addr) & mask;;
+             i = (i + 1) & mask) {
+            Slot &s = slots[i];
+            if (s.epoch != epoch) {
+                s.addr = addr;
+                s.value = value;
+                s.epoch = epoch;
+                live.push_back(static_cast<uint32_t>(i));
+                if (live.size() * 4 > slots.size() * 3)
+                    grow();
+                return;
+            }
+            if (s.addr == addr) {
+                s.value = value;
+                return;
+            }
+        }
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old_slots = std::move(slots);
+        std::vector<uint32_t> old_live = std::move(live);
+        slots.assign(old_slots.size() * 2, Slot{});
+        live.clear();
+        live.reserve(slots.size());
+        mask = slots.size() - 1;
+        // Only this epoch's entries survive; stale epochs are dead.
+        for (uint32_t idx : old_live) {
+            const Slot &s = old_slots[idx];
+            for (uint64_t i = specHashMix(s.addr) & mask;;
+                 i = (i + 1) & mask) {
+                Slot &d = slots[i];
+                if (d.epoch != epoch) {
+                    d = s;
+                    live.push_back(static_cast<uint32_t>(i));
+                    break;
+                }
+            }
+        }
+    }
+};
+
+/**
+ * Hash set of L1 line numbers (the read/write sets of Section
+ * 3.1), epoch-tagged like the store buffer. Capacity is fixed at
+ * construction: the overflow abort bounds each set to l1Lines
+ * distinct lines, so a table of next_pow2(2 * l1Lines) never
+ * exceeds half load and never needs to grow. `items` keeps this
+ * epoch's members for the commit walk.
+ */
+struct LineSet
+{
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> epochs;
+    std::vector<uint64_t> items;
+    uint64_t mask = 0;
+    uint64_t epoch = 0;
+
+    void
+    init(size_t capacity_pow2)
+    {
+        keys.assign(capacity_pow2, 0);
+        epochs.assign(capacity_pow2, 0);
+        items.clear();
+        items.reserve(capacity_pow2 / 2);
+        mask = capacity_pow2 - 1;
+        epoch = 0;
+    }
+
+    void
+    beginEpoch()
+    {
+        ++epoch;
+        items.clear();
+    }
+
+    bool
+    contains(uint64_t line) const
+    {
+        for (uint64_t i = specHashMix(line) & mask;;
+             i = (i + 1) & mask) {
+            if (epochs[i] != epoch)
+                return false;
+            if (keys[i] == line)
+                return true;
+        }
+    }
+
+    void
+    insert(uint64_t line)
+    {
+        for (uint64_t i = specHashMix(line) & mask;;
+             i = (i + 1) & mask) {
+            if (epochs[i] != epoch) {
+                epochs[i] = epoch;
+                keys[i] = line;
+                items.push_back(line);
+                return;
+            }
+            if (keys[i] == line)
+                return;
+        }
+    }
+
+    size_t size() const { return items.size(); }
+};
+
+/** Per-L1-set speculative line counts for the associativity
+ *  overflow check, indexed directly by set number. */
+struct SetOccupancy
+{
+    std::vector<int> counts;
+    std::vector<uint64_t> epochs;
+    uint64_t epoch = 0;
+
+    void
+    init(size_t num_sets)
+    {
+        counts.assign(num_sets, 0);
+        epochs.assign(num_sets, 0);
+        epoch = 0;
+    }
+
+    void beginEpoch() { ++epoch; }
+
+    int
+    increment(uint64_t set)
+    {
+        if (epochs[set] != epoch) {
+            epochs[set] = epoch;
+            counts[set] = 0;
+        }
+        return ++counts[set];
+    }
+};
+
+} // namespace aregion::hw
+
+#endif // AREGION_HW_SPEC_STATE_HH

@@ -62,6 +62,18 @@ TimingModel::TimingModel(const TimingConfig &config)
              config.memLatency, config.prefetcher),
       completeRing(HIST, 0), retireRing(HIST, 0)
 {
+    // Shift every cycle-state register to the configured origin; the
+    // rings keep base 0 so a large startCycle forces an immediate
+    // rebase (see TimingConfig::startCycle).
+    dispatchCycle = cfg.startCycle;
+    retireCycle = cfg.startCycle;
+    fetchResumeAt = cfg.startCycle;
+    serialGate = cfg.startCycle;
+    maxComplete = cfg.startCycle;
+    maxStoreComplete = cfg.startCycle;
+    lastUopComplete = cfg.startCycle;
+    lastRetire = cfg.startCycle;
+    lastRegionEndRetire = cfg.startCycle;
     auto &fps = failpoint::Registry::global();
     fpMispredict =
         fps.anyArmed() ? fps.find(failpoint::kTimingMispredict)
@@ -85,6 +97,7 @@ TimingModel::rebaseRings(uint64_t anchor)
     // and per-uop cycle advance is bounded by the largest modelled
     // latency), so live entries never come near the clamp below and
     // clamped ancient entries stay far under any gate comparison.
+    ++ringRebases;
     const uint64_t new_base = anchor - (1ull << 31);
     AREGION_ASSERT(new_base > ringBase,
                    "ring rebase must advance: ", ringBase, " -> ",

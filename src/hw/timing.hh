@@ -59,6 +59,17 @@ struct TimingConfig
     int divLatency = 20;
     int serialLatency = 6;      ///< CAS / locked ops
 
+    /**
+     * Initial value for every cycle-state field (testing knob).
+     * The model is shift-invariant — no component consumes absolute
+     * cycle values — so a run started near 2^32 must reproduce the
+     * zero-start run exactly, just offset, while forcing the 32-bit
+     * ring offsets through rebaseRings almost immediately. The
+     * stress tests use this to exercise the rebase path; leave at 0
+     * otherwise.
+     */
+    uint64_t startCycle = 0;
+
     static TimingConfig baseline();            ///< Table 1
     static TimingConfig stallBegin();          ///< Figure 9 middle
     static TimingConfig singleInflight();      ///< Figure 9 right
@@ -107,6 +118,9 @@ class TimingModel : public TraceSink
     uint64_t stallFetch = 0;        ///< mispredict/abort redirect
     uint64_t stallSerial = 0;       ///< serialization / store drain
     uint64_t stallRegion = 0;       ///< degraded aregion_begin impls
+
+    /** Times rebaseRings ran (ring-offset origin advanced). */
+    uint64_t ringRebases = 0;
 
     /** Mirror the model's counters into the process-wide telemetry
      *  registry (`timing.*` keys). Call once per finished run. */

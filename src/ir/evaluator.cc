@@ -25,12 +25,10 @@ Evaluator::reg(Vreg v)
 }
 
 uint64_t
-Evaluator::checkRef(int64_t value, int bc_pc) const
+Evaluator::checkRef(int64_t value, int bc_method, int bc_pc) const
 {
-    if (value == 0) {
-        throw Trap(TrapKind::NullPointer, stack.back().func->methodId,
-                   bc_pc);
-    }
+    if (value == 0)
+        throw Trap(TrapKind::NullPointer, bc_method, bc_pc);
     return static_cast<uint64_t>(value);
 }
 
@@ -70,6 +68,13 @@ Evaluator::execute(const Instr &in, bool &advanced)
     namespace arith = vm::arith;
     Frame &frame = stack.back();
     const int mid = frame.func->methodId;
+    // Traps report the *originating* bytecode method: after inlining
+    // the executing function differs from the method that contains
+    // the faulting bytecode, and the interpreter (the reference
+    // semantics) and the machine both attribute the trap to the
+    // latter. Explicit abort bookkeeping stays keyed by the
+    // executing function, matching the machine's per-region stats.
+    const int trap_mid = in.bcMethod >= 0 ? in.bcMethod : mid;
 
     auto jumpTo = [&](int block) {
         stack.back().block = block;
@@ -96,14 +101,14 @@ Evaluator::execute(const Instr &in, bool &advanced)
       case Op::Div: {
         const int64_t d = reg(in.s1());
         if (d == 0)
-            throw Trap(TrapKind::DivideByZero, mid, in.bcPc);
+            throw Trap(TrapKind::DivideByZero, trap_mid, in.bcPc);
         reg(in.dst) = arith::javaDiv(reg(in.s0()), d);
         break;
       }
       case Op::Rem: {
         const int64_t d = reg(in.s1());
         if (d == 0)
-            throw Trap(TrapKind::DivideByZero, mid, in.bcPc);
+            throw Trap(TrapKind::DivideByZero, trap_mid, in.bcPc);
         reg(in.dst) = arith::javaRem(reg(in.s0()), d);
         break;
       }
@@ -142,19 +147,19 @@ Evaluator::execute(const Instr &in, bool &advanced)
         break;
 
       case Op::LoadField: {
-        const auto obj = checkRef(reg(in.s0()), in.bcPc);
+        const auto obj = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         reg(in.dst) = heap.load(obj + layout::OBJ_FIELD_BASE +
                                 static_cast<uint64_t>(in.aux));
         break;
       }
       case Op::StoreField: {
-        const auto obj = checkRef(reg(in.s0()), in.bcPc);
+        const auto obj = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         store(obj + layout::OBJ_FIELD_BASE +
               static_cast<uint64_t>(in.aux), reg(in.s1()));
         break;
       }
       case Op::LoadElem: {
-        const auto arr = checkRef(reg(in.s0()), in.bcPc);
+        const auto arr = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         const auto addr = arr + static_cast<uint64_t>(
             layout::ARR_ELEM_BASE + reg(in.s1()));
         // A postdominating check may not have run yet inside an
@@ -169,7 +174,7 @@ Evaluator::execute(const Instr &in, bool &advanced)
         break;
       }
       case Op::StoreElem: {
-        const auto arr = checkRef(reg(in.s0()), in.bcPc);
+        const auto arr = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         const auto addr = arr + static_cast<uint64_t>(
             layout::ARR_ELEM_BASE + reg(in.s1()));
         AREGION_ASSERT(heap.inBounds(addr) || checkpoint.has_value(),
@@ -179,12 +184,12 @@ Evaluator::execute(const Instr &in, bool &advanced)
         break;
       }
       case Op::LoadRaw: {
-        const auto base = checkRef(reg(in.s0()), in.bcPc);
+        const auto base = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         reg(in.dst) = heap.load(base + static_cast<uint64_t>(in.imm));
         break;
       }
       case Op::StoreRaw: {
-        const auto base = checkRef(reg(in.s0()), in.bcPc);
+        const auto base = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         store(base + static_cast<uint64_t>(in.imm), reg(in.s1()));
         break;
       }
@@ -199,25 +204,25 @@ Evaluator::execute(const Instr &in, bool &advanced)
 
       case Op::NullCheck:
         if (reg(in.s0()) == 0)
-            throw Trap(TrapKind::NullPointer, mid, in.bcPc);
+            throw Trap(TrapKind::NullPointer, trap_mid, in.bcPc);
         break;
       case Op::BoundsCheck: {
         const int64_t idx = reg(in.s0());
         if (idx < 0 || idx >= reg(in.s1()))
-            throw Trap(TrapKind::ArrayBounds, mid, in.bcPc);
+            throw Trap(TrapKind::ArrayBounds, trap_mid, in.bcPc);
         break;
       }
       case Op::DivCheck:
         if (reg(in.s0()) == 0)
-            throw Trap(TrapKind::DivideByZero, mid, in.bcPc);
+            throw Trap(TrapKind::DivideByZero, trap_mid, in.bcPc);
         break;
       case Op::SizeCheck:
         if (reg(in.s0()) < 0)
-            throw Trap(TrapKind::NegativeArraySize, mid, in.bcPc);
+            throw Trap(TrapKind::NegativeArraySize, trap_mid, in.bcPc);
         break;
       case Op::TypeCheck:
         if (reg(in.s0()) == 0)
-            throw Trap(TrapKind::ClassCast, mid, in.bcPc);
+            throw Trap(TrapKind::ClassCast, trap_mid, in.bcPc);
         break;
 
       case Op::NewObject:
@@ -226,7 +231,7 @@ Evaluator::execute(const Instr &in, bool &advanced)
       case Op::NewArray: {
         const int64_t len = reg(in.s0());
         if (len < 0)
-            throw Trap(TrapKind::NegativeArraySize, mid, in.bcPc);
+            throw Trap(TrapKind::NegativeArraySize, trap_mid, in.bcPc);
         reg(in.dst) = static_cast<int64_t>(heap.allocArray(len));
         break;
       }
@@ -239,7 +244,7 @@ Evaluator::execute(const Instr &in, bool &advanced)
         if (in.op == Op::CallStatic) {
             callee = in.aux;
         } else {
-            const auto recv = checkRef(reg(in.s0()), in.bcPc);
+            const auto recv = checkRef(reg(in.s0()), trap_mid, in.bcPc);
             const auto cls = static_cast<vm::ClassId>(
                 heap.load(recv + layout::HDR_CLASS));
             callee = mod.prog->resolveVirtual(cls, in.aux);
@@ -266,7 +271,7 @@ Evaluator::execute(const Instr &in, bool &advanced)
       }
 
       case Op::MonitorEnter: {
-        const auto obj = checkRef(reg(in.s0()), in.bcPc);
+        const auto obj = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         const int64_t word = heap.load(obj + layout::HDR_LOCK);
         const int owner = layout::lockOwner(word);
         AREGION_ASSERT(owner == -1 || owner == 0,
@@ -277,7 +282,7 @@ Evaluator::execute(const Instr &in, bool &advanced)
         break;
       }
       case Op::MonitorExit: {
-        const auto obj = checkRef(reg(in.s0()), in.bcPc);
+        const auto obj = checkRef(reg(in.s0()), trap_mid, in.bcPc);
         const int64_t word = heap.load(obj + layout::HDR_LOCK);
         AREGION_ASSERT(layout::lockOwner(word) == 0,
                        "monitorexit without monitorenter");

@@ -56,6 +56,9 @@ class Evaluator
 
     const std::vector<int64_t> &output() const { return outputStream; }
 
+    /** Final memory image (differential harness heap digests). */
+    const vm::Heap &finalHeap() const { return heap; }
+
     /**
      * Fault injection: when > 0, every Nth AtomicEnd aborts instead
      * of committing (exercising the abort path even when no assert
@@ -83,7 +86,7 @@ class Evaluator
     };
 
     int64_t &reg(Vreg v);
-    uint64_t checkRef(int64_t value, int bc_pc) const;
+    uint64_t checkRef(int64_t value, int bc_method, int bc_pc) const;
     void store(uint64_t addr, int64_t value);
     void rollbackToAlt();
     void execute(const Instr &in, bool &advanced);

@@ -25,6 +25,9 @@ class RunningStat
     uint64_t count() const { return n; }
     double sum() const { return total; }
     double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    /** Only meaningful when count() > 0; the 0.0 fallback is a
+     *  sentinel, and exporters must emit null/omit for empty series
+     *  rather than a fake zero minimum (see Registry::toJson). */
     double min() const { return n ? lo : 0.0; }
     double max() const { return n ? hi : 0.0; }
 
@@ -53,6 +56,8 @@ class Histogram
 
     uint64_t count() const { return n; }
     double mean() const;
+    /** Only meaningful when count() > 0 (0 is a sentinel for empty;
+     *  exporters emit null instead — see Registry::toJson). */
     int64_t min() const;
     int64_t max() const;
 

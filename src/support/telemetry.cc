@@ -255,10 +255,17 @@ Registry::toJson(int indent) const
     first = true;
     for (const auto &[k, h] : hists) {
         out << (first ? "\n" : ",\n") << pad2 << jsonQuote(k) << ": {"
-            << "\"count\": " << h.count()
-            << ", \"mean\": " << fmtDouble(h.mean())
-            << ", \"min\": " << h.min() << ", \"max\": " << h.max()
-            << ", \"p95\": " << h.percentile(0.95) << "}";
+            << "\"count\": " << h.count();
+        if (h.count() == 0) {
+            // No samples: emit null, not 0.0 — downstream consumers
+            // must be able to tell "empty series" from "min of zero".
+            out << ", \"mean\": null, \"min\": null"
+                << ", \"max\": null, \"p95\": null}";
+        } else {
+            out << ", \"mean\": " << fmtDouble(h.mean())
+                << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+                << ", \"p95\": " << h.percentile(0.95) << "}";
+        }
         first = false;
     }
     out << (first ? "" : "\n" + pad) << "},\n";
@@ -288,10 +295,14 @@ Registry::toTable() const
     for (const auto &[k, v] : gauges)
         table.addRow({k, "gauge", TextTable::fmt(v, 3)});
     for (const auto &[k, h] : hists) {
-        table.addRow({k, "histogram",
-                      "n=" + std::to_string(h.count()) +
-                          " mean=" + TextTable::fmt(h.mean(), 1) +
-                          " max=" + std::to_string(h.max())});
+        if (h.count() == 0) {
+            table.addRow({k, "histogram", "n=0 (empty)"});
+        } else {
+            table.addRow({k, "histogram",
+                          "n=" + std::to_string(h.count()) +
+                              " mean=" + TextTable::fmt(h.mean(), 1) +
+                              " max=" + std::to_string(h.max())});
+        }
     }
     return table.render();
 }

@@ -163,6 +163,25 @@ inline constexpr const char *kRegionBlocksReplicated =
 inline constexpr const char *kRegionExits = "region.exits";
 inline constexpr const char *kRegionUnrolled = "region.unrolled";
 
+// --- fuzz.* (src/testing/, tools/fuzz_diff.cc) -------------------
+// Differential-fuzzing campaign counters: seeds executed, seeds
+// skipped (budget), executor runs and pipeline prefixes compared,
+// divergences observed, minimizer shrink work, and the size of the
+// rendered main method per seed.
+inline constexpr const char *kFuzzSeeds = "fuzz.seeds";
+inline constexpr const char *kFuzzSkipped = "fuzz.skipped";
+inline constexpr const char *kFuzzTrapped = "fuzz.trapped";
+inline constexpr const char *kFuzzThreaded = "fuzz.threaded";
+inline constexpr const char *kFuzzExecutorRuns =
+    "fuzz.executor_runs";
+inline constexpr const char *kFuzzPrefixes = "fuzz.prefixes";
+inline constexpr const char *kFuzzDivergences = "fuzz.divergences";
+inline constexpr const char *kFuzzMinimized = "fuzz.minimized";
+inline constexpr const char *kFuzzMinimizerCalls =
+    "fuzz.minimizer.predicate_calls";
+inline constexpr const char *kFuzzMainBytecodes =
+    "fuzz.main_bytecodes";                 // histogram
+
 // --- profile.* (src/vm/profile.cc) -------------------------------
 inline constexpr const char *kProfileMethods = "profile.methods";
 inline constexpr const char *kProfileBytecodes =
@@ -216,6 +235,9 @@ catalogInfo()
           kResilienceBackoffs, kResilienceBlacklisted,
           kRegionFormed, kRegionAssertsConverted,
           kRegionBlocksReplicated, kRegionExits, kRegionUnrolled,
+          kFuzzSeeds, kFuzzSkipped, kFuzzTrapped, kFuzzThreaded,
+          kFuzzExecutorRuns, kFuzzPrefixes, kFuzzDivergences,
+          kFuzzMinimized, kFuzzMinimizerCalls,
           kProfileMethods, kProfileBytecodes, kProfileBranchSites,
           kProfileCallSites, kProfileInvocations}) {
         all.push_back({k, KeyKind::Counter});
@@ -224,7 +246,8 @@ catalogInfo()
     all.push_back({kDriverThreads, KeyKind::Gauge});
     for (const char *k :
          {kMachineRegionSize, kMachineRegionFootprint,
-          kMachineRegionReadLines, kMachineRegionWriteLines}) {
+          kMachineRegionReadLines, kMachineRegionWriteLines,
+          kFuzzMainBytecodes}) {
         all.push_back({k, KeyKind::Hist});
     }
     return all;

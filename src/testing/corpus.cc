@@ -1,0 +1,214 @@
+#include "testing/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace aregion::testing {
+
+namespace {
+
+void
+serializeStmts(std::ostringstream &os,
+               const std::vector<GenStmt> &stmts, int indent)
+{
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    for (const GenStmt &s : stmts) {
+        os << pad << stmtKindName(s.kind) << " " << s.a << " " << s.b
+           << " " << s.c << " " << s.imm;
+        if (!s.body.empty()) {
+            os << " {\n";
+            serializeStmts(os, s.body, indent + 1);
+            os << pad << "}\n";
+        } else {
+            os << "\n";
+        }
+    }
+}
+
+struct Parser
+{
+    std::istringstream in;
+    std::string err;
+    int lineNo = 0;
+
+    explicit Parser(const std::string &text) : in(text) {}
+
+    bool
+    fail(const std::string &what)
+    {
+        err = "line " + std::to_string(lineNo) + ": " + what;
+        return false;
+    }
+
+    /** Next non-empty, non-comment line (still raw). */
+    bool
+    nextLine(std::string &line)
+    {
+        while (std::getline(in, line)) {
+            ++lineNo;
+            const size_t start = line.find_first_not_of(" \t");
+            if (start == std::string::npos)
+                continue;
+            if (line[start] == '#')
+                continue;
+            line = line.substr(start);
+            while (!line.empty() &&
+                   (line.back() == ' ' || line.back() == '\r' ||
+                    line.back() == '\t'))
+                line.pop_back();
+            return true;
+        }
+        return false;
+    }
+
+    /** Parse statements until the closing '}'. */
+    bool
+    parseBody(std::vector<GenStmt> &out)
+    {
+        std::string line;
+        while (nextLine(line)) {
+            if (line == "}")
+                return true;
+            bool open_body = false;
+            if (line.size() >= 2 &&
+                line.compare(line.size() - 2, 2, " {") == 0) {
+                open_body = true;
+                line.resize(line.size() - 2);
+            }
+            std::istringstream ls(line);
+            std::string kind_name;
+            GenStmt s;
+            int64_t a = 0, b = 0, c = 0;
+            if (!(ls >> kind_name >> a >> b >> c >> s.imm))
+                return fail("bad statement: " + line);
+            if (!stmtKindFromName(kind_name, s.kind))
+                return fail("unknown statement kind: " + kind_name);
+            s.a = static_cast<uint32_t>(a);
+            s.b = static_cast<uint32_t>(b);
+            s.c = static_cast<uint32_t>(c);
+            if (open_body && !parseBody(s.body))
+                return false;
+            out.push_back(std::move(s));
+        }
+        return fail("unexpected end of file in body");
+    }
+};
+
+} // namespace
+
+std::string
+serializeGenProgram(const GenProgram &gp)
+{
+    std::ostringstream os;
+    os << "seed " << gp.seed << "\n";
+    os << "features " << maskName(gp.features) << "\n";
+    os << "seedA " << gp.seedA << "\n";
+    os << "seedB " << gp.seedB << "\n";
+    for (const auto &helper : gp.helpers) {
+        os << "helper {\n";
+        serializeStmts(os, helper, 1);
+        os << "}\n";
+    }
+    os << "main {\n";
+    serializeStmts(os, gp.main, 1);
+    os << "}\n";
+    return os.str();
+}
+
+bool
+parseGenProgram(const std::string &text, GenProgram &out,
+                std::string *err)
+{
+    GenProgram gp;
+    Parser p(text);
+    bool saw_main = false;
+    std::string line;
+    while (p.nextLine(line)) {
+        std::istringstream ls(line);
+        std::string word;
+        ls >> word;
+        if (word == "seed") {
+            ls >> gp.seed;
+        } else if (word == "features") {
+            std::string mask;
+            ls >> mask;
+            if (!parseMask(mask, gp.features)) {
+                p.fail("bad feature mask: " + mask);
+                break;
+            }
+        } else if (word == "seedA") {
+            ls >> gp.seedA;
+        } else if (word == "seedB") {
+            ls >> gp.seedB;
+        } else if (word == "helper") {
+            gp.helpers.emplace_back();
+            if (!p.parseBody(gp.helpers.back()))
+                break;
+        } else if (word == "main") {
+            if (!p.parseBody(gp.main))
+                break;
+            saw_main = true;
+        } else {
+            p.fail("unknown directive: " + word);
+            break;
+        }
+    }
+    if (p.err.empty() && !saw_main)
+        p.fail("missing main block");
+    if (!p.err.empty()) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    out = std::move(gp);
+    return true;
+}
+
+bool
+writeCorpusFile(const std::string &path, const GenProgram &gp,
+                const std::string &comment)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line))
+        f << "# " << line << "\n";
+    f << serializeGenProgram(gp);
+    return static_cast<bool>(f);
+}
+
+bool
+readCorpusFile(const std::string &path, GenProgram &out,
+               std::string *err)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream content;
+    content << f.rdbuf();
+    return parseGenProgram(content.str(), out, err);
+}
+
+std::vector<std::string>
+listCorpusFiles(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".case")
+            out.push_back(entry.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace aregion::testing

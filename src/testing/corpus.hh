@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Replayable corpus format for diverging (or once-diverging)
+ * generated programs.
+ *
+ * An entry is a small text file (docs/FUZZING.md has the grammar):
+ *
+ *     # free-form comment lines
+ *     seed 42
+ *     features traps+arrays
+ *     seedA -3
+ *     seedB 17
+ *     helper {
+ *       binop 0 1 0 5
+ *     }
+ *     main {
+ *       loop 0 0 0 3 {
+ *         div_maybe 1 0 0 0
+ *       }
+ *       print 0 0 0 0
+ *     }
+ *
+ * Statement lines are `<kind> <a> <b> <c> <imm>` with an optional
+ * trailing `{` opening a nested body. The stored structure is the
+ * minimized GenProgram itself — not the seed — so replay does not
+ * depend on generator evolution: old corpus entries keep reproducing
+ * the same bytecode forever.
+ */
+
+#ifndef AREGION_TESTING_CORPUS_HH
+#define AREGION_TESTING_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "testing/random_program.hh"
+
+namespace aregion::testing {
+
+std::string serializeGenProgram(const GenProgram &gp);
+
+/** Parse a corpus entry; on failure returns false and sets *err. */
+bool parseGenProgram(const std::string &text, GenProgram &out,
+                     std::string *err = nullptr);
+
+bool writeCorpusFile(const std::string &path, const GenProgram &gp,
+                     const std::string &comment);
+bool readCorpusFile(const std::string &path, GenProgram &out,
+                    std::string *err = nullptr);
+
+/** All `*.case` files under dir, sorted by name (empty if none). */
+std::vector<std::string> listCorpusFiles(const std::string &dir);
+
+} // namespace aregion::testing
+
+#endif // AREGION_TESTING_CORPUS_HH

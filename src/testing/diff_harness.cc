@@ -1,0 +1,469 @@
+#include "testing/diff_harness.hh"
+
+#include <sstream>
+
+#include "core/compiler.hh"
+#include "core/lock_elision.hh"
+#include "core/postdom_check_elim.hh"
+#include "core/region_formation.hh"
+#include "hw/codegen.hh"
+#include "hw/machine.hh"
+#include "hw/oracle.hh"
+#include "hw/timing.hh"
+#include "ir/evaluator.hh"
+#include "ir/translate.hh"
+#include "ir/verifier.hh"
+#include "opt/pass.hh"
+#include "vm/interpreter.hh"
+#include "vm/layout.hh"
+
+namespace aregion::testing {
+
+namespace {
+
+/** Everything one executor run exposes for comparison. */
+struct Outcome
+{
+    bool completed = false;
+    std::optional<vm::Trap> trap;
+    std::vector<int64_t> output;
+    uint64_t digest = 0;
+    bool digestValid = false;
+};
+
+std::string
+trapString(const std::optional<vm::Trap> &trap)
+{
+    if (!trap)
+        return "none";
+    std::ostringstream os;
+    os << vm::trapName(trap->kind) << " m" << trap->method << ":pc"
+       << trap->pc;
+    return os.str();
+}
+
+std::string
+outputString(const std::vector<int64_t> &out)
+{
+    std::ostringstream os;
+    os << "[" << out.size() << "]";
+    const size_t show = out.size() < 8 ? out.size() : 8;
+    for (size_t i = 0; i < show; ++i)
+        os << " " << out[i];
+    if (show < out.size())
+        os << " ...";
+    return os.str();
+}
+
+/** Compare one executor's outcome against the reference run.
+ *  Digest mismatch is only reported when both sides have a valid
+ *  (comparison-scoped) digest. */
+void
+compareOutcome(DiffReport &report, const std::string &stage,
+               const Outcome &ref, const Outcome &got,
+               bool compare_digest)
+{
+    auto add = [&](const std::string &detail) {
+        report.divergences.push_back({stage, detail});
+    };
+
+    if (ref.completed != got.completed)
+        add("completed: ref=" + std::to_string(ref.completed) +
+            " got=" + std::to_string(got.completed));
+
+    const bool ref_has = ref.trap.has_value();
+    const bool got_has = got.trap.has_value();
+    if (ref_has != got_has ||
+        (ref_has &&
+         (ref.trap->kind != got.trap->kind ||
+          ref.trap->method != got.trap->method ||
+          ref.trap->pc != got.trap->pc))) {
+        add("trap: ref=" + trapString(ref.trap) +
+            " got=" + trapString(got.trap));
+    }
+
+    if (ref.output != got.output)
+        add("output: ref=" + outputString(ref.output) +
+            " got=" + outputString(got.output));
+
+    if (compare_digest && ref.digestValid && got.digestValid &&
+        ref.digest != got.digest) {
+        std::ostringstream os;
+        os << "heap digest: ref=" << std::hex << ref.digest
+           << " got=" << got.digest;
+        add(os.str());
+    }
+}
+
+/** Region tuning that actually forms regions on tiny generated
+ *  programs (the paper's defaults target 200-op traces). */
+core::RegionConfig
+smallProgramRegions()
+{
+    core::RegionConfig rc;
+    rc.loopPathThreshold = 20;
+    rc.targetSize = 40;
+    rc.minRegionInstrs = 4;
+    return rc;
+}
+
+opt::OptContext
+atomicOptContext(const vm::Profile &profile)
+{
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    // Mirror core::compileProgram's atomic configuration so the
+    // harness exercises the same pipeline the experiments compile
+    // with (partial inlining + the polymorphic-callee refusal).
+    ctx.partialInlineLimit = 140;
+    ctx.refusePolymorphicCallees = true;
+    return ctx;
+}
+
+/** Pipeline prefix names, shallow to deep. The harness evaluates
+ *  every one of them so a divergence names the first pass stage that
+ *  broke equivalence. */
+const char *const kPrefixNames[] = {
+    "translate",     // bytecode -> IR only
+    "inline+scalar", // inline fixpoint with scalar passes
+    "unroll",        // = the baseline compiler's final module
+    "regions",       // atomic region formation
+    "sle",           // speculative lock elision
+    "region-scalar", // scalar pipeline over isolated hot paths
+    "postdom",       // post-dominance check elimination
+};
+constexpr int kNumPrefixes = 7;
+constexpr int kBaselinePrefix = 2;
+constexpr int kAtomicPrefix = 5;
+constexpr int kPostdomPrefix = 6;
+
+/** Rebuild the module at pipeline-prefix `depth`. Modules are not
+ *  copyable (blocks are unique_ptrs), but translation and every pass
+ *  are deterministic, so rebuilding from bytecode yields the same
+ *  module a snapshot would. */
+ir::Module
+buildPrefixModule(const vm::Program &prog, const vm::Profile &profile,
+                  int depth)
+{
+    const opt::OptContext ctx = atomicOptContext(profile);
+    const core::RegionConfig rc = smallProgramRegions();
+
+    ir::Module mod = ir::translateProgram(prog, &profile);
+    if (depth >= 1) {
+        // Inline fixpoint interleaved with scalar passes (the first
+        // half of optimizeModule).
+        for (int round = 0; round < 4; ++round) {
+            const bool inlined = opt::inlineCalls(mod, ctx);
+            for (auto &[mid, func] : mod.funcs)
+                opt::runScalarPipeline(func, ctx);
+            if (!inlined)
+                break;
+        }
+    }
+    if (depth >= 2) {
+        for (auto &[mid, func] : mod.funcs) {
+            if (opt::unrollLoops(func, ctx))
+                opt::runScalarPipeline(func, ctx);
+        }
+    }
+    if (depth >= 3) {
+        for (auto &[mid, func] : mod.funcs)
+            core::formRegions(func, rc);
+    }
+    if (depth >= 4) {
+        for (auto &[mid, func] : mod.funcs)
+            core::elideLocks(func);
+    }
+    if (depth >= 5) {
+        for (auto &[mid, func] : mod.funcs)
+            opt::runScalarPipeline(func, ctx);
+    }
+    if (depth >= 6) {
+        for (auto &[mid, func] : mod.funcs) {
+            if (core::postdomCheckElim(func) > 0)
+                opt::runScalarPipeline(func, ctx);
+        }
+    }
+    for (auto &[mid, func] : mod.funcs)
+        ir::verifyOrDie(func);
+    return mod;
+}
+
+} // namespace
+
+uint64_t
+heapDigest(const vm::Heap &heap)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](uint64_t word) {
+        h ^= word;
+        h *= 0x100000001b3ull;
+    };
+    const uint64_t mark = heap.allocMark();
+    for (uint64_t addr = vm::layout::POISON_WORDS; addr < mark; ++addr)
+        mix(static_cast<uint64_t>(heap.load(addr)));
+    mix(mark);
+    return h;
+}
+
+std::string
+DiffReport::summary() const
+{
+    std::ostringstream os;
+    if (skipped) {
+        os << "skipped: " << skipReason;
+        return os.str();
+    }
+    os << executorRuns << " runs, " << prefixesRun << " prefixes"
+       << (trapped ? ", trapped" : "")
+       << (threaded ? ", threaded" : "");
+    for (const auto &d : divergences)
+        os << "\n  [" << d.stage << "] " << d.detail;
+    return os.str();
+}
+
+DiffReport
+runDiff(const vm::Program &prog, bool threaded, const DiffOptions &opt)
+{
+    DiffReport report;
+    report.threaded = threaded;
+
+    // --- Reference: the plain bytecode interpreter. ------------------
+    vm::Interpreter ref_interp(prog, nullptr, opt.heapWords);
+    Outcome ref;
+    try {
+        const vm::InterpResult r = ref_interp.run(opt.interpMaxSteps);
+        ref.completed = r.completed;
+        ref.trap = r.trap;
+    } catch (const vm::Trap &t) {
+        ref.trap = t;
+    }
+    ref.output = ref_interp.output();
+    ref.digest = heapDigest(ref_interp.heap());
+    ref.digestValid = true;
+    report.executorRuns++;
+    report.trapped = ref.trap.has_value();
+
+    if (!ref.completed && !ref.trap) {
+        report.skipped = true;
+        report.skipReason = "reference interpreter hit step budget";
+        return report;
+    }
+
+    // --- Profiling interpreter (must not perturb semantics). ---------
+    vm::Profile profile(prog);
+    vm::Interpreter prof_interp(prog, &profile, opt.heapWords);
+    {
+        Outcome got;
+        try {
+            const vm::InterpResult r =
+                prof_interp.run(opt.interpMaxSteps);
+            got.completed = r.completed;
+            got.trap = r.trap;
+        } catch (const vm::Trap &t) {
+            got.trap = t;
+        }
+        got.output = prof_interp.output();
+        got.digest = heapDigest(prof_interp.heap());
+        got.digestValid = true;
+        report.executorRuns++;
+        compareOutcome(report, "interp+profile", ref, got, true);
+    }
+
+    // --- IR evaluator at every pipeline prefix. ----------------------
+    // The evaluator rejects Spawn, so threaded programs only exercise
+    // interpreter vs machine. Allocation order is preserved by every
+    // pass (NewObject/NewArray are side-effecting and never moved or
+    // removed), so heap digests stay comparable at all prefixes.
+    const ir::Module baselineMod =
+        buildPrefixModule(prog, profile, kBaselinePrefix);
+    const ir::Module atomicMod =
+        buildPrefixModule(prog, profile, kAtomicPrefix);
+    const ir::Module postdomMod =
+        buildPrefixModule(prog, profile, kPostdomPrefix);
+
+    auto runEval = [&](const ir::Module &mod, uint64_t force_abort,
+                       const std::string &stage) {
+        ir::Evaluator eval(mod, opt.heapWords);
+        eval.forceAbortPeriod = force_abort;
+        Outcome got;
+        ir::EvalResult r;
+        try {
+            r = eval.run(opt.evalMaxSteps);
+            got.completed = r.completed;
+            got.trap = r.trap;
+        } catch (const vm::Trap &t) {
+            got.trap = t;
+        }
+        got.output = eval.output();
+        got.digest = heapDigest(eval.finalHeap());
+        got.digestValid = true;
+        report.executorRuns++;
+        compareOutcome(report, stage, ref, got, true);
+        return r;
+    };
+
+    ir::EvalResult atomic_eval_result;
+    if (!threaded) {
+        for (int depth = 0; depth < kNumPrefixes; ++depth) {
+            const ir::Module mod =
+                (depth == kBaselinePrefix || depth == kAtomicPrefix ||
+                 depth == kPostdomPrefix)
+                    ? ir::Module{}
+                    : buildPrefixModule(prog, profile, depth);
+            const ir::Module &use =
+                depth == kBaselinePrefix ? baselineMod
+                : depth == kAtomicPrefix ? atomicMod
+                : depth == kPostdomPrefix ? postdomMod
+                                          : mod;
+            const ir::EvalResult r = runEval(
+                use, 0, std::string("eval:") + kPrefixNames[depth]);
+            report.prefixesRun++;
+            if (depth == kAtomicPrefix)
+                atomic_eval_result = r;
+        }
+        if (opt.evalForceAbortPeriod > 0) {
+            runEval(atomicMod, opt.evalForceAbortPeriod,
+                    "eval:forced-abort");
+        }
+    }
+
+    // --- Machine runs. -----------------------------------------------
+    // Shared layout heap: codegen bakes vtable/subtype addresses.
+    vm::Heap layout_heap(prog, opt.heapWords);
+    const hw::LayoutInfo layout = hw::LayoutInfo::fromHeap(layout_heap);
+
+    struct MachineOutcome
+    {
+        Outcome out;
+        hw::MachineResult res;
+    };
+
+    auto runMachine = [&](const ir::Module &mod,
+                          const hw::HwConfig &config,
+                          hw::TraceSink *sink, const std::string &stage,
+                          bool digest_comparable) {
+        const hw::MachineProgram mp = hw::lowerModule(mod, layout);
+        hw::Machine machine(mp, config, sink, opt.heapWords);
+        hw::RollbackOracle oracle;
+        machine.setOracle(&oracle);
+        MachineOutcome mo;
+        try {
+            mo.res = machine.run(opt.machineMaxUops);
+            mo.out.completed = mo.res.completed;
+            mo.out.trap = mo.res.trap;
+        } catch (const vm::Trap &t) {
+            mo.out.trap = t;
+        }
+        mo.out.output = mo.res.output;
+        mo.out.digest = heapDigest(machine.heap());
+        // The machine deliberately leaks the bump-pointer advance of
+        // aborted regions, so its image is only byte-comparable to
+        // the interpreter's when no region ever aborted; with threads
+        // a trap freezes the other context at an interleaving-
+        // dependent point.
+        uint64_t aborts = 0;
+        for (const auto &[key, rr] : mo.res.regions)
+            aborts += rr.totalAborts();
+        mo.out.digestValid = digest_comparable && aborts == 0 &&
+            !(threaded && mo.out.trap.has_value());
+        report.executorRuns++;
+        compareOutcome(report, stage, ref, mo.out, true);
+        for (const auto &d : oracle.divergences())
+            report.divergences.push_back(
+                {stage + ":oracle",
+                 "ctx " + std::to_string(d.ctxId) + ": " + d.what});
+        return mo;
+    };
+
+    const hw::HwConfig defaults;
+
+    // D: baseline (region-free) module — pure codegen/machine check.
+    runMachine(baselineMod, defaults, nullptr, "machine:baseline",
+               true);
+
+    // A: the atomic module under default geometry.
+    const MachineOutcome runA = runMachine(
+        atomicMod, defaults, nullptr, "machine:atomic", true);
+
+    // B: identical, but with the timing model observing the trace.
+    // Timing must be a pure observer: architectural results (and the
+    // heap image, leaks included) must match run A *exactly*.
+    if (opt.withTiming) {
+        hw::TimingModel timing(hw::TimingConfig::baseline());
+        const MachineOutcome runB =
+            runMachine(atomicMod, defaults, &timing, "machine:timing",
+                       true);
+        if (runB.out.output != runA.out.output ||
+            runB.out.digest != runA.out.digest ||
+            trapString(runB.out.trap) != trapString(runA.out.trap) ||
+            runB.res.retiredUops != runA.res.retiredUops ||
+            runB.res.regionAborts != runA.res.regionAborts) {
+            report.divergences.push_back(
+                {"machine:timing-observer",
+                 "timing-attached run differs from plain run: "
+                 "digest " + std::to_string(runB.out.digest) + " vs " +
+                 std::to_string(runA.out.digest) + ", retired " +
+                 std::to_string(runB.res.retiredUops) + " vs " +
+                 std::to_string(runA.res.retiredUops)});
+        }
+    }
+
+    // C: hostile geometry on the deepest module — tiny speculative
+    // cache and aggressive interrupts force the abort paths.
+    if (opt.hostileMachine) {
+        hw::HwConfig hostile;
+        hostile.l1Lines = 16;
+        hostile.l1Assoc = 2;
+        hostile.interruptPeriod = 997;
+        runMachine(postdomMod, hostile, nullptr, "machine:hostile",
+                   false);
+    }
+
+    // --- Telemetry-visible abort causes. -----------------------------
+    // Explicit (assert-id) abort counts must agree between the
+    // evaluator and the machine, but only when no asynchronous abort
+    // source fired on the machine (an interrupt/conflict/overflow
+    // abort re-executes the region and can legitimately change which
+    // asserts run).
+    if (!threaded) {
+        uint64_t async = 0;
+        std::map<std::pair<int, int>, uint64_t> machine_explicit;
+        for (const auto &[key, rr] : runA.res.regions) {
+            async +=
+                rr.abortsByCause[static_cast<int>(
+                    hw::AbortCause::Conflict)] +
+                rr.abortsByCause[static_cast<int>(
+                    hw::AbortCause::Overflow)] +
+                rr.abortsByCause[static_cast<int>(
+                    hw::AbortCause::Interrupt)] +
+                rr.abortsByCause[static_cast<int>(
+                    hw::AbortCause::Io)];
+            for (const auto &[assert_id, count] : rr.abortsByAssert)
+                machine_explicit[{key.first, assert_id}] += count;
+        }
+        if (async == 0 &&
+            machine_explicit != atomic_eval_result.abortCounts) {
+            std::ostringstream os;
+            os << "explicit abort counts differ: machine={";
+            for (const auto &[k, v] : machine_explicit)
+                os << " m" << k.first << "/a" << k.second << "=" << v;
+            os << " } eval={";
+            for (const auto &[k, v] : atomic_eval_result.abortCounts)
+                os << " m" << k.first << "/a" << k.second << "=" << v;
+            os << " }";
+            report.divergences.push_back({"abort-causes", os.str()});
+        }
+    }
+
+    return report;
+}
+
+DiffReport
+runDiff(const GenProgram &gp, const DiffOptions &opt)
+{
+    const vm::Program prog = renderProgram(gp);
+    return runDiff(prog, usesThreads(gp), opt);
+}
+
+} // namespace aregion::testing

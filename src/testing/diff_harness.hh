@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Three-way differential execution harness.
+ *
+ * One program is executed by every executor in the stack — the
+ * reference bytecode interpreter, the IR evaluator at every
+ * pass-pipeline prefix (translation only, after inlining, after the
+ * full scalar pipeline, after region formation, after SLE, after the
+ * post-region scalar pipeline, and after post-dominance check
+ * elimination), and the hardware machine simulator with and without
+ * a timing model attached, under default and hostile geometries,
+ * with the rollback oracle armed — and every observable is compared:
+ *
+ *   - printed output (including the prefix printed before a trap),
+ *   - trap kind, trapping method, and bytecode pc,
+ *   - a final heap digest (scoped: skipped where executors
+ *     legitimately differ, see docs/FUZZING.md),
+ *   - telemetry-visible abort causes (explicit abort counts per
+ *     assert id must agree between the evaluator and the machine
+ *     when no asynchronous abort source fired),
+ *   - the rollback oracle's register/pc/heap cross-checks.
+ *
+ * Any mismatch is returned as a DivergenceRecord naming the stage.
+ */
+
+#ifndef AREGION_TESTING_DIFF_HARNESS_HH
+#define AREGION_TESTING_DIFF_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "testing/random_program.hh"
+#include "vm/heap.hh"
+#include "vm/program.hh"
+
+namespace aregion::testing {
+
+/** Harness knobs (defaults are what fuzz_diff and ctest use). */
+struct DiffOptions
+{
+    /** Run the machine under a hostile geometry (tiny speculative
+     *  cache, aggressive interrupts) as an extra variant. */
+    bool hostileMachine = true;
+
+    /** Attach a timing model to one machine run and require it to be
+     *  a pure observer (identical architectural results). */
+    bool withTiming = true;
+
+    /** Forced abort period for the evaluator's rollback stress run
+     *  (0 disables that variant). */
+    uint64_t evalForceAbortPeriod = 3;
+
+    /** Interpreter/evaluator/machine step budgets. Generated
+     *  programs are tiny; a budget hit is reported as a skip. */
+    uint64_t interpMaxSteps = 1ull << 24;
+    uint64_t evalMaxSteps = 1ull << 24;
+    uint64_t machineMaxUops = 1ull << 26;
+
+    uint64_t heapWords = 1ull << 22;
+};
+
+struct DivergenceRecord
+{
+    std::string stage;      ///< executor/comparison that disagreed
+    std::string detail;     ///< human-readable mismatch description
+};
+
+struct DiffReport
+{
+    std::vector<DivergenceRecord> divergences;
+
+    bool skipped = false;       ///< budget exhausted; nothing compared
+    std::string skipReason;
+
+    bool trapped = false;       ///< the reference run trapped
+    bool threaded = false;      ///< program spawns threads
+    int executorRuns = 0;       ///< executions performed
+    int prefixesRun = 0;        ///< evaluator pipeline prefixes run
+
+    bool diverged() const { return !divergences.empty(); }
+    std::string summary() const;
+};
+
+/** FNV-1a digest of the mapped heap image up to the allocation
+ *  watermark (plus the watermark itself). */
+uint64_t heapDigest(const vm::Heap &heap);
+
+/** Run the full differential comparison for one program.
+ *  @param threaded  true if the program spawns threads (the
+ *                   evaluator is skipped: it rejects Spawn). */
+DiffReport runDiff(const vm::Program &prog, bool threaded,
+                   const DiffOptions &opt = {});
+
+/** Convenience: render and compare a generated program. */
+DiffReport runDiff(const GenProgram &gp, const DiffOptions &opt = {});
+
+} // namespace aregion::testing
+
+#endif // AREGION_TESTING_DIFF_HARNESS_HH

@@ -1,0 +1,209 @@
+#include "testing/minimizer.hh"
+
+namespace aregion::testing {
+
+namespace {
+
+/** Statement address: [stream, i0, i1, ...] where stream h indexes
+ *  helpers[h] and stream == helpers.size() is main; the rest walk
+ *  nested bodies. */
+using Addr = std::vector<size_t>;
+
+std::vector<GenStmt> *
+streamOf(GenProgram &gp, size_t stream)
+{
+    if (stream < gp.helpers.size())
+        return &gp.helpers[stream];
+    return &gp.main;
+}
+
+GenStmt *
+stmtAt(GenProgram &gp, const Addr &addr)
+{
+    std::vector<GenStmt> *stmts = streamOf(gp, addr[0]);
+    GenStmt *s = nullptr;
+    for (size_t i = 1; i < addr.size(); ++i) {
+        if (addr[i] >= stmts->size())
+            return nullptr;
+        s = &(*stmts)[addr[i]];
+        stmts = &s->body;
+    }
+    return s;
+}
+
+void
+collectIn(const std::vector<GenStmt> &stmts, Addr prefix,
+          std::vector<Addr> &out)
+{
+    for (size_t i = 0; i < stmts.size(); ++i) {
+        Addr addr = prefix;
+        addr.push_back(i);
+        out.push_back(addr);
+        collectIn(stmts[i].body, addr, out);
+    }
+}
+
+std::vector<Addr>
+collectAddrs(const GenProgram &gp)
+{
+    std::vector<Addr> out;
+    GenProgram &g = const_cast<GenProgram &>(gp);
+    for (size_t h = 0; h < gp.helpers.size(); ++h)
+        collectIn(*streamOf(g, h), {h}, out);
+    collectIn(gp.main, {gp.helpers.size()}, out);
+    return out;
+}
+
+bool
+removeAt(GenProgram &gp, const Addr &addr)
+{
+    std::vector<GenStmt> *stmts = streamOf(gp, addr[0]);
+    for (size_t i = 1; i + 1 < addr.size(); ++i) {
+        if (addr[i] >= stmts->size())
+            return false;
+        stmts = &(*stmts)[addr[i]].body;
+    }
+    const size_t idx = addr.back();
+    if (idx >= stmts->size())
+        return false;
+    stmts->erase(stmts->begin() + static_cast<ptrdiff_t>(idx));
+    return true;
+}
+
+/** Replace a Loop with its body, spliced in place. */
+bool
+hoistAt(GenProgram &gp, const Addr &addr)
+{
+    std::vector<GenStmt> *stmts = streamOf(gp, addr[0]);
+    for (size_t i = 1; i + 1 < addr.size(); ++i) {
+        if (addr[i] >= stmts->size())
+            return false;
+        stmts = &(*stmts)[addr[i]].body;
+    }
+    const size_t idx = addr.back();
+    if (idx >= stmts->size())
+        return false;
+    std::vector<GenStmt> body = std::move((*stmts)[idx].body);
+    stmts->erase(stmts->begin() + static_cast<ptrdiff_t>(idx));
+    stmts->insert(stmts->begin() + static_cast<ptrdiff_t>(idx),
+                  body.begin(), body.end());
+    return true;
+}
+
+} // namespace
+
+GenProgram
+minimizeProgram(const GenProgram &gp, const Predicate &still_fails,
+                MinimizeStats *stats)
+{
+    MinimizeStats local;
+    MinimizeStats &st = stats ? *stats : local;
+    st.stmtsBefore = gp.countStmts();
+
+    auto check = [&](const GenProgram &candidate) {
+        st.predicateCalls++;
+        return still_fails(candidate);
+    };
+
+    GenProgram best = gp;
+    if (!check(best)) {
+        st.stmtsAfter = st.stmtsBefore;
+        return best;
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        st.rounds++;
+
+        // Drop whole helpers, last first (nothing references a
+        // higher-indexed helper, and CallHelper sites resolve modulo
+        // the remaining count).
+        for (size_t h = best.helpers.size(); h-- > 0;) {
+            GenProgram candidate = best;
+            candidate.helpers.erase(candidate.helpers.begin() +
+                                    static_cast<ptrdiff_t>(h));
+            if (check(candidate)) {
+                best = std::move(candidate);
+                changed = true;
+            }
+        }
+
+        // Delete statements one at a time, deepest-last first so a
+        // nested statement goes before its enclosing loop.
+        bool removed = true;
+        while (removed) {
+            removed = false;
+            const std::vector<Addr> addrs = collectAddrs(best);
+            for (size_t i = addrs.size(); i-- > 0;) {
+                GenProgram candidate = best;
+                if (!removeAt(candidate, addrs[i]))
+                    continue;
+                if (check(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                    removed = true;
+                    break;  // addresses are stale; re-collect
+                }
+            }
+        }
+
+        // Loops: hoist the body out entirely, else try one trip.
+        for (const Addr &addr : collectAddrs(best)) {
+            GenStmt *s = stmtAt(best, addr);
+            if (!s || s->kind != GenStmt::K::Loop)
+                continue;
+            {
+                GenProgram candidate = best;
+                if (hoistAt(candidate, addr) && check(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                    break;  // structure changed; restart the scan
+                }
+            }
+            if (s->imm > 1) {
+                GenProgram candidate = best;
+                stmtAt(candidate, addr)->imm = 1;
+                if (check(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                }
+            }
+        }
+
+        // Canonicalize operands: smaller selectors and immediates
+        // make the corpus entry easier to read and diff.
+        for (const Addr &addr : collectAddrs(best)) {
+            const GenStmt *s = stmtAt(best, addr);
+            if (!s)
+                continue;
+            for (auto field : {&GenStmt::a, &GenStmt::b, &GenStmt::c}) {
+                if (s->*field == 0)
+                    continue;
+                GenProgram candidate = best;
+                stmtAt(candidate, addr)->*field = 0;
+                if (check(candidate)) {
+                    best = std::move(candidate);
+                    changed = true;
+                    s = stmtAt(best, addr);
+                }
+            }
+            if (s->imm != 0 && s->imm != 1) {
+                for (int64_t target : {int64_t{0}, int64_t{1}}) {
+                    GenProgram candidate = best;
+                    stmtAt(candidate, addr)->imm = target;
+                    if (check(candidate)) {
+                        best = std::move(candidate);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    st.stmtsAfter = best.countStmts();
+    return best;
+}
+
+} // namespace aregion::testing

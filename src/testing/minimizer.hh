@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic structural test-case minimizer.
+ *
+ * Shrinks a diverging GenProgram while a caller-supplied predicate
+ * ("still diverges") keeps holding. Because GenStmt operands are
+ * abstract pool indices resolved modulo the live pool size, every
+ * structural edit still renders to a valid program, so the minimizer
+ * can freely delete statements, drop helpers, hoist loop bodies, and
+ * zero operands without a validity oracle.
+ *
+ * All passes are greedy and ordered, so minimization is a pure
+ * function of (input, predicate): re-running it on a corpus entry
+ * reproduces the same minimal form byte-for-byte.
+ */
+
+#ifndef AREGION_TESTING_MINIMIZER_HH
+#define AREGION_TESTING_MINIMIZER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "testing/random_program.hh"
+
+namespace aregion::testing {
+
+using Predicate = std::function<bool(const GenProgram &)>;
+
+struct MinimizeStats
+{
+    size_t stmtsBefore = 0;
+    size_t stmtsAfter = 0;
+    size_t predicateCalls = 0;
+    int rounds = 0;
+};
+
+/**
+ * Shrink `gp` to a local minimum under `still_fails`.
+ * @pre still_fails(gp) is true (checked; returned unchanged if not).
+ */
+GenProgram minimizeProgram(const GenProgram &gp,
+                           const Predicate &still_fails,
+                           MinimizeStats *stats = nullptr);
+
+} // namespace aregion::testing
+
+#endif // AREGION_TESTING_MINIMIZER_HH

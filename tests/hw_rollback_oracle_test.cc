@@ -217,89 +217,111 @@ TEST_F(RollbackOracleTest, OracleTracksBeginAbortPairing)
 }
 
 /** Forced assert failpoints surface as explicit aborts with the
- *  payload id recorded per region, like a real compiler assert. */
+ *  payload id recorded per region, like a real compiler assert.
+ *  Whether a given generated program enters regions depends on the
+ *  generator's evolution, so scan seeds until the injection fires. */
 TEST_F(RollbackOracleTest, InjectedAssertsLookExplicit)
 {
-    const Program prog = RandomProgramGen(2).generate();
-    Interpreter ref(prog);
-    ASSERT_TRUE(ref.run().completed);
-    const auto mp = compileToMachine(prog);
+    bool fired = false;
+    for (uint64_t seed = 1; seed <= 30 && !fired; ++seed) {
+        const Program prog = RandomProgramGen(seed).generate();
+        Interpreter ref(prog);
+        ASSERT_TRUE(ref.run().completed) << "seed " << seed;
+        const auto mp = compileToMachine(prog);
 
-    const OracleRun run =
-        runWithOracle(mp, "machine.assert:n2=931", 7, hw::HwConfig{});
-    ASSERT_TRUE(run.result.completed);
-    EXPECT_EQ(run.result.output, ref.output());
-    EXPECT_TRUE(run.divergences.empty());
-    ASSERT_GT(run.result.injectedAsserts, 0u);
+        const OracleRun run = runWithOracle(
+            mp, "machine.assert:n2=931", 7, hw::HwConfig{});
+        ASSERT_TRUE(run.result.completed) << "seed " << seed;
+        EXPECT_EQ(run.result.output, ref.output()) << "seed " << seed;
+        EXPECT_TRUE(run.divergences.empty()) << "seed " << seed;
+        if (run.result.injectedAsserts == 0)
+            continue;
+        fired = true;
 
-    uint64_t explicit_aborts = 0;
-    uint64_t by_id = 0;
-    for (const auto &[key, stats] : run.result.regions) {
-        explicit_aborts += stats.abortsByCause[static_cast<int>(
-            hw::AbortCause::Explicit)];
-        const auto it = stats.abortsByAssert.find(931);
-        if (it != stats.abortsByAssert.end())
-            by_id += it->second;
+        uint64_t explicit_aborts = 0;
+        uint64_t by_id = 0;
+        for (const auto &[key, stats] : run.result.regions) {
+            explicit_aborts += stats.abortsByCause[static_cast<int>(
+                hw::AbortCause::Explicit)];
+            const auto it = stats.abortsByAssert.find(931);
+            if (it != stats.abortsByAssert.end())
+                by_id += it->second;
+        }
+        EXPECT_EQ(explicit_aborts, run.result.injectedAsserts);
+        EXPECT_EQ(by_id, run.result.injectedAsserts);
     }
-    EXPECT_EQ(explicit_aborts, run.result.injectedAsserts);
-    EXPECT_EQ(by_id, run.result.injectedAsserts);
+    EXPECT_TRUE(fired) << "no seed in range enters a region";
 }
 
 /** Injected interrupts are indistinguishable from timer aborts in
  *  the cause register and leave no architectural residue. */
 TEST_F(RollbackOracleTest, InjectedInterruptsAbortAsInterrupts)
 {
-    const Program prog = RandomProgramGen(4).generate();
-    Interpreter ref(prog);
-    ASSERT_TRUE(ref.run().completed);
-    const auto mp = compileToMachine(prog);
+    bool fired = false;
+    for (uint64_t seed = 1; seed <= 30 && !fired; ++seed) {
+        const Program prog = RandomProgramGen(seed).generate();
+        Interpreter ref(prog);
+        ASSERT_TRUE(ref.run().completed) << "seed " << seed;
+        const auto mp = compileToMachine(prog);
 
-    const OracleRun run =
-        runWithOracle(mp, "machine.interrupt:p0.1", 3, hw::HwConfig{});
-    ASSERT_TRUE(run.result.completed);
-    EXPECT_EQ(run.result.output, ref.output());
-    EXPECT_TRUE(run.divergences.empty());
-    ASSERT_GT(run.result.injectedInterrupts, 0u);
+        const OracleRun run = runWithOracle(
+            mp, "machine.interrupt:p0.1", 3, hw::HwConfig{});
+        ASSERT_TRUE(run.result.completed) << "seed " << seed;
+        EXPECT_EQ(run.result.output, ref.output()) << "seed " << seed;
+        EXPECT_TRUE(run.divergences.empty()) << "seed " << seed;
+        if (run.result.injectedInterrupts == 0)
+            continue;
+        fired = true;
 
-    uint64_t interrupt_aborts = 0;
-    for (const auto &[key, stats] : run.result.regions) {
-        interrupt_aborts += stats.abortsByCause[static_cast<int>(
-            hw::AbortCause::Interrupt)];
+        uint64_t interrupt_aborts = 0;
+        for (const auto &[key, stats] : run.result.regions) {
+            interrupt_aborts += stats.abortsByCause[static_cast<int>(
+                hw::AbortCause::Interrupt)];
+        }
+        EXPECT_GE(interrupt_aborts, run.result.injectedInterrupts);
     }
-    EXPECT_GE(interrupt_aborts, run.result.injectedInterrupts);
+    EXPECT_TRUE(fired) << "no seed in range enters a region";
 }
 
 /** Capacity squeezes convert into genuine overflow aborts. */
 TEST_F(RollbackOracleTest, InjectedCapacityForcesOverflow)
 {
-    const Program prog = RandomProgramGen(6).generate();
-    Interpreter ref(prog);
-    ASSERT_TRUE(ref.run().completed);
-    const auto mp = compileToMachine(prog);
+    bool forced = false;
+    for (uint64_t seed = 1; seed <= 30 && !forced; ++seed) {
+        RandomProgramGen gen(seed);
+        gen.withObjects = true;     // heap traffic -> wide footprints
+        const Program prog = gen.generate();
+        Interpreter ref(prog);
+        ASSERT_TRUE(ref.run().completed) << "seed " << seed;
+        const auto mp = compileToMachine(prog);
 
-    const OracleRun baseline =
-        runWithOracle(mp, "", 0, hw::HwConfig{});
-    ASSERT_TRUE(baseline.result.completed);
-    uint64_t base_overflow = 0;
-    for (const auto &[key, stats] : baseline.result.regions) {
-        base_overflow += stats.abortsByCause[static_cast<int>(
-            hw::AbortCause::Overflow)];
+        const OracleRun baseline =
+            runWithOracle(mp, "", 0, hw::HwConfig{});
+        ASSERT_TRUE(baseline.result.completed) << "seed " << seed;
+        uint64_t base_overflow = 0;
+        for (const auto &[key, stats] : baseline.result.regions) {
+            base_overflow += stats.abortsByCause[static_cast<int>(
+                hw::AbortCause::Overflow)];
+        }
+
+        // Squeeze every region to a 2-line budget.
+        const OracleRun run = runWithOracle(
+            mp, "machine.capacity:p1=2", 5, hw::HwConfig{});
+        ASSERT_TRUE(run.result.completed) << "seed " << seed;
+        EXPECT_EQ(run.result.output, ref.output()) << "seed " << seed;
+        EXPECT_TRUE(run.divergences.empty()) << "seed " << seed;
+        if (run.result.injectedCapacity == 0)
+            continue;
+
+        uint64_t overflow_aborts = 0;
+        for (const auto &[key, stats] : run.result.regions) {
+            overflow_aborts += stats.abortsByCause[static_cast<int>(
+                hw::AbortCause::Overflow)];
+        }
+        forced = overflow_aborts > base_overflow;
     }
-
-    // Squeeze every region to a 2-line budget.
-    const OracleRun run = runWithOracle(mp, "machine.capacity:p1=2",
-                                        5, hw::HwConfig{});
-    ASSERT_TRUE(run.result.completed);
-    EXPECT_EQ(run.result.output, ref.output());
-    EXPECT_TRUE(run.divergences.empty());
-    ASSERT_GT(run.result.injectedCapacity, 0u);
-
-    uint64_t overflow_aborts = 0;
-    for (const auto &[key, stats] : run.result.regions) {
-        overflow_aborts += stats.abortsByCause[static_cast<int>(
-            hw::AbortCause::Overflow)];
-    }
-    EXPECT_GT(overflow_aborts, base_overflow);
+    EXPECT_TRUE(forced)
+        << "no seed in range converts a squeeze into overflow";
 }
 
 /**

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Wraparound/tombstone stress tests for the machine's epoch-tagged
+ * speculative-state containers (hw/spec_state.hh) and for the timing
+ * model's 32-bit ring offsets near the rebaseRings boundary
+ * (hw/timing.cc).
+ *
+ * A full machine run rarely reaches these corners: the store buffer
+ * seldom grows mid-epoch, probe chains seldom wrap the table mask,
+ * and a natural ring rebase needs 2^32 simulated cycles. Here the
+ * containers are driven directly, and the rebase path is forced with
+ * the TimingConfig::startCycle knob — the model is shift-invariant,
+ * so a run started just below the 32-bit boundary must reproduce the
+ * zero-start run exactly, offset by the start cycle.
+ */
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hw/spec_state.hh"
+#include "hw/timing.hh"
+
+using namespace aregion::hw;
+
+namespace {
+
+/** Addresses whose home slot is `slot` in a table of size 2^bits. */
+std::vector<uint64_t>
+addrsForSlot(uint64_t slot, int bits, size_t count)
+{
+    const uint64_t mask = (1ull << bits) - 1;
+    std::vector<uint64_t> out;
+    for (uint64_t a = 1; out.size() < count; ++a) {
+        if ((specHashMix(a) & mask) == slot)
+            out.push_back(a);
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// StoreBuffer
+// ---------------------------------------------------------------
+
+TEST(StoreBuffer, ProbeWrapsAroundMaskBoundary)
+{
+    StoreBuffer sb;
+    sb.init(8);
+    sb.beginEpoch();
+
+    // Four addresses all hashing to the last slot: the probe chain
+    // must wrap 7 -> 0 -> 1 -> 2 and stay findable.
+    const std::vector<uint64_t> addrs = addrsForSlot(7, 3, 4);
+    for (size_t i = 0; i < addrs.size(); ++i)
+        sb.put(addrs[i], static_cast<int64_t>(100 + i));
+
+    for (size_t i = 0; i < addrs.size(); ++i) {
+        const int64_t *v = sb.lookup(addrs[i]);
+        ASSERT_NE(v, nullptr) << "addr " << addrs[i];
+        EXPECT_EQ(*v, static_cast<int64_t>(100 + i));
+    }
+
+    // Overwrite through the wrapped chain.
+    sb.put(addrs.back(), -7);
+    EXPECT_EQ(*sb.lookup(addrs.back()), -7);
+    EXPECT_EQ(*sb.lookup(addrs.front()), 100);
+}
+
+TEST(StoreBuffer, GrowMidEpochPreservesLiveEntries)
+{
+    StoreBuffer sb;
+    sb.init(8);
+    sb.beginEpoch();
+
+    // 200 distinct addresses force several doublings (grow fires
+    // above 3/4 load). Every entry must survive each rehash.
+    for (uint64_t a = 1; a <= 200; ++a)
+        sb.put(a * 0x10001ull, static_cast<int64_t>(a));
+
+    EXPECT_GE(sb.slots.size(), 256u);
+    EXPECT_EQ(sb.live.size(), 200u);
+    for (uint64_t a = 1; a <= 200; ++a) {
+        const int64_t *v = sb.lookup(a * 0x10001ull);
+        ASSERT_NE(v, nullptr) << "addr " << a * 0x10001ull;
+        EXPECT_EQ(*v, static_cast<int64_t>(a));
+    }
+    EXPECT_EQ(sb.lookup(0xdeadull), nullptr);
+}
+
+TEST(StoreBuffer, StaleEpochSlotsActAsTombstones)
+{
+    StoreBuffer sb;
+    sb.init(8);
+    sb.beginEpoch();
+
+    const std::vector<uint64_t> addrs = addrsForSlot(7, 3, 3);
+    for (uint64_t a : addrs)
+        sb.put(a, 1);
+
+    // New epoch: the old chain is dead, and a fresh entry claiming
+    // the home slot must not resurrect the stale tail behind it.
+    sb.beginEpoch();
+    sb.put(addrs[0], 2);
+    EXPECT_EQ(*sb.lookup(addrs[0]), 2);
+    EXPECT_EQ(sb.lookup(addrs[1]), nullptr);
+    EXPECT_EQ(sb.lookup(addrs[2]), nullptr);
+
+    // The stale slots are reusable storage for this epoch.
+    sb.put(addrs[1], 3);
+    EXPECT_EQ(*sb.lookup(addrs[1]), 3);
+    EXPECT_EQ(sb.lookup(addrs[2]), nullptr);
+}
+
+TEST(StoreBuffer, RandomizedModelCheckAcrossEpochs)
+{
+    StoreBuffer sb;
+    sb.init(8);
+
+    std::mt19937_64 rng(0xA11CE5ull);
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        sb.beginEpoch();
+        std::unordered_map<uint64_t, int64_t> model;
+        const int writes = 1 + static_cast<int>(rng() % 120);
+        for (int i = 0; i < writes; ++i) {
+            // Small address space -> heavy collisions and frequent
+            // same-address overwrites.
+            const uint64_t addr = rng() % 64;
+            const int64_t value = static_cast<int64_t>(rng());
+            sb.put(addr, value);
+            model[addr] = value;
+        }
+        for (uint64_t addr = 0; addr < 64; ++addr) {
+            const int64_t *v = sb.lookup(addr);
+            auto it = model.find(addr);
+            if (it == model.end()) {
+                EXPECT_EQ(v, nullptr) << "epoch " << epoch
+                                      << " addr " << addr;
+            } else {
+                ASSERT_NE(v, nullptr) << "epoch " << epoch
+                                      << " addr " << addr;
+                EXPECT_EQ(*v, it->second);
+            }
+        }
+        // `live` holds exactly the distinct addresses written.
+        EXPECT_EQ(sb.live.size(), model.size());
+        std::unordered_set<uint64_t> live_addrs;
+        for (uint32_t idx : sb.live)
+            live_addrs.insert(sb.slots[idx].addr);
+        EXPECT_EQ(live_addrs.size(), model.size());
+    }
+}
+
+// ---------------------------------------------------------------
+// LineSet
+// ---------------------------------------------------------------
+
+TEST(LineSet, WrappedChainAtFixedCapacity)
+{
+    // Machine geometry: l1Lines=16 -> capacity next_pow2(32) = 32,
+    // and the overflow abort bounds the set to 16 members (half
+    // load). Fill to that bound with lines homing to the last slot.
+    LineSet ls;
+    ls.init(32);
+    ls.beginEpoch();
+
+    const std::vector<uint64_t> lines = addrsForSlot(31, 5, 16);
+    for (uint64_t l : lines)
+        ls.insert(l);
+    EXPECT_EQ(ls.size(), 16u);
+    for (uint64_t l : lines)
+        EXPECT_TRUE(ls.contains(l)) << "line " << l;
+    EXPECT_FALSE(ls.contains(lines.back() + 1));
+
+    // Duplicate inserts stay idempotent even through the wrap.
+    for (uint64_t l : lines)
+        ls.insert(l);
+    EXPECT_EQ(ls.size(), 16u);
+}
+
+TEST(LineSet, EpochResetAndZeroKey)
+{
+    LineSet ls;
+    ls.init(32);
+    ls.beginEpoch();
+
+    // Line 0 aliases the zero-initialized key array; only the epoch
+    // tag distinguishes "present" from "never written".
+    EXPECT_FALSE(ls.contains(0));
+    ls.insert(0);
+    EXPECT_TRUE(ls.contains(0));
+    ls.insert(5);
+    EXPECT_EQ(ls.size(), 2u);
+
+    ls.beginEpoch();
+    EXPECT_FALSE(ls.contains(0));
+    EXPECT_FALSE(ls.contains(5));
+    EXPECT_EQ(ls.size(), 0u);
+    ls.insert(5);
+    EXPECT_TRUE(ls.contains(5));
+    EXPECT_EQ(ls.size(), 1u);
+}
+
+TEST(LineSet, RandomizedModelCheckAcrossEpochs)
+{
+    LineSet ls;
+    ls.init(32);
+    std::mt19937_64 rng(0xBEEFull);
+    for (int epoch = 0; epoch < 50; ++epoch) {
+        ls.beginEpoch();
+        std::unordered_set<uint64_t> model;
+        // At most 16 distinct lines: the machine's overflow abort
+        // keeps the set at half load, mirrored here.
+        while (model.size() < 16) {
+            const uint64_t line = rng() % 24;
+            ls.insert(line);
+            model.insert(line);
+        }
+        for (uint64_t line = 0; line < 24; ++line)
+            EXPECT_EQ(ls.contains(line), model.count(line) > 0)
+                << "epoch " << epoch << " line " << line;
+        EXPECT_EQ(ls.size(), model.size());
+    }
+}
+
+// ---------------------------------------------------------------
+// SetOccupancy
+// ---------------------------------------------------------------
+
+TEST(SetOccupancy, LazyPerSetEpochReset)
+{
+    SetOccupancy occ;
+    occ.init(4);
+    occ.beginEpoch();
+    EXPECT_EQ(occ.increment(2), 1);
+    EXPECT_EQ(occ.increment(2), 2);
+    EXPECT_EQ(occ.increment(0), 1);
+
+    // Set 2's stale count must not leak into the new epoch, even
+    // though beginEpoch never touches the per-set arrays.
+    occ.beginEpoch();
+    EXPECT_EQ(occ.increment(2), 1);
+    EXPECT_EQ(occ.increment(3), 1);
+    EXPECT_EQ(occ.increment(2), 2);
+}
+
+// ---------------------------------------------------------------
+// Timing rings near the rebase boundary
+// ---------------------------------------------------------------
+
+namespace {
+
+/** One scripted timing-model event. */
+struct Ev
+{
+    enum Kind { Uop, Abort, Marker } kind = Uop;
+    TraceUop u;
+    AbortEvent abort{AbortCause::Explicit, 0, 0};
+    int64_t marker = 0;
+};
+
+/**
+ * Deterministic synthetic trace exercising every model path: all
+ * latency classes, dependences across the HIST window, branch and
+ * indirect mispredicts, serializing ops, region begin/end/abort,
+ * and periodic markers.
+ */
+std::vector<Ev>
+makeScript(size_t n)
+{
+    std::vector<Ev> script;
+    script.reserve(n + n / 500);
+    std::mt19937_64 rng(0x5EEDull);
+    uint64_t seq = 0;
+    bool open = false;
+    for (size_t i = 0; i < n; ++i) {
+        Ev ev;
+        TraceUop &u = ev.u;
+        u.seq = ++seq;
+        const uint64_t r = rng();
+        switch (r % 16) {
+          case 6:
+            u.lat = LatClass::Mul;
+            break;
+          case 7:
+            u.lat = LatClass::Div;
+            break;
+          case 8:
+          case 9:
+          case 10:
+            u.lat = LatClass::Load;
+            u.isLoad = true;
+            break;
+          case 11:
+          case 12:
+            u.lat = LatClass::Store;
+            u.isStore = true;
+            break;
+          case 13:
+          case 14:
+            u.lat = LatClass::Branch;
+            u.isBranch = true;
+            u.taken = (r >> 20) & 1;
+            break;
+          case 15:
+            u.lat = LatClass::Serial;
+            u.serializing = true;
+            u.isStore = true;
+            break;
+          default:
+            u.lat = LatClass::Int;
+            break;
+        }
+        if (u.isLoad || u.isStore) {
+            // Hot set plus a streaming tail for L1/L2 misses.
+            u.memAddr = (r >> 8) % 3 == 0
+                ? (r >> 16) % 64
+                : 4096 + (static_cast<uint64_t>(i) * 8) % 300000;
+        }
+        u.pc = static_cast<uint32_t>((r >> 32) % 509);
+        if (!u.isBranch && r % 97 == 0) {
+            u.indirect = true;
+            u.targetPc = static_cast<uint32_t>((r >> 40) % 31);
+        }
+        u.numSrcs = static_cast<int8_t>(r % 3);
+        for (int s = 0; s < u.numSrcs; ++s) {
+            const uint64_t back = 1 + (rng() % 9000);  // spans HIST
+            u.srcSeq[s] = seq > back ? seq - back : 0;
+        }
+        if (!open && r % 61 == 0) {
+            u.region = RegionEvent::Begin;
+            u.regionId = 1;
+            open = true;
+        } else if (open && r % 41 == 0) {
+            u.region = RegionEvent::End;
+            u.regionId = 1;
+            open = false;
+        }
+        script.push_back(ev);
+        if (open && r % 577 == 0) {
+            Ev ab;
+            ab.kind = Ev::Abort;
+            ab.abort = {AbortCause::Conflict, 5, 0};
+            script.push_back(ab);
+            open = false;
+        }
+        if (i % 1000 == 999) {
+            Ev mk;
+            mk.kind = Ev::Marker;
+            mk.marker = static_cast<int64_t>(i);
+            script.push_back(mk);
+        }
+    }
+    return script;
+}
+
+struct RunResult
+{
+    uint64_t cycles = 0;
+    uint64_t rebases = 0;
+    std::vector<uint64_t> counters;
+    std::vector<std::pair<int64_t, uint64_t>> markers;
+};
+
+RunResult
+runScript(const std::vector<Ev> &script, uint64_t start_cycle)
+{
+    TimingConfig cfg = TimingConfig::singleInflight();
+    cfg.startCycle = start_cycle;
+    TimingModel model(cfg);
+    for (const Ev &ev : script) {
+        switch (ev.kind) {
+          case Ev::Uop:
+            model.uop(ev.u);
+            break;
+          case Ev::Abort:
+            model.abortFlush(ev.abort);
+            break;
+          case Ev::Marker:
+            model.marker(ev.marker);
+            break;
+        }
+    }
+    RunResult res;
+    res.cycles = model.cycles();
+    res.rebases = model.ringRebases;
+    res.counters = {model.uopCount,         model.branches,
+                    model.mispredicts,      model.indirects,
+                    model.indirectMispredicts,
+                    model.serializations,   model.regionBegins,
+                    model.abortFlushes,     model.stallRob,
+                    model.stallSched,       model.stallFetch,
+                    model.stallSerial,      model.stallRegion,
+                    model.l1Misses(),       model.l2Misses()};
+    res.markers = model.markerCycles;
+    return res;
+}
+
+void
+expectShifted(const RunResult &base, const RunResult &shifted,
+              uint64_t shift)
+{
+    EXPECT_EQ(shifted.cycles - base.cycles, shift);
+    EXPECT_EQ(shifted.counters, base.counters);
+    ASSERT_EQ(shifted.markers.size(), base.markers.size());
+    for (size_t i = 0; i < base.markers.size(); ++i) {
+        EXPECT_EQ(shifted.markers[i].first, base.markers[i].first);
+        EXPECT_EQ(shifted.markers[i].second - base.markers[i].second,
+                  shift)
+            << "marker " << base.markers[i].first;
+    }
+}
+
+} // namespace
+
+TEST(TimingRings, RebaseWithLiveEntriesIsShiftExact)
+{
+    // Start just below the 32-bit offset boundary: the rings fill
+    // with offsets near 0xffffffff, then the first completion past
+    // the boundary rebases while HIST live entries are in flight.
+    // Shift-invariance of the model makes the zero-start run the
+    // oracle: every cycle observable must differ by exactly the
+    // start cycle, every count must be identical.
+    const std::vector<Ev> script = makeScript(50000);
+    const RunResult base = runScript(script, 0);
+    ASSERT_EQ(base.rebases, 0u);
+
+    const uint64_t shift = (1ull << 32) - 1000;
+    const RunResult near = runScript(script, shift);
+    EXPECT_GE(near.rebases, 1u);
+    expectShifted(base, near, shift);
+}
+
+TEST(TimingRings, ImmediateRebaseFarPastBoundaryIsShiftExact)
+{
+    // Start two full wraps past the boundary: the very first uop's
+    // completion triggers a rebase against all-stale (zero) ring
+    // slots, exercising the clamp path.
+    const std::vector<Ev> script = makeScript(20000);
+    const RunResult base = runScript(script, 0);
+
+    const uint64_t shift = 1ull << 33;
+    const RunResult far = runScript(script, shift);
+    EXPECT_GE(far.rebases, 1u);
+    expectShifted(base, far, shift);
+}

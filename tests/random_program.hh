@@ -1,28 +1,29 @@
 /**
  * @file
- * Random (but always terminating and trap-free) program generator
- * for property-based testing: any optimization configuration must
- * leave the printed output unchanged.
+ * Legacy shim over the first-class generator in src/testing/.
+ *
+ * The original test-local generator was promoted to
+ * testing/random_program.hh (feature masks, trapping constructs,
+ * structural minimization). This header keeps the old call sites
+ * compiling: the legacy profiles map onto the kLegacyScalar /
+ * kLegacyObjects feature masks, which generate only terminating,
+ * trap-free, single-threaded programs — the contract the property
+ * sweeps and the rollback-oracle grid rely on.
  */
 
 #ifndef AREGION_TESTS_RANDOM_PROGRAM_HH
 #define AREGION_TESTS_RANDOM_PROGRAM_HH
 
-#include <vector>
-
-#include "support/random.hh"
-#include "vm/builder.hh"
-#include "vm/verifier.hh"
+#include "testing/random_program.hh"
 
 namespace aregion::test {
 
 using namespace aregion::vm;
 
-/** Generates structured random programs from a seed. */
 class RandomProgramGen
 {
   public:
-    explicit RandomProgramGen(uint64_t seed) : rng(seed) {}
+    explicit RandomProgramGen(uint64_t seed) : seed(seed) {}
 
     /** Enable object-oriented constructs (virtual calls, monitors,
      *  instanceof) in the generated programs. */
@@ -31,207 +32,14 @@ class RandomProgramGen
     Program
     generate()
     {
-        ProgramBuilder pb;
-        cls = pb.declareClass("Box", {"f0", "f1", "f2", "f3"});
-        if (withObjects) {
-            subA = pb.declareClass("BoxA", {}, cls);
-            subB = pb.declareClass("BoxB", {}, cls);
-            const MethodId ga = pb.declareVirtual(subA, "get", 1);
-            {
-                auto f = pb.define(ga);
-                f.ret(f.getField(f.self(), 0));
-                f.finish();
-            }
-            const MethodId gb = pb.declareVirtual(subB, "get", 1);
-            {
-                auto f = pb.define(gb);
-                const Reg v = f.getField(f.self(), 1);
-                const Reg k = f.constant(3);
-                f.ret(f.mul(v, k));
-                f.finish();
-            }
-            slotGet = pb.virtualSlot("get");
-            syncBump = pb.declareMethod("bump", 2, /*sync=*/true);
-            {
-                auto f = pb.define(syncBump);
-                const Reg t = f.getField(f.self(), 2);
-                f.putField(f.self(), 2, f.add(t, f.arg(1)));
-                f.ret(f.getField(f.self(), 2));
-                f.finish();
-            }
-        }
-
-        // A few helper methods main can call.
-        std::vector<MethodId> helpers;
-        const int num_helpers = static_cast<int>(rng.range(1, 3));
-        for (int h = 0; h < num_helpers; ++h) {
-            const MethodId m = pb.declareMethod(
-                "helper" + std::to_string(h), 2);
-            auto mb = pb.define(m);
-            std::vector<Reg> vals{mb.arg(0), mb.arg(1)};
-            emitStatements(pb, mb, vals, helpers, 4, 1);
-            mb.ret(pick(vals));
-            mb.finish();
-            helpers.push_back(m);
-        }
-
-        const MethodId mm = pb.declareMethod("main", 0);
-        auto mb = pb.define(mm);
-        std::vector<Reg> vals;
-        vals.push_back(mb.constant(rng.range(-50, 50)));
-        vals.push_back(mb.constant(rng.range(1, 100)));
-        emitStatements(pb, mb, vals, helpers, 10, 2);
-        for (Reg v : vals)
-            mb.print(v);
-        mb.retVoid();
-        mb.finish();
-        pb.setMain(mm);
-        Program prog = pb.build();
-        verifyOrDie(prog);
-        return prog;
+        const uint32_t mask = withObjects ? testing::kLegacyObjects
+                                          : testing::kLegacyScalar;
+        testing::RandomProgramGen gen(seed, mask);
+        return testing::renderProgram(gen.generate());
     }
 
   private:
-    Reg
-    pick(const std::vector<Reg> &vals)
-    {
-        return vals[rng.below(vals.size())];
-    }
-
-    /** idx <- nonneg(v) % len, always in [0, len). */
-    Reg
-    boundedIndex(MethodBuilder &mb, Reg v, Reg len)
-    {
-        const Reg r = mb.binop(Bc::Rem, v, len);
-        const Reg r2 = mb.add(r, len);
-        return mb.binop(Bc::Rem, r2, len);
-    }
-
-    void
-    emitStatements(ProgramBuilder &pb, MethodBuilder &mb,
-                   std::vector<Reg> &vals,
-                   const std::vector<MethodId> &helpers, int count,
-                   int depth)
-    {
-        for (int s = 0; s < count; ++s) {
-            const uint64_t kinds =
-                (depth > 0 ? 8u : 6u) + (withObjects ? 3u : 0u);
-            uint64_t pick_kind = rng.below(kinds);
-            if (pick_kind >= (depth > 0 ? 8u : 6u))
-                pick_kind += 8u - (depth > 0 ? 8u : 6u);
-            switch (pick_kind) {
-              case 0: {       // binop
-                static const Bc ops[] = {Bc::Add, Bc::Sub, Bc::Mul,
-                                         Bc::And, Bc::Or, Bc::Xor,
-                                         Bc::CmpLt, Bc::CmpEq};
-                const Bc op = ops[rng.below(8)];
-                vals.push_back(mb.binop(op, pick(vals), pick(vals)));
-                break;
-              }
-              case 1: {       // constant
-                vals.push_back(mb.constant(rng.range(-100, 100)));
-                break;
-              }
-              case 2: {       // array round trip with safe index
-                const Reg len = mb.constant(rng.range(2, 9));
-                const Reg arr = mb.newArray(len);
-                const Reg idx = boundedIndex(mb, pick(vals), len);
-                mb.astore(arr, idx, pick(vals));
-                vals.push_back(mb.aload(arr, idx));
-                vals.push_back(mb.alength(arr));
-                break;
-              }
-              case 3: {       // object field round trip
-                const Reg obj = mb.newObject(cls);
-                const int field = static_cast<int>(rng.below(4));
-                mb.putField(obj, field, pick(vals));
-                vals.push_back(mb.getField(obj, field));
-                break;
-              }
-              case 4: {       // if/else diamond
-                const Label els = mb.newLabel();
-                const Label done = mb.newLabel();
-                const Reg out = mb.newReg();
-                mb.branchCmp(Bc::CmpLt, pick(vals), pick(vals), els);
-                mb.mov(out, pick(vals));
-                mb.jump(done);
-                mb.bind(els);
-                mb.mov(out, pick(vals));
-                mb.bind(done);
-                vals.push_back(out);
-                break;
-              }
-              case 5: {       // call a helper
-                if (helpers.empty()) {
-                    vals.push_back(mb.constant(7));
-                } else {
-                    const MethodId callee =
-                        helpers[rng.below(helpers.size())];
-                    vals.push_back(mb.callStatic(
-                        callee, {pick(vals), pick(vals)}));
-                }
-                break;
-              }
-              case 6: {       // bounded counted loop
-                const Reg i = mb.constant(0);
-                const Reg n = mb.constant(rng.range(1, 12));
-                const Reg one = mb.constant(1);
-                const Reg acc = mb.constant(0);
-                const Label loop = mb.newLabel();
-                const Label done = mb.newLabel();
-                mb.bind(loop);
-                mb.branchCmp(Bc::CmpGe, i, n, done);
-                std::vector<Reg> inner{pick(vals), i, acc};
-                emitStatements(pb, mb, inner, helpers,
-                               static_cast<int>(rng.range(1, 3)),
-                               depth - 1);
-                mb.binopTo(Bc::Add, acc, acc, inner.back());
-                mb.binopTo(Bc::Add, i, i, one);
-                mb.jump(loop);
-                mb.bind(done);
-                vals.push_back(acc);
-                break;
-              }
-              case 7: {       // print a live value (observability)
-                mb.print(pick(vals));
-                break;
-              }
-              case 8: {       // virtual dispatch over two classes
-                const ClassId which =
-                    rng.chance(0.5) ? subA : subB;
-                const Reg obj = mb.newObject(which);
-                mb.putField(obj, 0, pick(vals));
-                mb.putField(obj, 1, pick(vals));
-                vals.push_back(mb.callVirtual(slotGet, {obj}));
-                vals.push_back(mb.instanceOf(obj, subA));
-                break;
-              }
-              case 9: {       // synchronized accumulator traffic
-                const Reg obj = mb.newObject(cls);
-                vals.push_back(
-                    mb.callStatic(syncBump, {obj, pick(vals)}));
-                vals.push_back(
-                    mb.callStatic(syncBump, {obj, pick(vals)}));
-                break;
-              }
-              case 10: {      // explicit monitor block
-                const Reg obj = mb.newObject(cls);
-                mb.monitorEnter(obj);
-                mb.putField(obj, 3, pick(vals));
-                vals.push_back(mb.getField(obj, 3));
-                mb.monitorExit(obj);
-                break;
-              }
-            }
-        }
-    }
-
-    Rng rng;
-    ClassId cls = NO_CLASS;
-    ClassId subA = NO_CLASS;
-    ClassId subB = NO_CLASS;
-    int slotGet = -1;
-    MethodId syncBump = NO_METHOD;
+    uint64_t seed;
 };
 
 } // namespace aregion::test

@@ -95,6 +95,31 @@ TEST(Registry, JsonExportIsByteStable)
     EXPECT_NE(once.find("\"spans\""), std::string::npos);
 }
 
+TEST(Registry, EmptyHistogramExportsNullNotZero)
+{
+    telemetry::Registry reg;
+    reg.histogram("h.empty");
+    reg.histogram("h.full").add(4);
+
+    // A registered-but-never-fed histogram must not masquerade as a
+    // series whose minimum is 0.0; the JSON carries nulls and the
+    // table says empty.
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"h.empty\": {\"count\": 0, "
+                        "\"mean\": null, \"min\": null, "
+                        "\"max\": null, \"p95\": null}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"h.full\": {\"count\": 1"),
+              std::string::npos);
+    EXPECT_EQ(json.find("\"h.full\": {\"count\": 1, "
+                        "\"mean\": null"),
+              std::string::npos);
+
+    const std::string table = reg.toTable();
+    EXPECT_NE(table.find("n=0 (empty)"), std::string::npos) << table;
+}
+
 TEST(Tracing, DisabledSpansAreNoOps)
 {
     telemetry::Registry reg;

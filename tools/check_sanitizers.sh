@@ -23,4 +23,12 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     ctest --test-dir "$build" --output-on-failure \
           -j "$(nproc 2>/dev/null || echo 4)" "$@"
 
-echo "check_sanitizers: tier-1 suite clean under ASan+UBSan"
+# Differential fuzz smoke (docs/FUZZING.md) under the sanitizers,
+# run explicitly so a filtered ctest invocation (-R ...) still
+# covers it: random program shapes probe the interpreter, evaluator,
+# and machine for memory errors as well as semantic drift.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    "$build/tools/fuzz_diff" --seeds 200 --masks canonical --quiet
+
+echo "check_sanitizers: tier-1 suite + fuzz smoke clean under ASan+UBSan"
