@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -124,6 +125,12 @@ class BenchReport
                                           value);
     }
 
+    /** Highest hardware-context count this run exercised; 1 (the
+     *  default) means single-context, i.e. every historical bench.
+     *  Recorded in the JSON `env` block so snapshots from contended
+     *  and uncontended runs are never conflated. */
+    void setContentionLevel(int level) { contentionLevel = level; }
+
     /** Write the JSON file when --json was given. Returns the
      *  process exit code. */
     int finish() const
@@ -137,6 +144,14 @@ class BenchReport
             return 1;
         }
         out << "{\n  \"bench\": " << telemetry::jsonQuote(name);
+        // Environment block: every export pins down the parallelism
+        // and contention it ran under, so two snapshots are only
+        // comparable when these match.
+        out << ",\n  \"env\": {\"jobs\": "
+            << parallel::configuredJobs()
+            << ", \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency()
+            << ", \"contention_level\": " << contentionLevel << "}";
         if (injectRecorded) {
             auto &fps = failpoint::Registry::global();
             out << ",\n  \"inject\": "
@@ -158,6 +173,7 @@ class BenchReport
   private:
     std::string name;
     std::string jsonPath;
+    int contentionLevel = 1;
     bool injectRecorded = false;    ///< --inject/--seed was given
     std::vector<std::pair<std::string, aregion::TextTable>> tables;
 };

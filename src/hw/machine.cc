@@ -73,8 +73,10 @@ MachineResult::outputChecksum() const
 Machine::Machine(const MachineProgram &prog, const HwConfig &config_,
                  TraceSink *sink_, uint64_t max_words)
     : mp(prog), config(config_), sink(sink_),
-      heapImpl(*prog.prog, max_words)
+      heapImpl(*prog.prog, max_words, config_.maxContexts)
 {
+    AREGION_ASSERT(config.maxContexts >= 1,
+                   "bad context capacity ", config.maxContexts);
     lineWordsU = static_cast<uint64_t>(std::max(1, config.lineWords));
     lineIsPow2 = (lineWordsU & (lineWordsU - 1)) == 0;
     for (uint64_t w = lineWordsU; w > 1; w >>= 1)
@@ -160,9 +162,11 @@ Machine::memRead(Ctx &ctx, uint64_t addr)
             return *buffered;
         // Speculative wild loads (a postdominating check may not
         // have run yet) read as zero.
-        if (!heapImpl.inBounds(addr))
-            return 0;
-        return heapImpl.load(addr);
+        const int64_t value =
+            heapImpl.inBounds(addr) ? heapImpl.load(addr) : 0;
+        if (oracle)
+            oracle->onSpecRead(ctx.id, addr, value);
+        return value;
     }
     return heapImpl.load(addr);
 }
@@ -179,6 +183,8 @@ Machine::memWrite(Ctx &ctx, uint64_t addr, int64_t value)
         return;
     }
     heapImpl.store(addr, value);
+    if (oracle)
+        oracle->onNonSpecStore(addr, value);
     signalConflicts(ctx, line);
 }
 
@@ -226,10 +232,14 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
         }
     }
     spec.active = false;
+    // Any injected commit stall belonged to the region that just
+    // died; a ContentionControl backoff may replace it below.
+    ctx.stallSteps = 0;
+    ctx.commitStalled = false;
 
     if (oracle) {
         oracle->checkAbort(ctx.id, ctxs.size(), frame.regs, frame.pc,
-                           heapImpl);
+                           heapImpl, cause);
     }
     if (config.maxConsecutiveAborts > 0 &&
         ++ctx.consecutiveAborts >= config.maxConsecutiveAborts &&
@@ -238,18 +248,28 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
         ctx.suppressedEntries = 0;
         result.livelockTrips++;
     }
+    if (contention) {
+        ctx.stallSteps = contention->onAbort(ctx.id, cause);
+        result.backoffSteps += ctx.stallSteps;
+    }
 }
 
 void
 Machine::commitRegion(Ctx &ctx)
 {
     Spec &spec = ctx.spec;
+    // Serializability check runs against the pre-drain heap: the
+    // region's reads must match the committed state it merges into.
+    if (oracle)
+        oracle->checkCommit(ctx.id, ctxs.size(), heapImpl);
     for (uint32_t idx : spec.storeBuf.live) {
         const StoreBuffer::Slot &slot = spec.storeBuf.slots[idx];
         AREGION_ASSERT(heapImpl.inBounds(slot.addr),
                        "commit of wild speculative store at ",
                        slot.addr);
         heapImpl.store(slot.addr, slot.value);
+        if (oracle)
+            oracle->onCommitStore(slot.addr, slot.value);
     }
     // Commit makes the region's writes visible: regions that started
     // after our buffered stores and read those lines must conflict.
@@ -271,8 +291,12 @@ Machine::commitRegion(Ctx &ctx)
         result.regionUopsRetired += spec.uops;
     spec.active = false;
 
+    ctx.commitStalled = false;
+
     if (oracle)
         oracle->onCommit(ctx.id);
+    if (contention)
+        contention->onCommit(ctx.id);
     // A commit proves the region can make progress: re-enable
     // speculation if the livelock guard had given up on it.
     ctx.consecutiveAborts = 0;
@@ -596,13 +620,14 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
       case MKind::Spawn: {
         if (ctx.spec.active)
             throw RegionAbort{AbortCause::Io, -1};
-        AREGION_ASSERT(ctxs.size() < layout::MAX_THREADS,
+        AREGION_ASSERT(ctxs.size() <
+                           static_cast<size_t>(config.maxContexts),
                        "context limit exceeded");
         std::vector<int64_t> &argv = ctx.argScratch;
         argv.clear();
         for (MReg r : uop.srcs)
             argv.push_back(reg(r));
-        // ctxs is reserved to MAX_THREADS up front, so this never
+        // ctxs is reserved to maxContexts up front, so this never
         // reallocates under the live `ctx`/`frame` references.
         ctxs.emplace_back();
         Ctx &fresh = ctxs.back();
@@ -677,6 +702,29 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
       case MKind::AEnd:
         AREGION_ASSERT(ctx.spec.active,
                        "aregion_end without begin");
+        if (injectOn) {
+            // Injected commit latency: hold the region open for a
+            // stall (payload = steps; default one quantum) before
+            // re-executing this AEnd, so other contexts commit or
+            // conflict into the window. One draw per region.
+            if (fpCommitStall && !ctx.commitStalled) {
+                ctx.commitStalled = true;
+                if (fpCommitStall->evaluate()) {
+                    result.injectedCommitStalls++;
+                    const int64_t steps = fpCommitStall->value();
+                    ctx.stallSteps =
+                        steps > 0 ? static_cast<uint64_t>(steps)
+                                  : config.quantum;
+                    return;     // pc unchanged; AEnd retries
+                }
+            }
+            // Forced conflict: the commit point loses an ownership
+            // race that real contention would have produced.
+            if (fpConflict && fpConflict->evaluate()) {
+                result.injectedConflicts++;
+                throw RegionAbort{AbortCause::Conflict, -1};
+            }
+        }
         t.region = RegionEvent::End;
         t.regionId = uop.aux;
         frame.pc = next_pc;
@@ -699,7 +747,9 @@ Machine::execute(Ctx &ctx, const MUop &uop, uint64_t pc)
 void
 Machine::step(Ctx &ctx)
 {
-    // Asynchronous conflict aborts land between instructions.
+    // Asynchronous conflict aborts land between instructions — and
+    // take priority over stalls, so a conflict arriving while a
+    // commit is artificially held open kills the region.
     if (ctx.pendingAbort) {
         const AbortCause cause = *ctx.pendingAbort;
         ctx.pendingAbort.reset();
@@ -708,6 +758,17 @@ Machine::step(Ctx &ctx)
                     globalPc(ctx.top().fn->methodId, ctx.top().pc));
             return;
         }
+    }
+
+    // Stalled (injected commit latency or contention backoff): burn
+    // the step. It counts as machine progress so the deadlock
+    // detector and the uop budget both see the stall, but it does
+    // not tick the interrupt clock or the executed-uop counters.
+    if (ctx.stallSteps > 0) {
+        --ctx.stallSteps;
+        ++machineUops;
+        result.allContextUops++;
+        return;
     }
 
     Frame &frame = ctx.top();
@@ -792,9 +853,15 @@ Machine::publishTelemetry()
                 result.injectedInterrupts);
         reg.add(keys::kMachineInjectCapacity, result.injectedCapacity);
         reg.add(keys::kMachineInjectAssert, result.injectedAsserts);
+        reg.add(keys::kMachineInjectConflict,
+                result.injectedConflicts);
+        reg.add(keys::kMachineInjectCommitStall,
+                result.injectedCommitStalls);
         reg.add(keys::kMachineInjectTotal,
                 result.injectedInterrupts + result.injectedCapacity +
-                    result.injectedAsserts);
+                    result.injectedAsserts +
+                    result.injectedConflicts +
+                    result.injectedCommitStalls);
     }
     if (config.maxConsecutiveAborts > 0) {
         reg.add(keys::kMachineSpecSuppressed,
@@ -841,16 +908,20 @@ Machine::run(uint64_t max_uops)
         fpInterrupt = fps.find(failpoint::kMachineInterrupt);
         fpCapacity = fps.find(failpoint::kMachineCapacity);
         fpAssert = fps.find(failpoint::kMachineAssert);
+        fpConflict = fps.find(failpoint::kMachineConflict);
+        fpCommitStall = fps.find(failpoint::kMachineCommitStall);
     } else {
         fpInterrupt = fpCapacity = fpAssert = nullptr;
+        fpConflict = fpCommitStall = nullptr;
     }
-    injectOn = fpInterrupt || fpCapacity || fpAssert;
+    injectOn = fpInterrupt || fpCapacity || fpAssert || fpConflict ||
+               fpCommitStall;
 
     result = MachineResult{};
     ctxs.clear();
     // Spawn pushes new contexts while references into `ctxs` are
     // live, so the vector must never reallocate mid-run.
-    ctxs.reserve(layout::MAX_THREADS);
+    ctxs.reserve(static_cast<size_t>(config.maxContexts));
     machineUops = 0;
     tracedSeq = 0;
     interruptCountdown = config.interruptPeriod;
@@ -864,6 +935,9 @@ Machine::run(uint64_t max_uops)
     ctxs[0].id = 0;
     initCtx(ctxs[0]);
     invoke(ctxs[0], mp.prog->mainMethod, nullptr, 0, NO_MREG, 0);
+
+    if (oracle)
+        oracle->onRunStart(heapImpl);
 
     try {
         while (!ctxs[0].finished && machineUops < max_uops) {

@@ -46,6 +46,28 @@ namespace aregion::hw {
 
 class RollbackOracle;
 
+/**
+ * Contention-control hook (runtime/resilience.hh implements it):
+ * consulted after every abort for a backoff stall and informed of
+ * every commit so fairness windows can reset. Attach-only, like
+ * RollbackOracle; nullptr (the default) is fully inert. The machine
+ * serializes all calls (contexts are stepped round-robin on one host
+ * thread), so implementations need no locking of their own.
+ */
+class ContentionControl
+{
+  public:
+    virtual ~ContentionControl() = default;
+
+    /** The abort handler for `ctx_id` just ran; return how many
+     *  scheduler steps the context must stall before resuming on the
+     *  alternate path (0 = no backoff). */
+    virtual uint64_t onAbort(int ctx_id, AbortCause cause) = 0;
+
+    /** A region of `ctx_id` committed. */
+    virtual void onCommit(int ctx_id) = 0;
+};
+
 /** Architectural (functional) hardware parameters. */
 struct HwConfig
 {
@@ -60,6 +82,16 @@ struct HwConfig
 
     /** Scheduler quantum (uops) per context. */
     uint64_t quantum = 50;
+
+    /**
+     * Hardware context (thread) capacity. Sizes the heap's
+     * yield-flag block, so raising it shifts every heap address —
+     * the default mirrors the interpreter's layout::MAX_THREADS to
+     * keep the historical memory map (and therefore all timing
+     * figures) byte-identical. The contention harness raises it to
+     * run up to 32 worker contexts.
+     */
+    int maxContexts = vm::layout::MAX_THREADS;
 
     /**
      * Livelock guard: after this many consecutive aborts on one
@@ -130,6 +162,11 @@ struct MachineResult
     uint64_t injectedInterrupts = 0;
     uint64_t injectedCapacity = 0;  ///< regions squeezed at begin
     uint64_t injectedAsserts = 0;
+    uint64_t injectedConflicts = 0;     ///< forced at aregion_end
+    uint64_t injectedCommitStalls = 0;  ///< commits held open
+
+    /** Scheduler steps burned in ContentionControl backoff stalls. */
+    uint64_t backoffSteps = 0;
 
     /** Livelock guard (`HwConfig::maxConsecutiveAborts`). */
     uint64_t specSuppressedEntries = 0; ///< begins run non-speculatively
@@ -164,6 +201,10 @@ class Machine
      *  harness only: snapshots the heap at every region entry. Must
      *  outlive run(); nullptr (the default) is fully inert. */
     void setOracle(RollbackOracle *o) { oracle = o; }
+
+    /** Attach a contention controller (runtime/resilience.hh). Same
+     *  lifetime contract as setOracle; nullptr is inert. */
+    void setContentionControl(ContentionControl *c) { contention = c; }
 
   private:
     struct Frame
@@ -220,6 +261,14 @@ class Machine
         uint64_t consecutiveAborts = 0;
         uint64_t suppressedEntries = 0;     ///< probe counter
         bool specSuppressed = false;
+
+        /** Scheduler steps this context must burn before executing
+         *  again: an injected commit stall (machine.commit_stall)
+         *  or a ContentionControl backoff. */
+        uint64_t stallSteps = 0;
+        /** The open region already drew its commit-stall; AEnd
+         *  re-executes after the stall without re-drawing. */
+        bool commitStalled = false;
 
         Frame &top() { return stack[depth - 1]; }
     };
@@ -306,6 +355,7 @@ class Machine
     HwConfig config;
     TraceSink *sink;
     RollbackOracle *oracle = nullptr;
+    ContentionControl *contention = nullptr;
 
     /** Failpoint handles, resolved once per run() so the armed case
      *  costs a pointer test per hook and the unarmed case costs the
@@ -314,6 +364,8 @@ class Machine
     failpoint::Failpoint *fpInterrupt = nullptr;
     failpoint::Failpoint *fpCapacity = nullptr;
     failpoint::Failpoint *fpAssert = nullptr;
+    failpoint::Failpoint *fpConflict = nullptr;
+    failpoint::Failpoint *fpCommitStall = nullptr;
 
     vm::Heap heapImpl;
     std::vector<Ctx> ctxs;

@@ -18,6 +18,87 @@ RollbackOracle::slot(int ctx_id)
 }
 
 void
+RollbackOracle::report(int ctx_id, std::string what)
+{
+    if (replayValid) {
+        std::ostringstream os;
+        os << " [seed=" << replaySeed << " ctx=" << ctx_id
+           << "; replay: " << replayCommand << "]";
+        what += os.str();
+    }
+    found.push_back({ctx_id, std::move(what)});
+}
+
+void
+RollbackOracle::setReplayInfo(uint64_t seed, std::string command)
+{
+    replayValid = true;
+    replaySeed = seed;
+    replayCommand = std::move(command);
+}
+
+int64_t
+RollbackOracle::shadowAt(uint64_t addr) const
+{
+    if (addr < layout::POISON_WORDS)
+        return 0;
+    const uint64_t idx = addr - layout::POISON_WORDS;
+    return idx < shadow.size() ? shadow[idx] : 0;
+}
+
+void
+RollbackOracle::shadowStore(uint64_t addr, int64_t value)
+{
+    if (addr < layout::POISON_WORDS)
+        return;
+    const uint64_t idx = addr - layout::POISON_WORDS;
+    if (idx >= shadow.size())
+        shadow.resize(idx + 1, 0);
+    shadow[idx] = value;
+}
+
+void
+RollbackOracle::onRunStart(const vm::Heap &heap)
+{
+    shadowActive = true;
+    // Mirror whatever the heap already holds (vtable/subtype
+    // metadata, yield flags; allocMark == heapBase at run start).
+    shadow.assign(heap.allocMark() - layout::POISON_WORDS, 0);
+    for (uint64_t a = layout::POISON_WORDS; a < heap.allocMark(); ++a)
+        shadow[a - layout::POISON_WORDS] = heap.load(a);
+}
+
+void
+RollbackOracle::onNonSpecStore(uint64_t addr, int64_t value)
+{
+    if (shadowActive)
+        shadowStore(addr, value);
+}
+
+void
+RollbackOracle::onCommitStore(uint64_t addr, int64_t value)
+{
+    if (shadowActive)
+        shadowStore(addr, value);
+}
+
+void
+RollbackOracle::onSpecRead(int ctx_id, uint64_t addr, int64_t value)
+{
+    if (!shadowActive)
+        return;
+    Snapshot &snap = slot(ctx_id);
+    if (!snap.valid || snap.readLogOverflow)
+        return;
+    if (snap.readLog.size() >= kReadLogCap) {
+        snap.readLogOverflow = true;
+        return;
+    }
+    snap.readLog.emplace_back(addr, value);
+    ++specReadCount;
+}
+
+void
 RollbackOracle::captureBegin(int ctx_id, size_t num_ctxs,
                              const std::vector<int64_t> &regs,
                              int alt_pc, const vm::Heap &heap)
@@ -27,6 +108,8 @@ RollbackOracle::captureBegin(int ctx_id, size_t num_ctxs,
     snap.altPc = alt_pc;
     snap.regs = regs;
     snap.allocMark = heap.allocMark();
+    snap.readLog.clear();
+    snap.readLogOverflow = false;
     // Copying the whole live heap per region entry is O(heap) — fine
     // for the oracle's random-program tests, wrong for benchmarks;
     // that is why the oracle is attach-only.
@@ -43,20 +126,49 @@ RollbackOracle::captureBegin(int ctx_id, size_t num_ctxs,
 }
 
 void
+RollbackOracle::checkCommit(int ctx_id, size_t num_ctxs,
+                            const vm::Heap &heap)
+{
+    (void)num_ctxs;
+    (void)heap;
+    if (!shadowActive)
+        return;
+    Snapshot &snap = slot(ctx_id);
+    if (!snap.valid || snap.readLogOverflow)
+        return;
+    ++commitCheckCount;
+    // Serializability: every value this region read from the heap
+    // must still be the committed value now that the region itself
+    // commits. Eager conflict detection guarantees it — a conflicting
+    // commit in the window would have pend-aborted us first.
+    for (const auto &[addr, value] : snap.readLog) {
+        const int64_t committed = shadowAt(addr);
+        if (committed != value) {
+            std::ostringstream os;
+            os << "serializability violation: committing region read "
+               << value << " from word " << addr
+               << " but the committed value at commit time is "
+               << committed;
+            report(ctx_id, os.str());
+        }
+    }
+}
+
+void
 RollbackOracle::checkAbort(int ctx_id, size_t num_ctxs,
                            const std::vector<int64_t> &regs, int pc,
-                           const vm::Heap &heap)
+                           const vm::Heap &heap, AbortCause cause)
 {
     Snapshot &snap = slot(ctx_id);
     if (!snap.valid) {
-        found.push_back({ctx_id, "abort without a captured begin"});
+        report(ctx_id, "abort without a captured begin");
         return;
     }
     snap.valid = false;
     ++checkCount;
 
     auto diverge = [&](const std::string &what) {
-        found.push_back({ctx_id, what});
+        report(ctx_id, what);
     };
 
     if (pc != snap.altPc) {
@@ -78,6 +190,38 @@ RollbackOracle::checkAbort(int ctx_id, size_t num_ctxs,
                    << snap.regs[r] << ", post-abort " << regs[r];
                 diverge(os.str());
             }
+        }
+    }
+
+    // Cross-context global consistency: buffered speculative stores
+    // never reach the heap, so after a conflict abort the heap must
+    // equal the shadow word-for-word (words allocated speculatively
+    // and abandoned read as zero on both sides).
+    if (shadowActive && cause == AbortCause::Conflict) {
+        ++conflictHeapCheckCount;
+        int reported = 0;
+        uint64_t mismatches = 0;
+        for (uint64_t a = layout::POISON_WORDS; a < heap.allocMark();
+             ++a) {
+            const int64_t now = heap.load(a);
+            const int64_t want = shadowAt(a);
+            if (now == want)
+                continue;
+            ++mismatches;
+            if (reported < 8) {
+                ++reported;
+                std::ostringstream os;
+                os << "conflict abort left heap word " << a
+                   << " inconsistent with committed state: shadow "
+                   << want << ", heap " << now;
+                diverge(os.str());
+            }
+        }
+        if (mismatches > 8) {
+            std::ostringstream os;
+            os << "conflict abort heap check: " << (mismatches - 8)
+               << " further mismatching words suppressed";
+            diverge(os.str());
         }
     }
 
@@ -110,7 +254,10 @@ RollbackOracle::checkAbort(int ctx_id, size_t num_ctxs,
 void
 RollbackOracle::onCommit(int ctx_id)
 {
-    slot(ctx_id).valid = false;
+    Snapshot &snap = slot(ctx_id);
+    snap.valid = false;
+    snap.readLog.clear();
+    snap.readLogOverflow = false;
 }
 
 } // namespace aregion::hw

@@ -26,10 +26,32 @@
  * leaks the bump-pointer advance on abort by design; the words
  * themselves were only ever written speculatively).
  *
- * The heap comparison is only sound when a single hardware context
- * exists for the whole begin..abort window — another context may
- * legitimately commit between the two points. The oracle skips the
- * heap check (but still checks registers and pc) in that case.
+ * The per-snapshot heap comparison is only sound when a single
+ * hardware context exists for the whole begin..abort window — another
+ * context may legitimately commit between the two points. The oracle
+ * skips that check (but still checks registers and pc) in that case.
+ *
+ * Cross-context mode: when the machine calls onRunStart, the oracle
+ * additionally maintains a *shadow heap* mirroring every committed
+ * store (non-speculative stores and commit drains — the only two
+ * paths by which the machine writes the heap). Two multi-context
+ * invariants fall out:
+ *
+ *   - Global consistency: speculative stores live in store buffers
+ *     until commit, so the real heap must equal the shadow at every
+ *     instruction boundary. The oracle checks the full heap against
+ *     the shadow after every conflict abort; a mismatch means a
+ *     speculative store leaked or a committed one was lost.
+ *
+ *   - Commit-order serializability (the multi-context reading of
+ *     Flückiger et al.'s "abort ≡ non-speculative replay"): each
+ *     region logs the values its speculative reads observed from the
+ *     heap (store-buffer hits excluded), and at commit every logged
+ *     value must still match the shadow. Then the region reads
+ *     exactly the committed state at its commit point, so commit
+ *     order itself is a witness serial order. With eager
+ *     ownership-style conflict detection this must never fire — any
+ *     conflicting commit pends an abort on the reader first.
  */
 
 #ifndef AREGION_HW_ORACLE_HH
@@ -39,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/trace.hh"
 #include "vm/heap.hh"
 
 namespace aregion::hw {
@@ -53,18 +76,55 @@ struct Divergence
 class RollbackOracle
 {
   public:
+    /**
+     * Enable cross-context (shadow heap) checking; the machine calls
+     * this at the top of run(), after metadata is laid out but
+     * before the first instruction.
+     */
+    void onRunStart(const vm::Heap &heap);
+
     /** Snapshot state at aregion_begin of context `ctx_id`. */
     void captureBegin(int ctx_id, size_t num_ctxs,
                       const std::vector<int64_t> &regs, int alt_pc,
                       const vm::Heap &heap);
 
-    /** Cross-check state after the abort handler ran. */
+    /**
+     * Cross-check state after the abort handler ran. On a Conflict
+     * abort in cross-context mode, the whole heap is additionally
+     * compared against the shadow.
+     */
     void checkAbort(int ctx_id, size_t num_ctxs,
                     const std::vector<int64_t> &regs, int pc,
-                    const vm::Heap &heap);
+                    const vm::Heap &heap,
+                    AbortCause cause = AbortCause::Explicit);
+
+    /** A committed (non-speculative) store reached the heap. */
+    void onNonSpecStore(uint64_t addr, int64_t value);
+
+    /** A speculative read of `ctx_id` fell through its store buffer
+     *  to the heap and observed `value`. */
+    void onSpecRead(int ctx_id, uint64_t addr, int64_t value);
+
+    /**
+     * Region of `ctx_id` is about to commit (store buffer not yet
+     * drained): validate its read log against the shadow heap —
+     * the serializability check.
+     */
+    void checkCommit(int ctx_id, size_t num_ctxs,
+                     const vm::Heap &heap);
+
+    /** One store of the commit drain reached the heap. */
+    void onCommitStore(uint64_t addr, int64_t value);
 
     /** The region committed; drop the pending snapshot. */
     void onCommit(int ctx_id);
+
+    /**
+     * Stamp every subsequent divergence message with the failure's
+     * reproduction coordinates: the harness seed and a one-line
+     * command that replays the failing cell.
+     */
+    void setReplayInfo(uint64_t seed, std::string command);
 
     const std::vector<Divergence> &divergences() const
     {
@@ -73,6 +133,12 @@ class RollbackOracle
     uint64_t captures() const { return captureCount; }
     uint64_t checks() const { return checkCount; }
     uint64_t heapChecks() const { return heapCheckCount; }
+    uint64_t specReads() const { return specReadCount; }
+    uint64_t commitChecks() const { return commitCheckCount; }
+    uint64_t conflictHeapChecks() const
+    {
+        return conflictHeapCheckCount;
+    }
 
   private:
     struct Snapshot
@@ -83,15 +149,34 @@ class RollbackOracle
         std::vector<int64_t> regs;
         uint64_t allocMark = 0;
         std::vector<int64_t> heapWords;     ///< [POISON, allocMark)
+        /** Speculative reads served from the heap (addr, value);
+         *  validated against the shadow at commit. */
+        std::vector<std::pair<uint64_t, int64_t>> readLog;
+        bool readLogOverflow = false;
     };
 
     Snapshot &slot(int ctx_id);
+    void report(int ctx_id, std::string what);
+    int64_t shadowAt(uint64_t addr) const;
+    void shadowStore(uint64_t addr, int64_t value);
+
+    /** Regions are L1-bounded, so a read log this deep means the
+     *  hook wiring broke; give up on the region rather than OOM. */
+    static constexpr size_t kReadLogCap = 1u << 16;
 
     std::vector<Snapshot> snapshots;    ///< indexed by context id
     std::vector<Divergence> found;
+    bool shadowActive = false;
+    std::vector<int64_t> shadow;        ///< [POISON_WORDS, ...)
+    bool replayValid = false;
+    uint64_t replaySeed = 0;
+    std::string replayCommand;
     uint64_t captureCount = 0;
     uint64_t checkCount = 0;
     uint64_t heapCheckCount = 0;
+    uint64_t specReadCount = 0;
+    uint64_t commitCheckCount = 0;
+    uint64_t conflictHeapCheckCount = 0;
 };
 
 } // namespace aregion::hw

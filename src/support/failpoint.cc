@@ -185,7 +185,17 @@ Registry::arm(const std::string &name, const Spec &spec)
 int
 Registry::configure(const std::string &list, std::string *err)
 {
+    // Malformed entries must not mask their neighbours: every valid
+    // entry is armed, every bad one reported, so a typo in a long
+    // AREGION_FAILPOINTS list degrades loudly instead of silently
+    // dropping the rest of the injection plan.
     int armed = 0;
+    std::string errors;
+    auto complain = [&](const std::string &msg) {
+        if (!errors.empty())
+            errors += "; ";
+        errors += msg;
+    };
     size_t pos = 0;
     while (pos < list.size()) {
         size_t comma = list.find(',', pos);
@@ -197,15 +207,22 @@ Registry::configure(const std::string &list, std::string *err)
             continue;
         const size_t colon = entry.find(':');
         if (colon == std::string::npos || colon == 0) {
-            if (err)
-                *err = "entry '" + entry + "' is not <name>:<spec>";
-            return -1;
+            complain("entry '" + entry + "' is not <name>:<spec>");
+            continue;
         }
         Spec spec;
-        if (!parseSpec(entry.substr(colon + 1), &spec, err))
-            return -1;
+        std::string spec_err;
+        if (!parseSpec(entry.substr(colon + 1), &spec, &spec_err)) {
+            complain(spec_err);
+            continue;
+        }
         arm(entry.substr(0, colon), spec);
         ++armed;
+    }
+    if (!errors.empty()) {
+        if (err)
+            *err = errors;
+        return -1;
     }
     return armed;
 }

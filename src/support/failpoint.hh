@@ -54,6 +54,9 @@ namespace aregion::failpoint {
 inline constexpr const char *kMachineInterrupt = "machine.interrupt";
 inline constexpr const char *kMachineCapacity = "machine.capacity";
 inline constexpr const char *kMachineAssert = "machine.assert";
+inline constexpr const char *kMachineConflict = "machine.conflict";
+inline constexpr const char *kMachineCommitStall =
+    "machine.commit_stall";
 inline constexpr const char *kTimingMispredict = "timing.mispredict";
 
 /** How an armed failpoint decides to fire. */
@@ -129,9 +132,11 @@ class Registry
     void arm(const std::string &name, const Spec &spec);
 
     /**
-     * Arm every entry of a comma-separated `name:spec` list.
-     * Returns the number of failpoints armed, or -1 on a malformed
-     * entry (with *err filled; earlier valid entries stay armed).
+     * Arm every entry of a comma-separated `name:spec` list. Every
+     * well-formed entry is armed even when other entries are
+     * malformed. Returns the number of failpoints armed, or -1 if
+     * any entry was malformed (with *err describing every bad entry,
+     * '; '-joined).
      */
     int configure(const std::string &list, std::string *err = nullptr);
 

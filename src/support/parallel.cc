@@ -66,6 +66,12 @@ jobsFromEnv()
 } // namespace
 
 size_t
+configuredJobs()
+{
+    return jobsFromEnv();
+}
+
+size_t
 plannedThreads(size_t tasks)
 {
     if (tasks == 0)

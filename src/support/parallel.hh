@@ -33,6 +33,11 @@ namespace aregion::parallel {
  *  min(tasks, AREGION_JOBS or hardware_concurrency), at least 1. */
 size_t plannedThreads(size_t tasks);
 
+/** The configured job budget itself (AREGION_JOBS when set and sane,
+ *  else hardware concurrency), independent of any grid size. Bench
+ *  exports record it so a snapshot pins down its parallelism. */
+size_t configuredJobs();
+
 /**
  * Run `fn(i)` for every i in [0, tasks) across plannedThreads(tasks)
  * workers. Blocks until all cells finish. The first exception thrown

@@ -76,6 +76,10 @@ inline constexpr const char *kMachineInjectCapacity =
     "machine.inject.capacity";
 inline constexpr const char *kMachineInjectAssert =
     "machine.inject.assert";
+inline constexpr const char *kMachineInjectConflict =
+    "machine.inject.conflict";
+inline constexpr const char *kMachineInjectCommitStall =
+    "machine.inject.commit_stall";
 inline constexpr const char *kMachineInjectTotal =
     "machine.inject.total";
 inline constexpr const char *kMachineSpecSuppressed =
@@ -153,6 +157,16 @@ inline constexpr const char *kResilienceBackoffs =
     "runtime.resilience.backoffs";
 inline constexpr const char *kResilienceBlacklisted =
     "runtime.resilience.blacklisted";
+// Contention governor (hw::ContentionControl implementation):
+// scheduler steps spent in per-context backoff, starving contexts
+// granted backoff immunity, and mutual-abort livelocks broken by
+// staggering.
+inline constexpr const char *kResilienceBackoffSteps =
+    "runtime.resilience.backoff_steps";
+inline constexpr const char *kResilienceStarvationBoosts =
+    "runtime.resilience.starvation_boosts";
+inline constexpr const char *kResilienceLivelockBreaks =
+    "runtime.resilience.livelock_breaks";
 
 // --- region.* (src/core/region_formation.cc) ---------------------
 inline constexpr const char *kRegionFormed = "region.formed";
@@ -181,6 +195,16 @@ inline constexpr const char *kFuzzMinimizerCalls =
     "fuzz.minimizer.predicate_calls";
 inline constexpr const char *kFuzzMainBytecodes =
     "fuzz.main_bytecodes";                 // histogram
+
+// --- contention.* (src/workloads/contention/) --------------------
+// Contention torture harness: grid cells executed, cross-context
+// oracle checks performed (commit serializability validations plus
+// conflict-abort heap audits), and divergences those checks found.
+inline constexpr const char *kContentionCells = "contention.cells";
+inline constexpr const char *kContentionOracleChecks =
+    "contention.oracle_checks";
+inline constexpr const char *kContentionDivergences =
+    "contention.divergences";
 
 // --- profile.* (src/vm/profile.cc) -------------------------------
 inline constexpr const char *kProfileMethods = "profile.methods";
@@ -218,7 +242,8 @@ catalogInfo()
           kMachineMonitorFastEnters, kMachineRuns,
           kMachineBatchFlushes, kMachineBatchUops,
           kMachineInjectInterrupt, kMachineInjectCapacity,
-          kMachineInjectAssert, kMachineInjectTotal,
+          kMachineInjectAssert, kMachineInjectConflict,
+          kMachineInjectCommitStall, kMachineInjectTotal,
           kMachineSpecSuppressed, kMachineLivelockTrips, kDriverTasks,
           kDriverWallUs, kTimingCycles,
           kTimingUops, kTimingBranches, kTimingMispredicts,
@@ -233,6 +258,10 @@ catalogInfo()
           kJitPassDceUs, kJitPassInlineUs, kJitPassUnrollUs,
           kResilienceStorms, kResilienceRecompiles,
           kResilienceBackoffs, kResilienceBlacklisted,
+          kResilienceBackoffSteps, kResilienceStarvationBoosts,
+          kResilienceLivelockBreaks,
+          kContentionCells, kContentionOracleChecks,
+          kContentionDivergences,
           kRegionFormed, kRegionAssertsConverted,
           kRegionBlocksReplicated, kRegionExits, kRegionUnrolled,
           kFuzzSeeds, kFuzzSkipped, kFuzzTrapped, kFuzzThreaded,

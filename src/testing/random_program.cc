@@ -42,6 +42,7 @@ const struct
     {GenStmt::K::VirtualMaybe, "virtual_maybe"},
     {GenStmt::K::ColdDiamond, "cold_diamond"},
     {GenStmt::K::Contention, "contention"},
+    {GenStmt::K::MultiContext, "multi_context"},
 };
 
 const struct
@@ -52,7 +53,7 @@ const struct
     {kArrays, "arrays"},         {kObjects, "objects"},
     {kTraps, "traps"},           {kVirtualChains, "virtuals"},
     {kMonitors, "monitors"},     {kContention, "contention"},
-    {kAbortShapes, "aborts"},
+    {kAbortShapes, "aborts"},    {kMultiContext, "multi"},
 };
 
 } // namespace
@@ -91,7 +92,8 @@ canonicalMasks()
         kObjects | kVirtualChains | kTraps,
         kArrays | kObjects | kMonitors | kAbortShapes,
         kObjects | kMonitors | kContention,
-        kAllFeatures & ~kContention,
+        kObjects | kMonitors | kMultiContext,
+        kAllFeatures & ~(kContention | kMultiContext),
         kAllFeatures,
     };
 }
@@ -196,6 +198,10 @@ RandomProgramGen::makeStmt(GenStmt::K kind)
         s.imm = rng.range(3, 17);
         s.a = static_cast<uint32_t>(rng.below(6));
         break;
+      case GenStmt::K::MultiContext:
+        s.imm = rng.range(3, 12);               // bumps per worker
+        s.a = static_cast<uint32_t>(rng.below(3));  // 2..4 workers
+        break;
       default: break;
     }
     return s;
@@ -254,6 +260,14 @@ RandomProgramGen::emitStatements(std::vector<GenStmt> &out,
             out.push_back(makeStmt(K::Contention));
             continue;
         }
+        // Same for the multi-worker pile-up (the spawned-thread
+        // budget is layout::MAX_THREADS-bounded, so one per program).
+        if (top_level && (features & kMultiContext) &&
+            !multiContextUsed && rng.chance(0.35)) {
+            multiContextUsed = true;
+            out.push_back(makeStmt(K::MultiContext));
+            continue;
+        }
         GenStmt s = makeStmt(menu[rng.below(menu.size())]);
         if (s.kind == K::Loop) {
             emitStatements(s.body, num_helpers,
@@ -294,6 +308,7 @@ struct Scaffold
     int slotChain = -1;
     MethodId syncBump = NO_METHOD;
     MethodId worker = NO_METHOD;
+    MethodId mworker = NO_METHOD;
     std::vector<MethodId> helpers;
 };
 
@@ -429,6 +444,32 @@ class Renderer
             f.bind(done);
             f.monitorEnter(obj);
             f.putField(obj, 3, one);
+            f.monitorExit(obj);
+            f.retVoid();
+            f.finish();
+        }
+        sc.mworker = pb.declareMethod("mworker", 2);
+        {
+            // mworker(obj, n): like worker, but the done flag (f3)
+            // counts finished workers instead of being a boolean, so
+            // several mworkers can share one object and main can wait
+            // for all of them.
+            auto f = pb.define(sc.mworker);
+            const Reg obj = f.arg(0);
+            const Reg n = f.arg(1);
+            const Reg one = f.constant(1);
+            const Reg i = f.constant(0);
+            const Label loop = f.newLabel();
+            const Label done = f.newLabel();
+            f.bind(loop);
+            f.branchCmp(Bc::CmpGe, i, n, done);
+            f.callStaticVoid(sc.syncBump, {obj, one});
+            f.binopTo(Bc::Add, i, i, one);
+            f.jump(loop);
+            f.bind(done);
+            f.monitorEnter(obj);
+            const Reg d = f.getField(obj, 3);
+            f.putField(obj, 3, f.add(d, one));
             f.monitorExit(obj);
             f.retVoid();
             f.finish();
@@ -731,6 +772,33 @@ Renderer::renderStmt(MethodBuilder &mb, const GenStmt &s,
         pools.vals.push_back(mb.getField(obj, 2));
         break;
       }
+      case K::MultiContext: {
+        // 2-4 workers all bumping one shared counter: the smallest
+        // program shape on which genuine cross-context conflict
+        // aborts occur under SLE. Final value is initial + k*imm on
+        // every interleaving; main waits until the done count (f3)
+        // reaches k before reading.
+        const int k = 2 + static_cast<int>(s.a % 3);
+        const Reg obj = mb.newObject(sc.box);
+        mb.putField(obj, 2, pickVal(mb, pools, s.b));
+        mb.putField(obj, 3, mb.constant(0));
+        for (int w = 0; w < k; ++w)
+            mb.spawn(sc.mworker, {obj, mb.constant(s.imm)});
+        const Reg want = mb.constant(k);
+        const Label spin = mb.newLabel();
+        const Label ready = mb.newLabel();
+        const Reg flag = mb.newReg();
+        mb.bind(spin);
+        mb.safepoint();
+        mb.monitorEnter(obj);
+        mb.getFieldTo(flag, obj, 3);
+        mb.monitorExit(obj);
+        mb.branchCmp(Bc::CmpGe, flag, want, ready);
+        mb.jump(spin);
+        mb.bind(ready);
+        pools.vals.push_back(mb.getField(obj, 2));
+        break;
+      }
     }
 }
 
@@ -774,7 +842,8 @@ usesThreads(const GenProgram &gp)
 {
     bool found = false;
     walkProgram(gp, [&](const GenStmt &s) {
-        found |= s.kind == GenStmt::K::Contention;
+        found |= s.kind == GenStmt::K::Contention ||
+            s.kind == GenStmt::K::MultiContext;
     });
     return found;
 }

@@ -44,12 +44,13 @@ enum Feature : uint32_t {
     kMonitors      = 1u << 4,   ///< monitor blocks + sync methods
     kContention    = 1u << 5,   ///< spawned worker contending a lock
     kAbortShapes   = 1u << 6,   ///< biased hot/cold diamonds in loops
+    kMultiContext  = 1u << 7,   ///< 2-4 workers contending one object
 };
 
 /** The legacy tests/random_program.hh profiles. */
 inline constexpr uint32_t kLegacyScalar = kArrays;
 inline constexpr uint32_t kLegacyObjects = kArrays | kObjects | kMonitors;
-inline constexpr uint32_t kAllFeatures = (1u << 7) - 1;
+inline constexpr uint32_t kAllFeatures = (1u << 8) - 1;
 
 /** The canonical masks the fuzz smoke sweeps (docs/FUZZING.md). */
 std::vector<uint32_t> canonicalMasks();
@@ -91,6 +92,7 @@ struct GenStmt
         VirtualMaybe,   ///< virtual call on pooled obj (may be null)
         ColdDiamond,    ///< biased branch, cold on iteration imm
         Contention,     ///< spawn worker; imm = worker bumps, a = main
+        MultiContext,   ///< 2 + a%3 workers bump one shared object
     };
 
     K kind;
@@ -148,6 +150,7 @@ class RandomProgramGen
     uint64_t seed;
     uint32_t features;
     bool contentionUsed = false;
+    bool multiContextUsed = false;
 };
 
 } // namespace aregion::testing

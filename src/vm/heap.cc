@@ -6,9 +6,12 @@
 
 namespace aregion::vm {
 
-Heap::Heap(const Program &prog, uint64_t max_words)
-    : maxWords(max_words)
+Heap::Heap(const Program &prog, uint64_t max_words,
+           int max_threads)
+    : maxWords(max_words), numThreads(max_threads)
 {
+    AREGION_ASSERT(numThreads > 0, "bad thread capacity ",
+                   numThreads);
     fieldCounts.reserve(static_cast<size_t>(prog.numClasses()));
     for (ClassId c = 0; c < prog.numClasses(); ++c)
         fieldCounts.push_back(prog.cls(c).numFields());
@@ -22,7 +25,7 @@ Heap::Heap(const Program &prog, uint64_t max_words)
         static_cast<uint64_t>(prog.numClasses() + 2) *
         static_cast<uint64_t>(std::max(prog.numClasses(), 1));
     yieldBase = subtypeBaseAddr + st_words;
-    heapBaseAddr = yieldBase + layout::MAX_THREADS;
+    heapBaseAddr = yieldBase + static_cast<uint64_t>(numThreads);
     allocPtr = heapBaseAddr;
     mem.assign(heapBaseAddr, 0);
 
@@ -114,7 +117,7 @@ Heap::vtableAddr(ClassId cls, int slot) const
 uint64_t
 Heap::yieldFlagAddr(int thread) const
 {
-    AREGION_ASSERT(thread >= 0 && thread < layout::MAX_THREADS,
+    AREGION_ASSERT(thread >= 0 && thread < numThreads,
                    "bad thread id ", thread);
     return yieldBase + static_cast<uint64_t>(thread);
 }

@@ -26,7 +26,14 @@ namespace aregion::vm {
 class Heap
 {
   public:
-    explicit Heap(const Program &prog, uint64_t max_words = 1ull << 26);
+    /**
+     * @param max_threads yield/safepoint flag slots to map (one per
+     *        thread context). The default keeps the historical memory
+     *        map byte-identical; the contention harness raises it to
+     *        run more hardware contexts than layout::MAX_THREADS.
+     */
+    explicit Heap(const Program &prog, uint64_t max_words = 1ull << 26,
+                  int max_threads = layout::MAX_THREADS);
 
     /** Allocate an instance of the class; fields zero-initialised. */
     uint64_t allocObject(ClassId cls);
@@ -96,6 +103,7 @@ class Heap
     uint64_t heapBase() const { return heapBaseAddr; }
     uint64_t allocated() const { return allocPtr; }
     uint64_t wordsUsed() const { return allocPtr - heapBaseAddr; }
+    int maxThreads() const { return numThreads; }
 
   private:
     uint64_t bump(uint64_t words);
@@ -103,6 +111,7 @@ class Heap
     std::vector<int> fieldCounts;   ///< per-class flattened field count
     std::vector<int64_t> mem;
     uint64_t maxWords;
+    int numThreads = layout::MAX_THREADS;
     int numClassesTotal = 0;
     uint64_t vtableBase = 0;
     uint64_t subtypeBaseAddr = 0;

@@ -32,8 +32,9 @@ using arith::javaMul;
 } // namespace
 
 Interpreter::Interpreter(const Program &prog_, Profile *profile_,
-                         uint64_t max_words)
-    : prog(prog_), profile(profile_), heapImpl(prog_, max_words)
+                         uint64_t max_words, int max_threads)
+    : prog(prog_), profile(profile_),
+      heapImpl(prog_, max_words, max_threads)
 {
 }
 
@@ -382,7 +383,8 @@ Interpreter::step(ThreadCtx &thread)
         break;
 
       case Bc::Spawn: {
-        AREGION_ASSERT(threads.size() < layout::MAX_THREADS,
+        AREGION_ASSERT(threads.size() <
+                           static_cast<size_t>(heapImpl.maxThreads()),
                        "thread limit exceeded");
         const auto callee = static_cast<MethodId>(in.imm);
         AREGION_ASSERT(!prog.method(callee).isSynchronized,

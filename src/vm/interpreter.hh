@@ -51,13 +51,15 @@ class Interpreter
      * @param prog     program to execute
      * @param profile  optional profile to populate (may be nullptr)
      * @param max_words heap capacity
+     * @param max_threads thread-context capacity (see Heap).
      */
     Interpreter(const Program &prog, Profile *profile = nullptr,
-                uint64_t max_words = 1ull << 26);
+                uint64_t max_words = 1ull << 26,
+                int max_threads = layout::MAX_THREADS);
 
     /** The interpreter borrows the program; temporaries would dangle. */
-    Interpreter(Program &&, Profile * = nullptr,
-                uint64_t = 0) = delete;
+    Interpreter(Program &&, Profile * = nullptr, uint64_t = 0,
+                int = 0) = delete;
 
     /**
      * Run main (and any spawned threads) to completion.

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Contended striped counters: the minimal true-sharing torture.
+ *
+ * One shared object carries kStripes counter fields — deliberately
+ * adjacent, so several stripes land on the same L1 line and even
+ * workers bumping *different* stripes collide at the line-granular
+ * conflict detector. Each worker loops `iters` times bumping stripe
+ * (worker_id % kStripes) under the shared monitor; SLE turns every
+ * critical section into an atomic region, so under multi-context
+ * load the regions overlap in time and genuine ownership conflicts
+ * fire.
+ *
+ * Printed output is interleaving-invariant: the sum over all stripes
+ * is exactly contexts * iters regardless of schedule.
+ */
+
+#include "workloads/contention/contention.hh"
+
+#include "vm/builder.hh"
+
+namespace aregion::workloads::contention {
+
+namespace {
+
+constexpr int kStripes = 8;
+
+vm::Program
+buildStripedCounters(int contexts, bool profile_variant)
+{
+    using namespace aregion::vm;
+    const int iters = profile_variant ? 12 : 48;
+
+    ProgramBuilder pb;
+    std::vector<std::string> fields;
+    for (int s = 0; s < kStripes; ++s)
+        fields.push_back("c" + std::to_string(s));
+    fields.push_back("done");
+    const ClassId shared = pb.declareClass("Stripes", fields);
+    const int f_done = pb.fieldIndex(shared, "done");
+
+    // worker(obj, stripe_field): bump one stripe `iters` times under
+    // the shared monitor. The stripe index is baked per spawn so the
+    // field offset is a compile-time constant in the region body —
+    // one method, every worker, maximal code sharing.
+    const MethodId worker = pb.declareMethod("worker", 2);
+    {
+        auto w = pb.define(worker);
+        const Reg obj = w.arg(0);
+        const Reg stripe = w.arg(1);
+        const Reg i = w.constant(0);
+        const Reg n = w.constant(iters);
+        const Reg one = w.constant(1);
+        const Label loop = w.newLabel();
+        const Label done = w.newLabel();
+        w.bind(loop);
+        w.branchCmp(Bc::CmpGe, i, n, done);
+        w.monitorEnter(obj);
+        // Field offsets must be constants, so dispatch on the stripe
+        // argument: stripe s bumps field c_s.
+        std::vector<Label> bumps;
+        const Label after = w.newLabel();
+        for (int s = 0; s < kStripes; ++s)
+            bumps.push_back(w.newLabel());
+        for (int s = 0; s < kStripes; ++s) {
+            const Reg sv = w.constant(s);
+            w.branchCmp(Bc::CmpEq, stripe, sv, bumps[s]);
+        }
+        w.jump(after);
+        for (int s = 0; s < kStripes; ++s) {
+            w.bind(bumps[s]);
+            const int f = pb.fieldIndex(shared, "c" + std::to_string(s));
+            const Reg c = w.getField(obj, f);
+            w.putField(obj, f, w.add(c, one));
+            w.jump(after);
+        }
+        w.bind(after);
+        w.monitorExit(obj);
+        w.binopTo(Bc::Add, i, i, one);
+        w.safepoint();
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(obj);
+        const Reg d = w.getField(obj, f_done);
+        w.putField(obj, f_done, w.add(d, one));
+        w.monitorExit(obj);
+        w.retVoid();
+        w.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg obj = mb.newObject(shared);
+    for (int t = 0; t < contexts; ++t)
+        mb.spawn(worker, {obj, mb.constant(t % kStripes)});
+    const Reg want = mb.constant(contexts);
+    const Label wait = mb.newLabel();
+    const Label ready = mb.newLabel();
+    mb.bind(wait);
+    mb.safepoint();
+    const Reg d = mb.getField(obj, f_done);
+    mb.branchCmp(Bc::CmpGe, d, want, ready);
+    mb.jump(wait);
+    mb.bind(ready);
+    Reg sum = mb.constant(0);
+    for (int s = 0; s < kStripes; ++s) {
+        const int f = pb.fieldIndex(shared, "c" + std::to_string(s));
+        sum = mb.add(sum, mb.getField(obj, f));
+    }
+    mb.print(sum);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    return pb.build();
+}
+
+} // namespace
+
+ContentionWorkload
+makeStripedCounters()
+{
+    ContentionWorkload w;
+    w.name = "counters";
+    w.description = "contended striped counters on shared L1 lines";
+    w.build = buildStripedCounters;
+    return w;
+}
+
+} // namespace aregion::workloads::contention

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Lock-striped hash table: insert-only, four stripes, one monitor
+ * per stripe.
+ *
+ * Every worker inserts a distinct key range (base..base+iters-1), so
+ * the final table contents are schedule-independent, but key & 3
+ * spreads each range across all four stripes — every worker visits
+ * every stripe and the per-stripe critical sections (read count,
+ * append to two arrays, bump count) collide constantly. Stripe
+ * counts and key/value sums are interleaving-invariant, so they are
+ * the printed output.
+ */
+
+#include "workloads/contention/contention.hh"
+
+#include "vm/builder.hh"
+
+namespace aregion::workloads::contention {
+
+namespace {
+
+constexpr int kTableStripes = 4;
+
+vm::Program
+buildStripedHashTable(int contexts, bool profile_variant)
+{
+    using namespace aregion::vm;
+    const int iters = profile_variant ? 8 : 24;
+
+    ProgramBuilder pb;
+    const ClassId stripe_cls =
+        pb.declareClass("Stripe", {"keys", "vals", "count"});
+    const int f_keys = pb.fieldIndex(stripe_cls, "keys");
+    const int f_vals = pb.fieldIndex(stripe_cls, "vals");
+    const int f_count = pb.fieldIndex(stripe_cls, "count");
+
+    const ClassId table_cls =
+        pb.declareClass("Table", {"s0", "s1", "s2", "s3", "done"});
+    const int f_done = pb.fieldIndex(table_cls, "done");
+    int f_stripe[kTableStripes];
+    for (int s = 0; s < kTableStripes; ++s)
+        f_stripe[s] =
+            pb.fieldIndex(table_cls, "s" + std::to_string(s));
+
+    // worker(table, base): insert keys base..base+iters-1, each into
+    // stripe (key & 3) under that stripe's monitor.
+    const MethodId worker = pb.declareMethod("worker", 2);
+    {
+        auto w = pb.define(worker);
+        const Reg table = w.arg(0);
+        const Reg base = w.arg(1);
+        const Reg i = w.constant(0);
+        const Reg n = w.constant(iters);
+        const Reg one = w.constant(1);
+        const Reg three = w.constant(3);
+        const Reg vmul = w.constant(5);
+        // Single receiver vreg for the monitor pair: SLE requires
+        // balanced enter/exit on the *same* vreg, so every dispatch
+        // arm writes its stripe ref here.
+        const Reg stripe = w.newReg();
+        const Label loop = w.newLabel();
+        const Label done = w.newLabel();
+        w.bind(loop);
+        w.branchCmp(Bc::CmpGe, i, n, done);
+        const Reg key = w.add(base, i);
+        const Reg h = w.binop(Bc::And, key, three);
+        const Label locked = w.newLabel();
+        std::vector<Label> arms;
+        for (int s = 0; s < kTableStripes; ++s)
+            arms.push_back(w.newLabel());
+        for (int s = 0; s < kTableStripes; ++s)
+            w.branchCmp(Bc::CmpEq, h, w.constant(s), arms[s]);
+        w.jump(locked);     // unreachable; keeps the CFG closed
+        for (int s = 0; s < kTableStripes; ++s) {
+            w.bind(arms[s]);
+            w.getFieldTo(stripe, table, f_stripe[s]);
+            w.jump(locked);
+        }
+        w.bind(locked);
+        w.monitorEnter(stripe);
+        const Reg keys = w.getField(stripe, f_keys);
+        const Reg vals = w.getField(stripe, f_vals);
+        const Reg idx = w.getField(stripe, f_count);
+        w.astore(keys, idx, key);
+        w.astore(vals, idx, w.mul(key, vmul));
+        w.putField(stripe, f_count, w.add(idx, one));
+        w.monitorExit(stripe);
+        w.binopTo(Bc::Add, i, i, one);
+        w.safepoint();
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(table);
+        const Reg d = w.getField(table, f_done);
+        w.putField(table, f_done, w.add(d, one));
+        w.monitorExit(table);
+        w.retVoid();
+        w.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg table = mb.newObject(table_cls);
+    const Reg cap = mb.constant(contexts * iters);
+    for (int s = 0; s < kTableStripes; ++s) {
+        const Reg so = mb.newObject(stripe_cls);
+        mb.putField(so, f_keys, mb.newArray(cap));
+        mb.putField(so, f_vals, mb.newArray(cap));
+        mb.putField(table, f_stripe[s], so);
+    }
+    for (int t = 0; t < contexts; ++t)
+        mb.spawn(worker, {table, mb.constant(t * iters)});
+    const Reg want = mb.constant(contexts);
+    const Label wait = mb.newLabel();
+    const Label ready = mb.newLabel();
+    mb.bind(wait);
+    mb.safepoint();
+    const Reg d = mb.getField(table, f_done);
+    mb.branchCmp(Bc::CmpGe, d, want, ready);
+    mb.jump(wait);
+    mb.bind(ready);
+    // Per stripe: count, key sum, value sum. All are functions of
+    // the key *set*, never of insertion order.
+    const Reg one = mb.constant(1);
+    for (int s = 0; s < kTableStripes; ++s) {
+        const Reg so = mb.getField(table, f_stripe[s]);
+        const Reg cnt = mb.getField(so, f_count);
+        mb.print(cnt);
+        const Reg keys = mb.getField(so, f_keys);
+        const Reg vals = mb.getField(so, f_vals);
+        const Reg j = mb.constant(0);
+        Reg ksum = mb.constant(0);
+        Reg vsum = mb.constant(0);
+        const Label sloop = mb.newLabel();
+        const Label sdone = mb.newLabel();
+        mb.bind(sloop);
+        mb.branchCmp(Bc::CmpGe, j, cnt, sdone);
+        mb.binopTo(Bc::Add, ksum, ksum, mb.aload(keys, j));
+        mb.binopTo(Bc::Add, vsum, vsum, mb.aload(vals, j));
+        mb.binopTo(Bc::Add, j, j, one);
+        mb.safepoint();
+        mb.jump(sloop);
+        mb.bind(sdone);
+        mb.print(ksum);
+        mb.print(vsum);
+    }
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    return pb.build();
+}
+
+} // namespace
+
+ContentionWorkload
+makeStripedHashTable()
+{
+    ContentionWorkload w;
+    w.name = "hashtable";
+    w.description = "lock-striped insert-only hash table, 4 stripes";
+    w.build = buildStripedHashTable;
+    return w;
+}
+
+} // namespace aregion::workloads::contention

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * MPMC bounded ring queue: producers and consumers share one
+ * monitor, one ring buffer, and four hot index/accumulator fields.
+ *
+ * Half the contexts produce (push base+j+1 for j < iters), half
+ * consume (pop into a shared sum until the global popped count hits
+ * the total). Every operation touches head/tail/size on the same
+ * lines, so elided critical sections conflict on nearly every
+ * overlap; the full-queue and empty-queue retry paths additionally
+ * exercise abort-then-retry progress (a spinning producer's region
+ * only succeeds after a consumer's commit invalidates its read of
+ * `size` — conflict abort as a *progress* mechanism).
+ *
+ * Printed output — the value sum and the popped count — is a pure
+ * function of the multiset of pushed values.
+ */
+
+#include "workloads/contention/contention.hh"
+
+#include "vm/builder.hh"
+
+namespace aregion::workloads::contention {
+
+namespace {
+
+constexpr int kRingCap = 16;
+
+vm::Program
+buildMpmcQueue(int contexts, bool profile_variant)
+{
+    using namespace aregion::vm;
+    const int iters = profile_variant ? 8 : 32;
+    const int producers = contexts > 1 ? contexts / 2 : 1;
+    const int consumers = contexts - producers;
+    const int total = producers * iters;
+
+    ProgramBuilder pb;
+    const ClassId q_cls = pb.declareClass(
+        "Queue",
+        {"buf", "hidx", "tidx", "size", "popped", "sum", "done"});
+    const int f_buf = pb.fieldIndex(q_cls, "buf");
+    const int f_hidx = pb.fieldIndex(q_cls, "hidx");
+    const int f_tidx = pb.fieldIndex(q_cls, "tidx");
+    const int f_size = pb.fieldIndex(q_cls, "size");
+    const int f_popped = pb.fieldIndex(q_cls, "popped");
+    const int f_sum = pb.fieldIndex(q_cls, "sum");
+    const int f_done = pb.fieldIndex(q_cls, "done");
+
+    // producer(q, base): push base+j+1 for j in [0, iters). A full
+    // ring releases the monitor and retries; the critical section
+    // keeps exactly one enter/exit pair on every path so SLE elides
+    // it.
+    const MethodId producer = pb.declareMethod("producer", 2);
+    {
+        auto w = pb.define(producer);
+        const Reg q = w.arg(0);
+        const Reg base = w.arg(1);
+        const Reg j = w.constant(0);
+        const Reg n = w.constant(iters);
+        const Reg one = w.constant(1);
+        const Reg cap = w.constant(kRingCap);
+        const Reg did = w.newReg();
+        const Label loop = w.newLabel();
+        const Label done = w.newLabel();
+        const Label unlock = w.newLabel();
+        const Label next = w.newLabel();
+        w.bind(loop);
+        w.branchCmp(Bc::CmpGe, j, n, done);
+        w.constTo(did, 0);
+        w.monitorEnter(q);
+        const Reg size = w.getField(q, f_size);
+        w.branchCmp(Bc::CmpGe, size, cap, unlock);   // full: retry
+        const Reg buf = w.getField(q, f_buf);
+        const Reg tidx = w.getField(q, f_tidx);
+        const Reg val = w.add(w.add(base, j), one);
+        w.astore(buf, tidx, val);
+        w.putField(q, f_tidx,
+                   w.binop(Bc::Rem, w.add(tidx, one), cap));
+        w.putField(q, f_size, w.add(size, one));
+        w.constTo(did, 1);
+        w.bind(unlock);
+        w.monitorExit(q);
+        w.branchIf(did, next);
+        w.safepoint();
+        w.jump(loop);       // ring was full; try again
+        w.bind(next);
+        w.binopTo(Bc::Add, j, j, one);
+        w.safepoint();
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(q);
+        const Reg d = w.getField(q, f_done);
+        w.putField(q, f_done, w.add(d, one));
+        w.monitorExit(q);
+        w.retVoid();
+        w.finish();
+    }
+
+    // consumer(q): pop into the shared sum until the global popped
+    // count reaches `total` (checked under the same monitor, so the
+    // exit decision is race-free).
+    const MethodId consumer = pb.declareMethod("consumer", 1);
+    {
+        auto w = pb.define(consumer);
+        const Reg q = w.arg(0);
+        const Reg one = w.constant(1);
+        const Reg cap = w.constant(kRingCap);
+        const Reg want = w.constant(total);
+        const Reg fin = w.newReg();
+        const Label loop = w.newLabel();
+        const Label check = w.newLabel();
+        const Label done = w.newLabel();
+        w.bind(loop);
+        w.constTo(fin, 0);
+        w.monitorEnter(q);
+        const Reg size = w.getField(q, f_size);
+        const Reg empty_skip = w.cmp(Bc::CmpLe, size, w.constant(0));
+        w.branchIf(empty_skip, check);
+        const Reg buf = w.getField(q, f_buf);
+        const Reg hidx = w.getField(q, f_hidx);
+        const Reg v = w.aload(buf, hidx);
+        w.putField(q, f_hidx,
+                   w.binop(Bc::Rem, w.add(hidx, one), cap));
+        w.putField(q, f_size, w.sub(size, one));
+        w.putField(q, f_sum, w.add(w.getField(q, f_sum), v));
+        w.putField(q, f_popped,
+                   w.add(w.getField(q, f_popped), one));
+        w.bind(check);
+        const Reg popped = w.getField(q, f_popped);
+        w.binopTo(Bc::CmpGe, fin, popped, want);
+        w.monitorExit(q);
+        w.branchIf(fin, done);
+        w.safepoint();
+        w.jump(loop);
+        w.bind(done);
+        w.monitorEnter(q);
+        const Reg d = w.getField(q, f_done);
+        w.putField(q, f_done, w.add(d, one));
+        w.monitorExit(q);
+        w.retVoid();
+        w.finish();
+    }
+
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg q = mb.newObject(q_cls);
+    mb.putField(q, f_buf, mb.newArray(mb.constant(kRingCap)));
+    for (int t = 0; t < producers; ++t)
+        mb.spawn(producer, {q, mb.constant(t * iters)});
+    for (int t = 0; t < consumers; ++t)
+        mb.spawn(consumer, {q});
+    const Reg want = mb.constant(producers + consumers);
+    const Label wait = mb.newLabel();
+    const Label ready = mb.newLabel();
+    mb.bind(wait);
+    mb.safepoint();
+    const Reg d = mb.getField(q, f_done);
+    mb.branchCmp(Bc::CmpGe, d, want, ready);
+    mb.jump(wait);
+    mb.bind(ready);
+    mb.print(mb.getField(q, f_sum));
+    mb.print(mb.getField(q, f_popped));
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    return pb.build();
+}
+
+} // namespace
+
+ContentionWorkload
+makeMpmcQueue()
+{
+    ContentionWorkload w;
+    w.name = "mpmc_queue";
+    w.description =
+        "bounded MPMC ring queue, shared head/tail/sum lines";
+    w.build = buildMpmcQueue;
+    return w;
+}
+
+} // namespace aregion::workloads::contention

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -200,6 +201,41 @@ TEST_F(FailpointTest, ConfigureParsesCsv)
     EXPECT_EQ(reg.configure("bad-entry-no-colon", &err), -1);
     EXPECT_FALSE(err.empty());
     EXPECT_EQ(reg.configure("", &err), 0);
+}
+
+TEST_F(FailpointTest, MalformedEntriesDoNotDropValidOnes)
+{
+    // A bad entry in AREGION_FAILPOINTS must not silently disable
+    // the rest of the spec: every well-formed entry is armed, the
+    // return value still signals the error, and *err names every
+    // bad entry (';'-joined) so the warning is actionable.
+    auto &reg = fp::Registry::global();
+    std::string err;
+    EXPECT_EQ(reg.configure("a.x:n2,garbage,b.y:p0.5", &err), -1);
+    EXPECT_NE(err.find("garbage"), std::string::npos) << err;
+    const auto names = reg.armedNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.x");
+    EXPECT_EQ(names[1], "b.y");
+    EXPECT_NE(reg.find("a.x"), nullptr);
+    EXPECT_NE(reg.find("b.y"), nullptr);
+}
+
+TEST_F(FailpointTest, EveryMalformedEntryIsReported)
+{
+    auto &reg = fp::Registry::global();
+    std::string err;
+    // Three distinct failure shapes: no colon, empty name, bad
+    // trigger. All three must appear in the joined error message.
+    EXPECT_EQ(
+        reg.configure("no-colon,:p0.5,c.z:zap7,d.w:once2", &err), -1);
+    EXPECT_NE(err.find("no-colon"), std::string::npos) << err;
+    EXPECT_NE(err.find("zap7"), std::string::npos) << err;
+    EXPECT_GE(std::count(err.begin(), err.end(), ';'), 2) << err;
+    // The one valid entry still armed.
+    const auto names = reg.armedNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "d.w");
 }
 
 TEST_F(FailpointTest, DescribeRoundTrips)

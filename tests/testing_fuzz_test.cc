@@ -199,20 +199,33 @@ TEST(DiffHarness, CleanSeedsAcrossMasksDoNotDiverge)
 
 TEST(DiffHarness, FlagsReflectProgramShape)
 {
-    // Find a trapping single-threaded seed and a threaded seed; the
-    // report must classify both and still agree everywhere.
-    bool saw_trap = false, saw_threads = false;
-    for (uint64_t seed = 1;
-         seed <= 100 && !(saw_trap && saw_threads); ++seed) {
+    // The report must classify a trapping program and a threaded
+    // program, and still agree everywhere. With `threads` and
+    // `multi` on, most seeds spawn workers, so hunt the trapping
+    // single-threaded shape with those bits masked off.
+    bool saw_trap = false;
+    const uint32_t no_threads =
+        kAllFeatures & ~(kContention | kMultiContext);
+    for (uint64_t seed = 1; seed <= 100 && !saw_trap; ++seed) {
+        RandomProgramGen gen(seed, no_threads);
+        const DiffReport report = runDiff(gen.generate());
+        EXPECT_FALSE(report.diverged()) << report.summary();
+        if (report.skipped)
+            continue;
+        EXPECT_FALSE(report.threaded);
+        saw_trap = saw_trap || report.trapped;
+    }
+    EXPECT_TRUE(saw_trap);
+
+    bool saw_threads = false;
+    for (uint64_t seed = 1; seed <= 100 && !saw_threads; ++seed) {
         RandomProgramGen gen(seed, kAllFeatures);
         const DiffReport report = runDiff(gen.generate());
         EXPECT_FALSE(report.diverged()) << report.summary();
         if (report.skipped)
             continue;
-        saw_trap = saw_trap || (report.trapped && !report.threaded);
         saw_threads = saw_threads || report.threaded;
     }
-    EXPECT_TRUE(saw_trap);
     EXPECT_TRUE(saw_threads);
 }
 

@@ -1,16 +1,23 @@
 #!/bin/sh
 # Build the repo under the asan-ubsan preset (CMakePresets.json) and
 # run the full tier-1 ctest suite with AddressSanitizer +
-# UndefinedBehaviorSanitizer armed. Any sanitizer report fails the
-# offending test (-fno-sanitize-recover=all aborts on the first
-# finding), so a green run means the suite is clean under both.
+# UndefinedBehaviorSanitizer armed, then rebuild under the tsan
+# preset and run the contention torture tests (multi-context
+# workloads driving the shared failpoint/telemetry registries from
+# parallel grid workers) plus the fuzz smoke under ThreadSanitizer.
+# Any sanitizer report fails the offending test
+# (-fno-sanitize-recover=all aborts on the first finding), so a
+# green run means the suite is clean under all three.
 #
 # Usage: tools/check_sanitizers.sh [extra ctest args...]
 #   e.g. tools/check_sanitizers.sh -R Failpoint
+# Extra args apply to the ASan+UBSan leg; the TSan leg's filter is
+# fixed. AREGION_SKIP_TSAN=1 skips the TSan leg (for quick loops).
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="$root/build-asan"
+build_tsan="$root/build-tsan"
 
 cmake --preset asan-ubsan -S "$root"
 cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)"
@@ -32,3 +39,24 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     "$build/tools/fuzz_diff" --seeds 200 --masks canonical --quiet
 
 echo "check_sanitizers: tier-1 suite + fuzz smoke clean under ASan+UBSan"
+
+if [ "${AREGION_SKIP_TSAN:-0}" = "1" ]; then
+    echo "check_sanitizers: TSan leg skipped (AREGION_SKIP_TSAN=1)"
+    exit 0
+fi
+
+# ThreadSanitizer leg. TSan cannot be combined with ASan, so it gets
+# its own preset/build dir. The filter selects the contention
+# torture suite (grid cells run on parallel::runGrid host workers at
+# 2/4/8 hardware contexts, hammering the process-global failpoint
+# and telemetry registries) and the differential fuzz smoke — the
+# paths where host-thread races can actually live.
+cmake --preset tsan -S "$root"
+cmake --build "$build_tsan" -j "$(nproc 2>/dev/null || echo 4)"
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$build_tsan" --output-on-failure \
+          -j "$(nproc 2>/dev/null || echo 4)" \
+          -R 'Contention|fuzz-smoke'
+
+echo "check_sanitizers: contention suite + fuzz smoke clean under TSan"
