@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Multi-tenant compile-service bench: N tenants concurrently replay
+ * M methods against one CompileService and the run is scored on
+ * cache effectiveness, latency distribution, and oracle agreement
+ * with direct compilation (docs/SERVICE.md documents the protocol).
+ *
+ * Three barrier-separated phases, so the phase-level counters are
+ * deterministic even though request interleaving is not:
+ *
+ *   cold    every tenant requests its full method set against an
+ *           empty cache — exactly `methods` compiles happen; every
+ *           other request is served shared (cache hit or coalesced
+ *           onto the in-flight job; the split between those two is
+ *           schedule-dependent, their sum is not).
+ *   replay  every tenant re-requests the same set — 100% cache hits.
+ *   storm   a subset of tenants reports synthetic abort-storm
+ *           telemetry for one method until admission control walks
+ *           Healthy -> Cooling (recompile rejected) -> Blacklisted
+ *           (compiled non-speculative), while a bystander tenant
+ *           must keep receiving the shared speculative entry.
+ *
+ * Oracle: for every method, the cached code checksum must equal a
+ * direct core::compileProgram of the same inputs. Any mismatch, any
+ * unexpected admission outcome, or a replay hit rate below 50% makes
+ * the binary exit nonzero.
+ *
+ * Flags (beyond the shared --json):
+ *   --tenants <n>   concurrent tenants (default 64)
+ *   --methods <n>   distinct methods per tenant (default 32)
+ *   --seed <n>      method-pool/replay-order seed (default 1)
+ *
+ * `tools/perf_snapshot.sh --service` (or the `bench-service` build
+ * target) snapshots the JSON export to BENCH_service.json. Counters
+ * in the export are deterministic for fixed seed; latency
+ * percentiles and queue depths are wall-clock observables and vary
+ * by host and AREGION_JOBS (docs/PERFORMANCE.md).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "runtime/service/service.hh"
+#include "support/random.hh"
+#include "support/table.hh"
+#include "testing/random_program.hh"
+#include "vm/interpreter.hh"
+
+namespace {
+
+namespace bench = aregion::bench;
+namespace svc = aregion::runtime::service;
+namespace testing = aregion::testing;
+namespace vm = aregion::vm;
+namespace core = aregion::core;
+using aregion::Histogram;
+using aregion::Rng;
+
+/** One pooled method: an immutable program + its training profile,
+ *  shared by every tenant that requests it. */
+struct PooledMethod
+{
+    std::string name;
+    std::shared_ptr<const vm::Program> program;
+    std::shared_ptr<const vm::Profile> profile;
+};
+
+/** Per-tenant, per-phase response tally (written into preallocated
+ *  slots so aggregation order is deterministic). */
+struct TenantTally
+{
+    uint64_t requests = 0;
+    uint64_t compiled = 0;
+    uint64_t nonspec = 0;
+    uint64_t shared = 0;        ///< CacheHit + Coalesced
+    uint64_t rejected = 0;
+    std::vector<int64_t> latenciesUs;
+
+    void
+    note(const svc::CompileResponse &resp)
+    {
+        requests++;
+        latenciesUs.push_back(static_cast<int64_t>(resp.latencyUs));
+        switch (resp.status) {
+          case svc::CompileStatus::Compiled: compiled++; break;
+          case svc::CompileStatus::CompiledNonSpec: nonspec++; break;
+          case svc::CompileStatus::CacheHit:
+          case svc::CompileStatus::Coalesced: shared++; break;
+          default: rejected++; break;
+        }
+    }
+};
+
+struct PhaseResult
+{
+    uint64_t requests = 0;
+    uint64_t compiled = 0;
+    uint64_t nonspec = 0;
+    uint64_t shared = 0;
+    uint64_t rejected = 0;
+    Histogram latencyUs;
+};
+
+PhaseResult
+mergeTallies(const std::vector<TenantTally> &tallies)
+{
+    PhaseResult out;
+    for (const TenantTally &t : tallies) {
+        out.requests += t.requests;
+        out.compiled += t.compiled;
+        out.nonspec += t.nonspec;
+        out.shared += t.shared;
+        out.rejected += t.rejected;
+        for (int64_t us : t.latenciesUs)
+            out.latencyUs.add(us);
+    }
+    return out;
+}
+
+/** Generate the shared method pool: deterministic terminating
+ *  programs (no trap/thread features) profiled by one interpreter
+ *  pass each. */
+std::vector<PooledMethod>
+buildMethodPool(int methods, uint64_t seed)
+{
+    std::vector<PooledMethod> pool(static_cast<size_t>(methods));
+    aregion::parallel::runGrid(
+        pool.size(), [&](size_t i) {
+            testing::RandomProgramGen gen(
+                seed * 1000003ULL + i, testing::kLegacyObjects);
+            auto prog = std::make_shared<vm::Program>(
+                testing::renderProgram(gen.generate()));
+            auto profile = std::make_shared<vm::Profile>(*prog);
+            vm::Interpreter interp(*prog, profile.get());
+            const vm::InterpResult r = interp.run();
+            AREGION_ASSERT(r.completed && !r.trap,
+                           "method pool program must terminate");
+            pool[i] = {"m" + std::to_string(i), std::move(prog),
+                       std::move(profile)};
+        });
+    return pool;
+}
+
+svc::CompileRequest
+requestFor(const PooledMethod &m, int tenant,
+           const core::CompilerConfig &config)
+{
+    svc::CompileRequest rq;
+    rq.tenant = tenant;
+    rq.method = m.name;
+    rq.program = m.program;
+    rq.profile = m.profile;
+    rq.config = config;
+    return rq;
+}
+
+/** One phase: every tenant submits its whole method set (per-tenant
+ *  deterministic order), waits for all responses, tallies them. */
+std::vector<TenantTally>
+runPhase(svc::CompileService &service,
+         const std::vector<PooledMethod> &pool,
+         const core::CompilerConfig &config, int tenants,
+         uint64_t seed)
+{
+    std::vector<TenantTally> tallies(static_cast<size_t>(tenants));
+    aregion::parallel::runGrid(
+        tallies.size(), [&](size_t t) {
+            // Per-tenant replay order: a seeded shuffle so tenants
+            // disagree on order but each replays identically.
+            std::vector<size_t> order(pool.size());
+            for (size_t i = 0; i < order.size(); ++i)
+                order[i] = i;
+            Rng rng(seed ^ (0x7454u + t * 0x9e3779b9ULL));
+            for (size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+
+            std::vector<std::future<svc::CompileResponse>> futures;
+            futures.reserve(order.size());
+            for (size_t mi : order) {
+                futures.push_back(service.submit(requestFor(
+                    pool[mi], static_cast<int>(t), config)));
+            }
+            for (auto &f : futures)
+                tallies[t].note(f.get());
+        });
+    return tallies;
+}
+
+/** Direct-compile oracle: cached code must be byte-identical (by
+ *  printed-IR checksum) to a fresh compileProgram of the same
+ *  inputs. Returns the number of mismatches. */
+int
+runOracle(svc::CompileService &service,
+          const std::vector<PooledMethod> &pool,
+          const core::CompilerConfig &config)
+{
+    std::vector<int> failures(pool.size(), 0);
+    aregion::parallel::runGrid(pool.size(), [&](size_t i) {
+        const PooledMethod &m = pool[i];
+        svc::CompileRequest rq = requestFor(m, 0, config);
+        const uint64_t key = svc::CompileService::keyFor(rq);
+        auto cached = service.cache().peek(key);
+        if (!cached) {
+            failures[i] = 1;
+            std::fprintf(stderr, "ORACLE %s: not cached\n",
+                         m.name.c_str());
+            return;
+        }
+        const core::Compiled direct =
+            core::compileProgram(*m.program, *m.profile, config);
+        if (svc::codeChecksum(direct) != cached->codeChecksum) {
+            failures[i] = 1;
+            std::fprintf(stderr,
+                         "ORACLE %s: cached code != direct compile\n",
+                         m.name.c_str());
+        }
+    });
+    int total = 0;
+    for (int f : failures)
+        total += f;
+    return total;
+}
+
+/** Synthetic storming execution report: well past the default
+ *  ResiliencePolicy thresholds (rate 0.75 >= 0.5, entries >= 16). */
+aregion::hw::MachineResult
+stormResult()
+{
+    aregion::hw::MachineResult mr;
+    mr.regionEntries = 64;
+    mr.regionAborts = 48;
+    return mr;
+}
+
+/**
+ * Drive `storm_tenants` tenants through the admission state machine
+ * against live service state and check every transition; bystander
+ * tenants must keep their speculative entries. Returns the number of
+ * violated expectations.
+ */
+int
+runStormPhase(svc::CompileService &service,
+              const std::vector<PooledMethod> &pool,
+              const core::CompilerConfig &config, int storm_tenants,
+              int bystander_base, std::vector<TenantTally> &tallies)
+{
+    tallies.assign(static_cast<size_t>(storm_tenants), {});
+    std::vector<int> failures(static_cast<size_t>(storm_tenants), 0);
+    // Serial on purpose: the admission cooldown clock is a global
+    // report-round counter, so concurrent storm walks would expire
+    // each other's cooldown windows nondeterministically.
+    for (size_t t = 0; t < static_cast<size_t>(storm_tenants);
+         ++t) {
+            const PooledMethod &m = pool[t % pool.size()];
+            const int tenant = static_cast<int>(t);
+            auto expect = [&](bool ok, const char *what) {
+                if (!ok) {
+                    failures[t]++;
+                    std::fprintf(stderr, "STORM tenant %d: %s\n",
+                                 tenant, what);
+                }
+            };
+            svc::CompileRequest rq = requestFor(m, tenant, config);
+            const uint64_t key = svc::CompileService::keyFor(rq);
+
+            // Strike 1 -> Cooling: recompiles must bounce.
+            service.reportExecution(tenant, key, stormResult());
+            expect(service.admission().state(tenant, key) ==
+                       svc::AdmissionState::Cooling,
+                   "expected Cooling after first storm report");
+            svc::CompileRequest recompile =
+                requestFor(m, tenant, config);
+            recompile.recompile = true;
+            svc::CompileResponse r =
+                service.submitSync(std::move(recompile));
+            tallies[t].note(r);
+            expect(r.status == svc::CompileStatus::RejectedBackoff,
+                   "expected RejectedBackoff during cooldown");
+
+            // Strikes 2..4 -> Blacklisted (maxRecompiles = 3).
+            for (int s = 0; s < 3; ++s)
+                service.reportExecution(tenant, key, stormResult());
+            expect(service.admission().state(tenant, key) ==
+                       svc::AdmissionState::Blacklisted,
+                   "expected Blacklisted after strike budget");
+
+            // Blacklisted compile: accepted, but non-speculative.
+            r = service.submitSync(requestFor(m, tenant, config));
+            tallies[t].note(r);
+            expect(r.status == svc::CompileStatus::CompiledNonSpec ||
+                       (r.status == svc::CompileStatus::CacheHit &&
+                        r.code && r.code->nonSpeculative),
+                   "expected non-speculative compile once blacklisted");
+            expect(r.code && r.code->nonSpeculative &&
+                       r.code->compiled.stats.regions.regionsFormed ==
+                           0,
+                   "blacklisted code must contain no regions");
+
+            // Cross-tenant isolation: an unrelated tenant still gets
+            // the shared speculative entry for the same method.
+            r = service.submitSync(
+                requestFor(m, bystander_base + tenant, config));
+            expect(r.status == svc::CompileStatus::CacheHit &&
+                       r.code && !r.code->nonSpeculative,
+                   "bystander tenant lost its speculative entry");
+    }
+    int total = 0;
+    for (int f : failures)
+        total += f;
+    return total;
+}
+
+void
+addPhaseRow(aregion::TextTable &table, const char *phase,
+            const PhaseResult &r)
+{
+    const double hit_rate =
+        r.requests ? static_cast<double>(r.shared) /
+                         static_cast<double>(r.requests)
+                   : 0.0;
+    table.addRow({phase, std::to_string(r.requests),
+                  std::to_string(r.compiled),
+                  std::to_string(r.nonspec),
+                  std::to_string(r.shared),
+                  std::to_string(r.rejected),
+                  aregion::TextTable::fmt(hit_rate * 100.0, 1),
+                  std::to_string(r.latencyUs.percentile(0.50)),
+                  std::to_string(r.latencyUs.percentile(0.95)),
+                  std::to_string(r.latencyUs.percentile(0.99))});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip this binary's own flags before BenchReport parses the
+    // remainder (same pattern as bench_contention: BenchReport's
+    // --seed feeds the failpoint PRNG, ours seeds the method pool).
+    int tenants = 64;
+    int methods = 32;
+    uint64_t seed = 1;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tenants" && i + 1 < argc) {
+            tenants = std::atoi(argv[++i]);
+        } else if (arg == "--methods" && i + 1 < argc) {
+            methods = std::atoi(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    bench::BenchReport report("service", argc, argv);
+    if (tenants < 1 || methods < 1) {
+        std::fprintf(stderr, "--tenants/--methods must be >= 1\n");
+        return 2;
+    }
+
+    const core::CompilerConfig config = core::CompilerConfig::atomic();
+
+    std::printf("building %d-method pool (seed %llu)...\n", methods,
+                static_cast<unsigned long long>(seed));
+    const std::vector<PooledMethod> pool =
+        buildMethodPool(methods, seed);
+
+    svc::ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.workersPerShard = 2;
+    // Every tenant submits its whole set asynchronously, so the
+    // per-tenant pending cap must sit above the set size.
+    cfg.admission.maxPendingPerTenant =
+        static_cast<size_t>(methods) + 8;
+    svc::CompileService service(cfg);
+
+    std::printf("cold phase: %d tenants x %d methods...\n", tenants,
+                methods);
+    const PhaseResult cold = mergeTallies(
+        runPhase(service, pool, config, tenants, seed));
+
+    std::printf("replay phase...\n");
+    const PhaseResult replay = mergeTallies(
+        runPhase(service, pool, config, tenants, seed + 1));
+
+    std::printf("oracle: cached code vs direct compile...\n");
+    const int oracle_failures = runOracle(service, pool, config);
+
+    const int storm_tenants = std::min(tenants, 8);
+    std::printf("storm phase: %d storming tenants...\n",
+                storm_tenants);
+    std::vector<TenantTally> storm_tallies;
+    const int storm_failures =
+        runStormPhase(service, pool, config, storm_tenants,
+                      tenants + storm_tenants, storm_tallies);
+    const PhaseResult storm = mergeTallies(storm_tallies);
+
+    service.publishTelemetry();
+
+    aregion::TextTable phases({"phase", "requests", "compiled",
+                               "nonspec", "shared", "rejected",
+                               "shared %", "p50 us", "p95 us",
+                               "p99 us"});
+    addPhaseRow(phases, "cold", cold);
+    addPhaseRow(phases, "replay", replay);
+    addPhaseRow(phases, "storm", storm);
+    std::printf("%s\n", phases.render().c_str());
+
+    const svc::ServiceStats stats = service.stats();
+    aregion::TextTable shards(
+        {"shard", "compiles", "max depth"});
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+        shards.addRow({std::to_string(s),
+                       std::to_string(stats.shards[s].compiles),
+                       std::to_string(stats.shards[s].maxDepth)});
+    }
+    std::printf("%s\n", shards.render().c_str());
+
+    const svc::CodeCache &cache = service.cache();
+    aregion::TextTable capacity(
+        {"entries", "bytes", "budget", "evictions", "bytes/entry"});
+    capacity.addRow(
+        {std::to_string(cache.entries()),
+         std::to_string(cache.bytes()),
+         std::to_string(cache.byteBudget()),
+         std::to_string(cache.evictions()),
+         std::to_string(cache.entries()
+                            ? cache.bytes() / cache.entries()
+                            : 0)});
+    std::printf("%s\n", capacity.render().c_str());
+
+    const double replay_hit_rate =
+        replay.requests ? static_cast<double>(replay.shared) /
+                              static_cast<double>(replay.requests)
+                        : 0.0;
+    int problems = oracle_failures + storm_failures;
+    if (replay_hit_rate < 0.5) {
+        std::fprintf(stderr,
+                     "FAIL replay hit rate %.2f below 0.5\n",
+                     replay_hit_rate);
+        problems++;
+    }
+    std::printf("replay hit rate %.1f%%, %d oracle failures, "
+                "%d storm check failures\n",
+                replay_hit_rate * 100.0, oracle_failures,
+                storm_failures);
+
+    report.addTable("phases", phases);
+    report.addTable("shards", shards);
+    report.addTable("capacity", capacity);
+    report.addMetric("tenants", tenants);
+    report.addMetric("methods", methods);
+    report.addMetric("replay_hit_rate", replay_hit_rate);
+    report.addMetric("cold_compiles",
+                     static_cast<double>(cold.compiled));
+    report.addMetric("p95_request_us",
+                     static_cast<double>(
+                         replay.latencyUs.percentile(0.95)));
+    report.addMetric("oracle_failures", oracle_failures);
+    report.addMetric("storm_failures", storm_failures);
+
+    const int json_rc = report.finish();
+    return problems ? 1 : json_rc;
+}

@@ -1,0 +1,143 @@
+#include "runtime/service/admission.hh"
+
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
+
+namespace aregion::runtime::service {
+
+Admit
+AdmissionController::admit(int tenant, uint64_t method_key,
+                           size_t pending, bool recompile)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (pending >= policy.maxPendingPerTenant) {
+        queueRejectCount++;
+        return Admit::RejectQueueFull;
+    }
+    if (recompile) {
+        auto it = methods.find({tenant, method_key});
+        if (it != methods.end() && !it->second.blacklisted &&
+            it->second.strikes > 0 &&
+            round < it->second.coolUntilRound) {
+            backoffRejectCount++;
+            return Admit::RejectBackoff;
+        }
+    }
+    return Admit::Accept;
+}
+
+void
+AdmissionController::noteQueueFull()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    queueRejectCount++;
+}
+
+bool
+AdmissionController::reportExecution(int tenant, uint64_t method_key,
+                                     const hw::MachineResult &result)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    // Every report advances the cooldown clock, storm or not — the
+    // service-side analog of ResilienceTracker's controller rounds.
+    round++;
+
+    const ResiliencePolicy &p = policy.storm;
+    if (result.regionEntries < p.minEntries)
+        return false;
+    const double abort_rate =
+        static_cast<double>(result.regionAborts) /
+        static_cast<double>(result.regionEntries);
+    if (abort_rate < p.stormAbortRate)
+        return false;
+
+    MethodState &ms = methods[{tenant, method_key}];
+    if (ms.blacklisted)
+        return false;   // already condemned; nothing left to decide
+    stormCount++;
+    ms.strikes++;
+    if (ms.strikes > p.maxRecompiles) {
+        ms.blacklisted = true;
+        blacklistCount++;
+    } else {
+        // Exponential backoff: 2^(strikes-1) * base report rounds.
+        const uint64_t cooldown = policy.baseCooldownRounds
+                                  << (ms.strikes - 1);
+        ms.coolUntilRound = round + cooldown;
+    }
+    return true;
+}
+
+bool
+AdmissionController::speculationAllowed(int tenant,
+                                        uint64_t method_key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = methods.find({tenant, method_key});
+    return it == methods.end() || !it->second.blacklisted;
+}
+
+AdmissionState
+AdmissionController::state(int tenant, uint64_t method_key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = methods.find({tenant, method_key});
+    if (it == methods.end())
+        return AdmissionState::Healthy;
+    if (it->second.blacklisted)
+        return AdmissionState::Blacklisted;
+    if (it->second.strikes > 0 && round < it->second.coolUntilRound)
+        return AdmissionState::Cooling;
+    return AdmissionState::Healthy;
+}
+
+uint64_t
+AdmissionController::stormReports() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stormCount;
+}
+
+uint64_t
+AdmissionController::blacklistedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return blacklistCount;
+}
+
+uint64_t
+AdmissionController::backoffRejections() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return backoffRejectCount;
+}
+
+uint64_t
+AdmissionController::queueRejections() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queueRejectCount;
+}
+
+void
+AdmissionController::publishTelemetry() const
+{
+    namespace keys = telemetry::keys;
+    auto &reg = telemetry::Registry::global();
+    std::lock_guard<std::mutex> lock(mu);
+    auto delta = [&](const char *key, uint64_t total,
+                     uint64_t &published) {
+        reg.add(key, total - published);
+        published = total;
+    };
+    delta(keys::kServiceAdmissionStorms, stormCount,
+          publishedStorms);
+    delta(keys::kServiceAdmissionBlacklisted, blacklistCount,
+          publishedBlacklists);
+    delta(keys::kServiceRejectedBackoff, backoffRejectCount,
+          publishedBackoffRejects);
+    delta(keys::kServiceRejectedQueueFull, queueRejectCount,
+          publishedQueueRejects);
+}
+
+} // namespace aregion::runtime::service

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Content-addressed region code cache for the compile service.
+ *
+ * An entry is one compiled module (core::Compiled) keyed by a 64-bit
+ * content address:
+ *
+ *   key = H(bytecode ‖ profile digest ‖ compiler config ‖
+ *           pass fingerprint)
+ *
+ * where H is FNV-1a over a canonical serialization. Two requests
+ * with the same key are guaranteed (by compileProgram's determinism)
+ * to produce byte-identical IR, so the cache can hand the same
+ * immutable CachedCode to every tenant that asks — cross-tenant
+ * deduplication is the whole point of the service. The pass
+ * fingerprint folds opt::pipelinePassNames() plus a manually bumped
+ * schema version into the key, so reordering the pass pipeline or
+ * changing a pass's semantics (bump kPassSchemaVersion!) invalidates
+ * every stale entry instead of serving wrong code.
+ *
+ * Eviction is strict LRU over a byte budget (see docs/SERVICE.md for
+ * the bytes-per-entry capacity model). The newest entry is never
+ * evicted — an entry larger than the whole budget is still served to
+ * its requesters and only displaced by the next insert.
+ *
+ * Thread-safe: every public method takes the internal mutex. Hit,
+ * miss, eviction, and size telemetry lands under `service.cache.*`
+ * (docs/TELEMETRY.md).
+ */
+
+#ifndef AREGION_RUNTIME_SERVICE_CODE_CACHE_HH
+#define AREGION_RUNTIME_SERVICE_CODE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/compiler.hh"
+#include "vm/profile.hh"
+#include "vm/program.hh"
+
+namespace aregion::runtime::service {
+
+/**
+ * One immutable cache entry. The compiled module's ir::Module holds
+ * a raw pointer to its source program, so the entry keeps the
+ * program alive alongside the code — clients may lower and run the
+ * module for as long as they hold the shared_ptr, even after the
+ * entry was evicted.
+ */
+struct CachedCode
+{
+    uint64_t key = 0;
+    std::shared_ptr<const vm::Program> program;
+    core::Compiled compiled;
+
+    /** FNV-1a over the printed IR of every function, in method-id
+     *  order: the oracle identity used by tests and bench_service to
+     *  prove cached code equals a fresh compile. */
+    uint64_t codeChecksum = 0;
+
+    /** Estimated resident bytes (capacity model: docs/SERVICE.md). */
+    size_t sizeBytes = 0;
+
+    /** True when admission control forced this compile
+     *  non-speculative (no regions formed). */
+    bool nonSpeculative = false;
+};
+
+/** Canonical serialization hashes for the content address. */
+uint64_t hashProgram(const vm::Program &prog);
+uint64_t hashProfile(const vm::Program &prog, const vm::Profile &profile);
+uint64_t hashCompilerConfig(const core::CompilerConfig &config);
+
+/** The pipeline identity folded into every key; bump
+ *  kPassSchemaVersion whenever a pass changes behaviour without
+ *  changing its name. */
+uint64_t passFingerprint();
+inline constexpr int kPassSchemaVersion = 1;
+
+/** Full content address for a compile request. */
+uint64_t cacheKey(const vm::Program &prog, const vm::Profile &profile,
+                  const core::CompilerConfig &config);
+
+/** Capacity-model size estimate for a compiled module. */
+size_t estimateCodeBytes(const core::Compiled &compiled);
+
+/** Post-compile identity checksum (printed-IR FNV). */
+uint64_t codeChecksum(const core::Compiled &compiled);
+
+/** LRU, byte-budgeted, content-addressed cache. */
+class CodeCache
+{
+  public:
+    explicit CodeCache(size_t byte_budget) : budget(byte_budget) {}
+
+    /** Hit: bump LRU recency and return the entry (counts
+     *  `service.cache.hits`). Miss: nullptr (counts
+     *  `service.cache.misses`). */
+    std::shared_ptr<const CachedCode> lookup(uint64_t key);
+
+    /** As lookup(), but without touching hit/miss telemetry or
+     *  recency — for introspection and tests. */
+    std::shared_ptr<const CachedCode> peek(uint64_t key) const;
+
+    /**
+     * Insert (or replace) the entry and evict least-recently-used
+     * entries until the byte budget holds again. The entry just
+     * inserted is exempt from its own eviction round. Returns the
+     * number of entries evicted.
+     */
+    size_t insert(const std::shared_ptr<const CachedCode> &code);
+
+    /** Drop one key (a recompile request invalidates stale code). */
+    void invalidate(uint64_t key);
+
+    size_t entries() const;
+    size_t bytes() const;
+    size_t byteBudget() const { return budget; }
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+
+    /** Mirror counters + size gauges into `service.cache.*`. */
+    void publishTelemetry() const;
+
+  private:
+    void evictOverBudgetLocked(uint64_t keep_key);
+
+    struct Entry
+    {
+        std::shared_ptr<const CachedCode> code;
+        std::list<uint64_t>::iterator lru;  ///< position in lruOrder
+    };
+
+    mutable std::mutex mu;
+    size_t budget;
+    size_t bytesUsed = 0;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+    uint64_t evictionCount = 0;
+    /** Values already mirrored into the registry, so repeated
+     *  publishTelemetry() calls add deltas, never double-count. */
+    mutable uint64_t publishedHits = 0;
+    mutable uint64_t publishedMisses = 0;
+    mutable uint64_t publishedEvictions = 0;
+    std::list<uint64_t> lruOrder;           ///< front = most recent
+    std::map<uint64_t, Entry> table;
+};
+
+} // namespace aregion::runtime::service
+
+#endif // AREGION_RUNTIME_SERVICE_CODE_CACHE_HH

@@ -49,14 +49,16 @@ fi
 # its own preset/build dir. The filter selects the contention
 # torture suite (grid cells run on parallel::runGrid host workers at
 # 2/4/8 hardware contexts, hammering the process-global failpoint
-# and telemetry registries) and the differential fuzz smoke — the
-# paths where host-thread races can actually live.
+# and telemetry registries), the compile-service suite (persistent
+# worker threads racing submit/coalesce/stop against the shared code
+# cache and admission controller), and the differential fuzz smoke —
+# the paths where host-thread races can actually live.
 cmake --preset tsan -S "$root"
 cmake --build "$build_tsan" -j "$(nproc 2>/dev/null || echo 4)"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build_tsan" --output-on-failure \
           -j "$(nproc 2>/dev/null || echo 4)" \
-          -R 'Contention|fuzz-smoke'
+          -R 'Contention|Service|fuzz-smoke'
 
-echo "check_sanitizers: contention suite + fuzz smoke clean under TSan"
+echo "check_sanitizers: contention + service suites + fuzz smoke clean under TSan"

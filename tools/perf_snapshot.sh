@@ -1,21 +1,61 @@
 #!/bin/sh
-# Refresh the host-performance snapshot: run the simulator_throughput
-# microbenchmarks and write their --json export (tables + telemetry +
-# the bench.simulator_throughput.*_per_sec gauges) to
-# BENCH_simulator.json at the repo root.
+# Refresh a host-performance snapshot: run one of the bench binaries
+# and write its --json export (tables + telemetry + bench.* gauges)
+# to the matching BENCH_*.json at the repo root.
 #
-# Usage: tools/perf_snapshot.sh [simulator_throughput-binary] [out.json]
-# Defaults assume the standard build directory layout.
+# Usage:
+#   tools/perf_snapshot.sh [binary] [out.json]   # explicit pair
+#   tools/perf_snapshot.sh --simulator           # BENCH_simulator.json
+#   tools/perf_snapshot.sh --contention          # BENCH_contention.json
+#   tools/perf_snapshot.sh --service             # BENCH_service.json
+#   tools/perf_snapshot.sh --all                 # all of the above
+#
+# No arguments defaults to --simulator (the historical behaviour).
+# Each mode assumes the standard build directory layout; the cmake
+# targets bench-perf / bench-contention / bench-service call the
+# explicit form with the freshly built binary.
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-bin="${1:-$root/build/bench/simulator_throughput}"
-out="${2:-$root/BENCH_simulator.json}"
 
-if [ ! -x "$bin" ]; then
-    echo "perf_snapshot: $bin not built (cmake --build build --target simulator_throughput)" >&2
-    exit 1
-fi
+snapshot() {
+    bin="$1"
+    out="$2"
+    if [ ! -x "$bin" ]; then
+        echo "perf_snapshot: $bin not built (cmake --build build --target $(basename "$bin"))" >&2
+        exit 1
+    fi
+    "$bin" --json "$out"
+    echo "perf_snapshot: wrote $out"
+}
 
-"$bin" --json "$out"
-echo "perf_snapshot: wrote $out"
+case "${1:-}" in
+--simulator)
+    snapshot "$root/build/bench/simulator_throughput" \
+        "$root/BENCH_simulator.json"
+    ;;
+--contention)
+    snapshot "$root/build/bench/bench_contention" \
+        "$root/BENCH_contention.json"
+    ;;
+--service)
+    snapshot "$root/build/bench/bench_service" \
+        "$root/BENCH_service.json"
+    ;;
+--all)
+    snapshot "$root/build/bench/simulator_throughput" \
+        "$root/BENCH_simulator.json"
+    snapshot "$root/build/bench/bench_contention" \
+        "$root/BENCH_contention.json"
+    snapshot "$root/build/bench/bench_service" \
+        "$root/BENCH_service.json"
+    ;;
+--*)
+    echo "perf_snapshot: unknown mode $1" >&2
+    exit 2
+    ;;
+*)
+    snapshot "${1:-$root/build/bench/simulator_throughput}" \
+        "${2:-$root/BENCH_simulator.json}"
+    ;;
+esac
