@@ -6,7 +6,8 @@ BranchPredictor::BranchPredictor(size_t gshare_entries,
                                  size_t bimodal_entries,
                                  size_t target_entries)
     : gshare(gshare_entries), bimodal(bimodal_entries),
-      chooser(bimodal_entries), targets(target_entries, 0)
+      chooser(bimodal_entries), gshareMask(gshare_entries - 1),
+      targets(target_entries, 0)
 {
 }
 

@@ -71,11 +71,7 @@ CacheHierarchy::CacheHierarchy(int l1_lines, int l1_assoc,
 int
 CacheHierarchy::accessLatency(uint64_t word_addr, int line_words)
 {
-    const auto words = static_cast<uint64_t>(line_words);
-    const uint64_t line =
-        (words & (words - 1)) == 0
-            ? word_addr >> std::countr_zero(words)
-            : word_addr / words;
+    const uint64_t line = lineOf(word_addr, line_words);
     if (l1.access(line))
         return l1Lat;
     // Stream prefetch: a second consecutive miss line pulls the next

@@ -9,6 +9,7 @@
 #ifndef AREGION_HW_CACHE_HH
 #define AREGION_HW_CACHE_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -67,6 +68,19 @@ class CacheHierarchy
      *  line_words must match across calls (it is the config's fixed
      *  line size; pow2 values use a shift instead of a divide). */
     int accessLatency(uint64_t word_addr, int line_words);
+
+    /** Line number of a word address — the same mapping
+     *  accessLatency uses, exposed so the timing model's leakage
+     *  observer records footprints at the model's own line
+     *  granularity. */
+    static uint64_t
+    lineOf(uint64_t word_addr, int line_words)
+    {
+        const auto words = static_cast<uint64_t>(line_words);
+        return (words & (words - 1)) == 0
+                   ? word_addr >> std::countr_zero(words)
+                   : word_addr / words;
+    }
 
     uint64_t l1Misses() const { return l1.misses; }
     uint64_t l2Misses() const { return l2.misses; }

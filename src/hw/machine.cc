@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iterator>
 
+#include "hw/bisim.hh"
 #include "hw/oracle.hh"
 #include "support/failpoint.hh"
 #include "support/logging.hh"
@@ -223,10 +224,39 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
     frame.lastWriter = spec.writersSnapshot;
     frame.pc = spec.altPc;
 
+    // Planted rollback bug (oracle.inject.divergence failpoint): one
+    // restored register is corrupted after the checkpoint copy, as a
+    // buggy restore path would (payload = delta). The bisimulation
+    // oracle must flag it — that is the negative self-test.
+    if (injectOn && fpDivergence && fpDivergence->evaluate() &&
+        !frame.regs.empty()) {
+        result.injectedDivergences++;
+        const int64_t delta = fpDivergence->value();
+        frame.regs.back() += delta != 0 ? delta : 1;
+    }
+
     result.regionAborts++;
     if (ctx.id == 0) {
         result.discardedUops += spec.uops;
         if (sink) {
+            // Planted aborted-work trace (machine.inject.leak
+            // failpoint): a speculative load of a line the committed
+            // path never touches, streamed before the abort flush so
+            // the timing model attributes it to the dying attempt
+            // (payload = word address; default one far off the heap).
+            if (injectOn && fpLeak && fpLeak->evaluate()) {
+                result.injectedLeaks++;
+                TraceUop t;
+                t.seq = ++tracedSeq;
+                t.pc = static_cast<uint32_t>(resolve_pc);
+                t.isLoad = true;
+                t.lat = LatClass::Load;
+                const int64_t payload = fpLeak->value();
+                t.memAddr = payload > 0
+                                ? static_cast<uint64_t>(payload)
+                                : (1ull << 32);
+                pushTrace(t);
+            }
             flushTrace();
             sink->abortFlush({cause, spec.uops, resolve_pc});
         }
@@ -240,6 +270,15 @@ Machine::doAbort(Ctx &ctx, AbortCause cause, int abort_id,
     if (oracle) {
         oracle->checkAbort(ctx.id, ctxs.size(), frame.regs, frame.pc,
                            heapImpl, cause);
+    }
+    // Bisimulation check (hw/bisim.hh): the spec fields survive the
+    // active=false reset above, so the checkpoint is still intact.
+    // Contexts interleave on one host thread, so the heap here is the
+    // consistent post-abort snapshot even for cross-context aborts.
+    if (bisim) {
+        bisim->checkAbort(ctx.id, spec.method, spec.regsSnapshot,
+                          spec.altPc, frame.regs, frame.pc, heapImpl,
+                          cause);
     }
     if (config.maxConsecutiveAborts > 0 &&
         ++ctx.consecutiveAborts >= config.maxConsecutiveAborts &&
@@ -862,6 +901,26 @@ Machine::publishTelemetry()
                     result.injectedAsserts +
                     result.injectedConflicts +
                     result.injectedCommitStalls);
+        // The two negative-self-test hooks register their counters
+        // only when their own failpoint is armed, so runs arming the
+        // classic injectors see an unchanged key set.
+        if (fpDivergence) {
+            reg.add(keys::kOracleInjectDivergence,
+                    result.injectedDivergences);
+        }
+        if (fpLeak)
+            reg.add(keys::kMachineInjectLeak, result.injectedLeaks);
+    }
+    // Bisimulation oracle counters exist only when the oracle is
+    // attached (attach-only, like the RollbackOracle), keeping
+    // default runs' telemetry byte-identical.
+    if (bisim) {
+        reg.add(keys::kOracleBisimChecks, bisim->checks());
+        reg.add(keys::kOracleBisimReplays, bisim->replays());
+        reg.add(keys::kOracleBisimUops, bisim->replayedUops());
+        reg.add(keys::kOracleBisimDivergences,
+                bisim->divergences().size() +
+                    bisim->suppressedReports());
     }
     if (config.maxConsecutiveAborts > 0) {
         reg.add(keys::kMachineSpecSuppressed,
@@ -910,12 +969,15 @@ Machine::run(uint64_t max_uops)
         fpAssert = fps.find(failpoint::kMachineAssert);
         fpConflict = fps.find(failpoint::kMachineConflict);
         fpCommitStall = fps.find(failpoint::kMachineCommitStall);
+        fpDivergence = fps.find(failpoint::kOracleDivergence);
+        fpLeak = fps.find(failpoint::kMachineLeak);
     } else {
         fpInterrupt = fpCapacity = fpAssert = nullptr;
         fpConflict = fpCommitStall = nullptr;
+        fpDivergence = fpLeak = nullptr;
     }
     injectOn = fpInterrupt || fpCapacity || fpAssert || fpConflict ||
-               fpCommitStall;
+               fpCommitStall || fpDivergence || fpLeak;
 
     result = MachineResult{};
     ctxs.clear();

@@ -44,6 +44,7 @@ class Failpoint;
 
 namespace aregion::hw {
 
+class BisimOracle;
 class RollbackOracle;
 
 /**
@@ -164,6 +165,8 @@ struct MachineResult
     uint64_t injectedAsserts = 0;
     uint64_t injectedConflicts = 0;     ///< forced at aregion_end
     uint64_t injectedCommitStalls = 0;  ///< commits held open
+    uint64_t injectedDivergences = 0;   ///< planted rollback bugs
+    uint64_t injectedLeaks = 0;         ///< planted aborted-work traces
 
     /** Scheduler steps burned in ContentionControl backoff stalls. */
     uint64_t backoffSteps = 0;
@@ -201,6 +204,11 @@ class Machine
      *  harness only: snapshots the heap at every region entry. Must
      *  outlive run(); nullptr (the default) is fully inert. */
     void setOracle(RollbackOracle *o) { oracle = o; }
+
+    /** Attach a deopt bisimulation oracle (hw/bisim.hh): every abort
+     *  is checked by non-speculative replay from the checkpoint.
+     *  Same lifetime contract as setOracle; nullptr is inert. */
+    void setBisimOracle(BisimOracle *b) { bisim = b; }
 
     /** Attach a contention controller (runtime/resilience.hh). Same
      *  lifetime contract as setOracle; nullptr is inert. */
@@ -355,6 +363,7 @@ class Machine
     HwConfig config;
     TraceSink *sink;
     RollbackOracle *oracle = nullptr;
+    BisimOracle *bisim = nullptr;
     ContentionControl *contention = nullptr;
 
     /** Failpoint handles, resolved once per run() so the armed case
@@ -366,6 +375,8 @@ class Machine
     failpoint::Failpoint *fpAssert = nullptr;
     failpoint::Failpoint *fpConflict = nullptr;
     failpoint::Failpoint *fpCommitStall = nullptr;
+    failpoint::Failpoint *fpDivergence = nullptr;
+    failpoint::Failpoint *fpLeak = nullptr;
 
     vm::Heap heapImpl;
     std::vector<Ctx> ctxs;

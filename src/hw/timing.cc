@@ -78,6 +78,77 @@ TimingModel::TimingModel(const TimingConfig &config)
     fpMispredict =
         fps.anyArmed() ? fps.find(failpoint::kTimingMispredict)
                        : nullptr;
+    leakOn = cfg.leakObserver;
+}
+
+void
+TimingModel::leakObserve(const TraceUop &u)
+{
+    if (u.region == RegionEvent::Begin) {
+        curRegionId = u.regionId;
+        attemptFp = LeakFootprint{};
+        // A fresh attempt ends any replay window: whatever follows
+        // belongs to the new speculation, not the old alternate path.
+        replayRegion = -1;
+        replayRemaining = 0;
+        return;
+    }
+    if (u.region == RegionEvent::End) {
+        if (curRegionId >= 0) {
+            committedFp[curRegionId].merge(attemptFp);
+            attemptFp = LeakFootprint{};
+            curRegionId = -1;
+        }
+        return;
+    }
+
+    LeakFootprint *fp = nullptr;
+    if (curRegionId >= 0) {
+        fp = &attemptFp;
+    } else if (replayRemaining > 0 && replayRegion >= 0) {
+        fp = &committedFp[replayRegion];
+        if (--replayRemaining == 0)
+            replayRegion = -1;
+    }
+    if (!fp)
+        return;
+    if (u.isLoad || u.isStore) {
+        fp->lines.insert(
+            CacheHierarchy::lineOf(u.memAddr, cfg.lineWords));
+    }
+    // predictionIndex must be read before this uop's own
+    // predictor.update shifts the global history — leakObserve runs
+    // at the top of processUop, so it is.
+    if (u.isBranch)
+        fp->branchEntries.insert(predictor.predictionIndex(u.pc));
+}
+
+std::vector<TimingModel::RegionLeak>
+TimingModel::leakReport() const
+{
+    std::vector<RegionLeak> out;
+    for (const auto &[rid, discarded] : discardedFp) {
+        RegionLeak leak;
+        leak.regionId = rid;
+        const auto attempts = abortedAttempts.find(rid);
+        leak.abortedAttempts =
+            attempts != abortedAttempts.end() ? attempts->second : 0;
+        const auto committed = committedFp.find(rid);
+        static const LeakFootprint kEmpty;
+        const LeakFootprint &base = committed != committedFp.end()
+                                        ? committed->second
+                                        : kEmpty;
+        for (uint64_t line : discarded.lines) {
+            if (!base.lines.count(line))
+                leak.leakedLines.push_back(line);
+        }
+        for (size_t entry : discarded.branchEntries) {
+            if (!base.branchEntries.count(entry))
+                leak.leakedBranchEntries.push_back(entry);
+        }
+        out.push_back(std::move(leak));
+    }
+    return out;
 }
 
 uint64_t
@@ -114,6 +185,8 @@ void
 TimingModel::processUop(const TraceUop &u)
 {
     ++uopCount;
+    if (leakOn) [[unlikely]]
+        leakObserve(u);
 
     // --- Dispatch -------------------------------------------------
     // Each gate that raises the dispatch cycle is a stall candidate;
@@ -282,8 +355,19 @@ TimingModel::processUop(const TraceUop &u)
 void
 TimingModel::abortFlush(const AbortEvent &event)
 {
-    (void)event;
     ++abortFlushes;
+    if (leakOn && curRegionId >= 0) {
+        // The attempt's footprint is now discarded work; the next
+        // `discardedUops` uops outside any region are the alternate
+        // path re-doing it non-speculatively — the committed replay
+        // whose footprint the leak diff subtracts.
+        discardedFp[curRegionId].merge(attemptFp);
+        ++abortedAttempts[curRegionId];
+        replayRegion = curRegionId;
+        replayRemaining = event.discardedUops;
+        attemptFp = LeakFootprint{};
+        curRegionId = -1;
+    }
     regionOpen = false;
     // The pipeline flushes and redirects once the aborting
     // instruction (the last uop streamed) resolves, like a branch
@@ -325,6 +409,25 @@ TimingModel::publishTelemetry() const
     reg.add(keys::kTimingStallRegion, stallRegion);
     if (fpMispredict)
         reg.add(keys::kTimingInjectMispredict, injectedMispredicts);
+    // Leakage-observer counters register only when the mode is on,
+    // keeping default runs' telemetry (and their JSON exports)
+    // byte-identical.
+    if (cfg.leakObserver) {
+        const std::vector<RegionLeak> report = leakReport();
+        uint64_t flagged = 0;
+        uint64_t leaked_lines = 0;
+        uint64_t leaked_branches = 0;
+        for (const RegionLeak &leak : report) {
+            if (leak.leaky())
+                ++flagged;
+            leaked_lines += leak.leakedLines.size();
+            leaked_branches += leak.leakedBranchEntries.size();
+        }
+        reg.add(keys::kTimingLeakRegions, report.size());
+        reg.add(keys::kTimingLeakFlagged, flagged);
+        reg.add(keys::kTimingLeakLines, leaked_lines);
+        reg.add(keys::kTimingLeakBranches, leaked_branches);
+    }
     // IPC of the cumulative registry totals, so a multi-run bench
     // reports its aggregate throughput.
     const uint64_t total_uops = reg.counterValue(keys::kTimingUops);

@@ -14,6 +14,15 @@ AdmissionController::admit(int tenant, uint64_t method_key,
         queueRejectCount++;
         return Admit::RejectQueueFull;
     }
+    if (policy.compileUsQuotaPerRound > 0) {
+        auto it = tenantSpend.find(tenant);
+        if (it != tenantSpend.end() &&
+            it->second.windowRound == round &&
+            it->second.spendUs >= policy.compileUsQuotaPerRound) {
+            quotaRejectCount++;
+            return Admit::RejectQuota;
+        }
+    }
     if (recompile) {
         auto it = methods.find({tenant, method_key});
         if (it != methods.end() && !it->second.blacklisted &&
@@ -31,6 +40,22 @@ AdmissionController::noteQueueFull()
 {
     std::lock_guard<std::mutex> lock(mu);
     queueRejectCount++;
+}
+
+void
+AdmissionController::noteCompileTime(int tenant, uint64_t compile_us)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (policy.compileUsQuotaPerRound == 0)
+        return;
+    TenantQuota &q = tenantSpend[tenant];
+    if (q.windowRound != round) {
+        // First charge in a new round: the previous round's spend
+        // has been forgiven by the advancing report clock.
+        q.windowRound = round;
+        q.spendUs = 0;
+    }
+    q.spendUs += compile_us;
 }
 
 bool
@@ -119,6 +144,13 @@ AdmissionController::queueRejections() const
     return queueRejectCount;
 }
 
+uint64_t
+AdmissionController::quotaRejections() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return quotaRejectCount;
+}
+
 void
 AdmissionController::publishTelemetry() const
 {
@@ -138,6 +170,11 @@ AdmissionController::publishTelemetry() const
           publishedBackoffRejects);
     delta(keys::kServiceRejectedQueueFull, queueRejectCount,
           publishedQueueRejects);
+    // The quota key only exists when the gate is configured, so
+    // quota-free deployments publish an unchanged key set.
+    if (policy.compileUsQuotaPerRound > 0)
+        delta(keys::kServiceRejectedQuota, quotaRejectCount,
+              publishedQuotaRejects);
 }
 
 } // namespace aregion::runtime::service

@@ -2,7 +2,7 @@
  * @file
  * Multi-tenant admission control for the compile service.
  *
- * Two independent gates, both consulted at submit time
+ * Three independent gates, all consulted at submit time
  * (docs/SERVICE.md documents the full state machine):
  *
  *  1. Queue admission: a tenant may not hold more than
@@ -31,6 +31,15 @@
  *     accepted but forced non-speculative: the service strips
  *     atomicRegions from the effective config, exactly what
  *     RegionConfig::blacklistMethods does inside one process.
+ *
+ *  3. Compile-time quota: workers report each job's wall-clock
+ *     compile time back via noteCompileTime(). A tenant whose spend
+ *     inside the current report round reaches
+ *     `compileUsQuotaPerRound` has further submits rejected
+ *     (`service.rejected.quota`) until the round advances, so one
+ *     tenant flooding expensive compiles cannot monopolize worker
+ *     wall-clock even while staying under its pending cap. Off by
+ *     default (quota 0 disables the gate and its telemetry key).
  *
  * Cooldowns tick in "report rounds": every reportExecution() call
  * advances the global round counter, mirroring the controller-round
@@ -71,6 +80,10 @@ struct AdmissionPolicy
     /** Cooldown after the first strike, in report rounds; doubles
      *  per strike (exponential backoff across the queue boundary). */
     uint64_t baseCooldownRounds = 2;
+
+    /** Per-tenant wall-clock compile budget (µs) per report round;
+     *  0 disables the quota gate entirely. */
+    uint64_t compileUsQuotaPerRound = 0;
 };
 
 /** Per-(tenant, method) admission state. */
@@ -81,6 +94,7 @@ enum class Admit {
     Accept,
     RejectQueueFull,    ///< tenant pending cap hit
     RejectBackoff,      ///< recompile during a cooling window
+    RejectQuota,        ///< round compile-time budget exhausted
 };
 
 class AdmissionController
@@ -103,6 +117,11 @@ class AdmissionController
      *  under `service.rejected.queue_full`). */
     void noteQueueFull();
 
+    /** Charge one finished compile's wall-clock cost against the
+     *  tenant's budget for the current report round. No-op when the
+     *  quota gate is disabled. */
+    void noteCompileTime(int tenant, uint64_t compile_us);
+
     /**
      * Feed back one execution of this tenant's compiled method.
      * Returns true when the result scored a storm strike. Also
@@ -121,6 +140,7 @@ class AdmissionController
     uint64_t blacklistedCount() const;
     uint64_t backoffRejections() const;
     uint64_t queueRejections() const;
+    uint64_t quotaRejections() const;
 
     /** Mirror counters into `service.admission.*` /
      *  `service.rejected.*`. */
@@ -135,20 +155,30 @@ class AdmissionController
         bool blacklisted = false;
     };
 
+    /** Per-tenant compile-time spend inside one report round. */
+    struct TenantQuota
+    {
+        uint64_t spendUs = 0;
+        uint64_t windowRound = 0;   ///< round the spend belongs to
+    };
+
     using Key = std::pair<int, uint64_t>;
 
     AdmissionPolicy policy;
     mutable std::mutex mu;
     std::map<Key, MethodState> methods;
+    std::map<int, TenantQuota> tenantSpend;
     uint64_t round = 0;             ///< report-round clock
     uint64_t stormCount = 0;
     uint64_t blacklistCount = 0;
     uint64_t backoffRejectCount = 0;
     uint64_t queueRejectCount = 0;
+    uint64_t quotaRejectCount = 0;
     mutable uint64_t publishedStorms = 0;
     mutable uint64_t publishedBlacklists = 0;
     mutable uint64_t publishedBackoffRejects = 0;
     mutable uint64_t publishedQueueRejects = 0;
+    mutable uint64_t publishedQuotaRejects = 0;
 };
 
 } // namespace aregion::runtime::service

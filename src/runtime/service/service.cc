@@ -29,6 +29,7 @@ statusName(CompileStatus status)
       case CompileStatus::CompiledNonSpec: return "compiled_nonspec";
       case CompileStatus::RejectedQueueFull: return "rejected_queue_full";
       case CompileStatus::RejectedBackoff: return "rejected_backoff";
+      case CompileStatus::RejectedQuota: return "rejected_quota";
       case CompileStatus::Shutdown: return "shutdown";
     }
     return "?";
@@ -126,6 +127,8 @@ CompileService::submit(CompileRequest request)
         return reject(CompileStatus::RejectedQueueFull);
       case Admit::RejectBackoff:
         return reject(CompileStatus::RejectedBackoff);
+      case Admit::RejectQuota:
+        return reject(CompileStatus::RejectedQuota);
       case Admit::Accept:
         break;
     }
@@ -263,6 +266,7 @@ CompileService::compileJob(Shard &shard, std::unique_ptr<Job> job)
     code->sizeBytes = estimateCodeBytes(code->compiled);
     code->nonSpeculative = job->forceNonSpec;
     const uint64_t compile_us = (nowNs() - t0) / 1000;
+    admissionCtl.noteCompileTime(rq.tenant, compile_us);
 
     codeCache.insert(code);
 

@@ -104,6 +104,7 @@ enum class CompileStatus {
     CompiledNonSpec,    ///< blacklisted: compiled without regions
     RejectedQueueFull,  ///< shard queue or tenant pending cap hit
     RejectedBackoff,    ///< recompile refused during storm cooldown
+    RejectedQuota,      ///< tenant's round compile budget exhausted
     Shutdown,           ///< service stopped before the job ran
 };
 

@@ -58,6 +58,13 @@ inline constexpr const char *kMachineConflict = "machine.conflict";
 inline constexpr const char *kMachineCommitStall =
     "machine.commit_stall";
 inline constexpr const char *kTimingMispredict = "timing.mispredict";
+// Negative self-tests for the robustness layer (docs/RESILIENCE.md):
+// plant a known rollback bug / aborted-work trace that the
+// bisimulation oracle / leakage observer must catch. The names
+// double as their telemetry counter keys.
+inline constexpr const char *kOracleDivergence =
+    "oracle.inject.divergence";
+inline constexpr const char *kMachineLeak = "machine.inject.leak";
 
 /** How an armed failpoint decides to fire. */
 enum class Trigger : uint8_t {

@@ -86,6 +86,28 @@ inline constexpr const char *kMachineSpecSuppressed =
     "machine.region.spec_suppressed";
 inline constexpr const char *kMachineLivelockTrips =
     "machine.region.livelock_trips";
+// Negative-self-test injectors (failpoint names double as keys):
+// planted rollback bugs / aborted-work traces the bisimulation
+// oracle and leakage observer must detect.
+inline constexpr const char *kOracleInjectDivergence =
+    "oracle.inject.divergence";
+inline constexpr const char *kMachineInjectLeak =
+    "machine.inject.leak";
+
+// --- oracle.bisim.* (src/hw/bisim.cc via machine.cc) -------------
+// Deopt bisimulation oracle: aborts checked by non-speculative
+// replay from the aregion_begin checkpoint, replays run (two per
+// check), uops those replays executed, and observable divergences
+// found (reported + suppressed). Registered only while a
+// BisimOracle is attached.
+inline constexpr const char *kOracleBisimChecks =
+    "oracle.bisim.checks";
+inline constexpr const char *kOracleBisimReplays =
+    "oracle.bisim.replays";
+inline constexpr const char *kOracleBisimUops =
+    "oracle.bisim.uops";
+inline constexpr const char *kOracleBisimDivergences =
+    "oracle.bisim.divergences";
 
 // --- driver.* (src/support/parallel.cc) --------------------------
 inline constexpr const char *kDriverTasks = "driver.tasks";
@@ -124,6 +146,19 @@ inline constexpr const char *kTimingStallRegion =
 // Forced branch mispredicts (timing.mispredict failpoint).
 inline constexpr const char *kTimingInjectMispredict =
     "timing.inject.mispredict";
+// Leakage observer (TimingConfig::leakObserver): regions whose
+// aborted attempts were audited, regions flagged for leaving
+// input-dependent microarchitectural traces, and the leaked
+// cache-line / branch-predictor-entry counts. Registered only when
+// the observer mode is on.
+inline constexpr const char *kTimingLeakRegions =
+    "timing.leak.regions";
+inline constexpr const char *kTimingLeakFlagged =
+    "timing.leak.flagged";
+inline constexpr const char *kTimingLeakLines =
+    "timing.leak.lines";
+inline constexpr const char *kTimingLeakBranches =
+    "timing.leak.branches";
 
 // --- jit.* (src/runtime/jit.cc, src/opt/pass.cc) -----------------
 inline constexpr const char *kJitRuns = "jit.runs";
@@ -230,6 +265,11 @@ inline constexpr const char *kServiceRejectedQueueFull =
     "service.rejected.queue_full";
 inline constexpr const char *kServiceRejectedBackoff =
     "service.rejected.backoff";
+// Requests rejected because the tenant exhausted its per-round
+// compile-time quota (AdmissionPolicy::compileUsQuotaPerRound).
+// Registered only when the quota is enabled.
+inline constexpr const char *kServiceRejectedQuota =
+    "service.rejected.quota";
 inline constexpr const char *kServiceAdmissionStorms =
     "service.admission.storms";
 inline constexpr const char *kServiceAdmissionBlacklisted =
@@ -283,14 +323,18 @@ catalogInfo()
           kMachineInjectInterrupt, kMachineInjectCapacity,
           kMachineInjectAssert, kMachineInjectConflict,
           kMachineInjectCommitStall, kMachineInjectTotal,
-          kMachineSpecSuppressed, kMachineLivelockTrips, kDriverTasks,
+          kMachineSpecSuppressed, kMachineLivelockTrips,
+          kOracleInjectDivergence, kMachineInjectLeak,
+          kOracleBisimChecks, kOracleBisimReplays, kOracleBisimUops,
+          kOracleBisimDivergences, kDriverTasks,
           kDriverWallUs, kTimingCycles,
           kTimingUops, kTimingBranches, kTimingMispredicts,
           kTimingIndirectMispredicts, kTimingSerializations,
           kTimingRegionBegins, kTimingAbortFlushes, kTimingL1Misses,
           kTimingL2Misses, kTimingStallRob, kTimingStallSched,
           kTimingStallFetch, kTimingStallSerial, kTimingStallRegion,
-          kTimingInjectMispredict,
+          kTimingInjectMispredict, kTimingLeakRegions,
+          kTimingLeakFlagged, kTimingLeakLines, kTimingLeakBranches,
           kJitRuns, kJitRecompiles, kJitProfileUs, kJitCompileUs,
           kJitMachineUs, kJitPassSimplifyCfgUs,
           kJitPassConstantFoldUs, kJitPassCseUs, kJitPassCopyPropUs,
@@ -310,6 +354,7 @@ catalogInfo()
           kServiceCacheHits, kServiceCacheMisses,
           kServiceCacheEvictions, kServiceCacheDedup,
           kServiceRejectedQueueFull, kServiceRejectedBackoff,
+          kServiceRejectedQuota,
           kServiceAdmissionStorms, kServiceAdmissionBlacklisted,
           kProfileMethods, kProfileBytecodes, kProfileBranchSites,
           kProfileCallSites, kProfileInvocations}) {

@@ -6,6 +6,7 @@
 #include "core/lock_elision.hh"
 #include "core/postdom_check_elim.hh"
 #include "core/region_formation.hh"
+#include "hw/bisim.hh"
 #include "hw/codegen.hh"
 #include "hw/machine.hh"
 #include "hw/oracle.hh"
@@ -347,6 +348,12 @@ runDiff(const vm::Program &prog, bool threaded, const DiffOptions &opt)
         hw::Machine machine(mp, config, sink, opt.heapWords);
         hw::RollbackOracle oracle;
         machine.setOracle(&oracle);
+        hw::BisimOracle bisim(mp);
+        if (opt.withBisim) {
+            if (!opt.replayCommand.empty())
+                bisim.setReplayInfo(opt.replaySeed, opt.replayCommand);
+            machine.setBisimOracle(&bisim);
+        }
         MachineOutcome mo;
         try {
             mo.res = machine.run(opt.machineMaxUops);
@@ -372,6 +379,10 @@ runDiff(const vm::Program &prog, bool threaded, const DiffOptions &opt)
         for (const auto &d : oracle.divergences())
             report.divergences.push_back(
                 {stage + ":oracle",
+                 "ctx " + std::to_string(d.ctxId) + ": " + d.what});
+        for (const auto &d : bisim.divergences())
+            report.divergences.push_back(
+                {stage + ":bisim",
                  "ctx " + std::to_string(d.ctxId) + ": " + d.what});
         return mo;
     };
@@ -463,7 +474,14 @@ DiffReport
 runDiff(const GenProgram &gp, const DiffOptions &opt)
 {
     const vm::Program prog = renderProgram(gp);
-    return runDiff(prog, usesThreads(gp), opt);
+    DiffOptions stamped = opt;
+    if (stamped.replayCommand.empty()) {
+        stamped.replaySeed = gp.seed;
+        stamped.replayCommand = "fuzz_diff --masks " +
+            maskName(gp.features) + " --start " +
+            std::to_string(gp.seed) + " --seeds 1";
+    }
+    return runDiff(prog, usesThreads(gp), stamped);
 }
 
 } // namespace aregion::testing

@@ -18,7 +18,10 @@
  *   - telemetry-visible abort causes (explicit abort counts per
  *     assert id must agree between the evaluator and the machine
  *     when no asynchronous abort source fired),
- *   - the rollback oracle's register/pc/heap cross-checks.
+ *   - the rollback oracle's register/pc/heap cross-checks,
+ *   - the deopt bisimulation oracle's replay equivalence: every
+ *     abort is re-executed non-speculatively from its checkpoint and
+ *     must reach the same observable state the hardware left behind.
  *
  * Any mismatch is returned as a DivergenceRecord naming the stage.
  */
@@ -45,6 +48,18 @@ struct DiffOptions
     /** Attach a timing model to one machine run and require it to be
      *  a pure observer (identical architectural results). */
     bool withTiming = true;
+
+    /** Attach the deopt bisimulation oracle to every machine run:
+     *  each abort is replayed non-speculatively from its checkpoint
+     *  and the replay's observable state must match the post-abort
+     *  machine state (the fourth differential check). */
+    bool withBisim = true;
+
+    /** Reproduction stamp appended to bisim divergence reports
+     *  (fuzzer seed plus a one-command replay line). Set by the
+     *  GenProgram overload of runDiff; empty command = no stamp. */
+    uint64_t replaySeed = 0;
+    std::string replayCommand;
 
     /** Forced abort period for the evaluator's rollback stress run
      *  (0 disables that variant). */

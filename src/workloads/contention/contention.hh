@@ -80,6 +80,12 @@ struct ContentionRunConfig
 
     /** Attach the cross-context rollback oracle. */
     bool oracle = true;
+
+    /** Attach the deopt bisimulation oracle (hw/bisim.hh): every
+     *  abort — including conflict aborts between fighting contexts —
+     *  is replayed non-speculatively from its checkpoint and must
+     *  reach the state the hardware left behind. */
+    bool bisim = true;
 };
 
 /** Everything one cell reports. */
@@ -106,6 +112,8 @@ struct CellResult
 
     uint64_t oracleCommitChecks = 0;
     uint64_t oracleConflictHeapChecks = 0;
+    uint64_t bisimChecks = 0;           ///< aborts bisim-replayed
+    uint64_t bisimReplayedUops = 0;
 
     /** Oracle divergences + differential mismatches, already
      *  stamped with seed/ctx/replay coordinates. */

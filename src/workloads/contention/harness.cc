@@ -19,6 +19,7 @@
 #include "core/compiler.hh"
 #include "hw/codegen.hh"
 #include "hw/machine.hh"
+#include "hw/bisim.hh"
 #include "hw/oracle.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
@@ -152,6 +153,11 @@ runContentionCell(const ContentionWorkload &workload,
         oracle.setReplayInfo(cfg.seed, replay);
         machine.setOracle(&oracle);
     }
+    hw::BisimOracle bisim(mp);
+    if (cfg.bisim) {
+        bisim.setReplayInfo(cfg.seed, replay);
+        machine.setBisimOracle(&bisim);
+    }
     runtime::ContentionPolicy policy = cfg.policy;
     policy.seed = cfg.seed;
     runtime::ContentionGovernor governor(policy);
@@ -177,6 +183,8 @@ runContentionCell(const ContentionWorkload &workload,
     cell.livelockBreaks = governor.livelockBreaks();
     cell.oracleCommitChecks = oracle.commitChecks();
     cell.oracleConflictHeapChecks = oracle.conflictHeapChecks();
+    cell.bisimChecks = bisim.checks();
+    cell.bisimReplayedUops = bisim.replayedUops();
     for (const auto &[key, rr] : res.regions) {
         cell.totalAborts += rr.totalAborts();
         cell.conflictAborts += rr.abortsByCause[static_cast<int>(
@@ -189,6 +197,10 @@ runContentionCell(const ContentionWorkload &workload,
     }
     for (const auto &d : oracle.divergences())
         cell.problems.push_back("oracle ctx " +
+                                std::to_string(d.ctxId) + ": " +
+                                d.what);
+    for (const auto &d : bisim.divergences())
+        cell.problems.push_back("bisim ctx " +
                                 std::to_string(d.ctxId) + ": " +
                                 d.what);
 
@@ -223,7 +235,8 @@ runContentionGrid(const std::vector<GridCell> &cells)
     auto &reg = telemetry::Registry::global();
     uint64_t checks = 0, divergences = 0;
     for (const CellResult &r : results) {
-        checks += r.oracleCommitChecks + r.oracleConflictHeapChecks;
+        checks += r.oracleCommitChecks + r.oracleConflictHeapChecks +
+                  r.bisimChecks;
         divergences += r.problems.size();
     }
     reg.add(keys::kContentionCells, results.size());

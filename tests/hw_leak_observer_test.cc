@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Aborted-work leakage observer tests (timing.hh leakObserver mode).
+ *
+ * Architecturally an abort is perfect — the rollback oracles prove
+ * it — but the discarded uops still ran through the cache and branch
+ * predictor. The observer records the microarchitectural footprint
+ * of every discarded region attempt and diffs it against the
+ * committed replay of the same region; whatever only the dead
+ * attempt touched is input-dependent residue a prober could read
+ * back. These tests drive it with hand-assembled secret-dependent
+ * regions, the machine.inject.leak planted bug, and an inertness
+ * check (the observer must never change modelled time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "hw/timing.hh"
+#include "support/failpoint.hh"
+#include "vm/builder.hh"
+
+namespace {
+
+using namespace aregion;
+namespace hw = aregion::hw;
+namespace fp = aregion::failpoint;
+
+/** Hand-assemble a machine program around one main function. */
+struct Assembler
+{
+    explicit Assembler(const vm::Program &prog) { mp.prog = &prog; }
+
+    hw::MachineFunction &
+    func(vm::MethodId m, int num_args, int num_regs)
+    {
+        hw::MachineFunction f;
+        f.methodId = m;
+        f.name = "asm" + std::to_string(m);
+        f.numArgs = num_args;
+        f.numRegs = num_regs;
+        auto [it, ok] = mp.funcs.emplace(m, std::move(f));
+        (void)ok;
+        return it->second;
+    }
+
+    static hw::MUop
+    uop(hw::MKind kind, hw::MReg dst = hw::NO_MREG,
+        std::vector<hw::MReg> srcs = {}, int64_t imm = 0,
+        int aux = 0, int target = -1)
+    {
+        hw::MUop u;
+        u.kind = kind;
+        u.dst = dst;
+        u.srcs = std::move(srcs);
+        u.imm = imm;
+        u.aux = aux;
+        u.target = target;
+        return u;
+    }
+
+    hw::MachineProgram mp;
+};
+
+vm::Program
+shellProgram()
+{
+    vm::ProgramBuilder pb;
+    const vm::MethodId id = pb.declareMethod("m0", 0);
+    auto mb = pb.define(id);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(id);
+    return pb.build();
+}
+
+/**
+ * A region that speculatively loads `array[secret_off]`, then
+ * aborts. When `alt_loads_too` the alternate path performs the same
+ * load — the committed replay then covers the aborted footprint and
+ * there is nothing left to leak.
+ *
+ *   0: Imm   r4 = 2048
+ *   1: Alloc r1 = alloc(2048)
+ *   2: Imm   r5 = secret_off
+ *   3: Alu   r1 = r1 + r5
+ *   4: ABegin (alt = 7)
+ *   5: Load  r2 = mem[r1]     <- discarded secret-dependent access
+ *   6: AAbort id=1
+ *   7: Load  r3 = mem[r1]     (only when alt_loads_too; else Imm)
+ *   8: Print r3
+ *   9: Ret
+ */
+void
+secretRegion(Assembler &as, int64_t secret_off, bool alt_loads_too)
+{
+    auto &f = as.func(0, 0, 8);
+    using K = hw::MKind;
+    f.code = {
+        Assembler::uop(K::Imm, 4, {}, 2048),
+        Assembler::uop(K::Alloc, 1, {4}, 1),
+        Assembler::uop(K::Imm, 5, {}, secret_off),
+        Assembler::uop(K::Alu, 1, {1, 5}),
+        Assembler::uop(K::ABegin, hw::NO_MREG, {}, 0, 0, 7),
+        Assembler::uop(K::Load, 2, {1}),
+        Assembler::uop(K::AAbort, hw::NO_MREG, {}, 0, 1),
+        // alt (offset 7):
+        alt_loads_too ? Assembler::uop(K::Load, 3, {1})
+                      : Assembler::uop(K::Imm, 3, {}, 5),
+        Assembler::uop(K::Print, hw::NO_MREG, {3}),
+        Assembler::uop(K::Ret),
+    };
+}
+
+struct LeakRun
+{
+    hw::MachineResult result;
+    std::vector<hw::TimingModel::RegionLeak> report;
+    uint64_t cycles = 0;
+    uint64_t uops = 0;
+};
+
+LeakRun
+runWithObserver(const hw::MachineProgram &mp, bool observer_on)
+{
+    hw::TimingConfig cfg = hw::TimingConfig::baseline();
+    cfg.leakObserver = observer_on;
+    hw::TimingModel tm(cfg);
+    hw::Machine machine(mp, hw::HwConfig{}, &tm);
+    LeakRun run;
+    run.result = machine.run();
+    run.report = tm.leakReport();
+    run.cycles = tm.cycles();
+    run.uops = tm.uopCount;
+    return run;
+}
+
+class LeakObserverTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fp::Registry::global().disarmAll(); }
+};
+
+/** The aborted attempt's load shows up as leaked residue: the line
+ *  it touched is in no committed execution's footprint, and which
+ *  line leaks follows the secret address — exactly the property a
+ *  cache-probing observer exploits. */
+TEST_F(LeakObserverTest, AbortedLoadLeaksItsSecretDependentLine)
+{
+    const vm::Program shell = shellProgram();
+    auto leakedLinesFor = [&](int64_t secret_off) {
+        Assembler as(shell);
+        secretRegion(as, secret_off, false);
+        const LeakRun run = runWithObserver(as.mp, true);
+        EXPECT_TRUE(run.result.completed);
+        EXPECT_EQ(run.result.regionAborts, 1u);
+        std::vector<uint64_t> lines;
+        for (const auto &leak : run.report) {
+            EXPECT_EQ(leak.abortedAttempts, 1u);
+            if (leak.leaky())
+                lines.insert(lines.end(), leak.leakedLines.begin(),
+                             leak.leakedLines.end());
+        }
+        return lines;
+    };
+
+    const std::vector<uint64_t> low = leakedLinesFor(64);
+    ASSERT_EQ(low.size(), 1u);
+
+    const std::vector<uint64_t> high = leakedLinesFor(768);
+    ASSERT_EQ(high.size(), 1u);
+    EXPECT_NE(low[0], high[0]);     // residue is input-dependent
+}
+
+/** When the alternate path performs the same load, the committed
+ *  replay covers the aborted footprint — no leak. The replay-window
+ *  attribution (timing.hh) is what makes this distinction. */
+TEST_F(LeakObserverTest, CoveredAbortedLoadIsNotALeak)
+{
+    const vm::Program shell = shellProgram();
+    Assembler as(shell);
+    secretRegion(as, 64, true);
+    const LeakRun run = runWithObserver(as.mp, true);
+    ASSERT_TRUE(run.result.completed);
+    EXPECT_EQ(run.result.regionAborts, 1u);
+    for (const auto &leak : run.report)
+        EXPECT_FALSE(leak.leaky())
+            << "line " << (leak.leakedLines.empty()
+                               ? leak.leakedBranchEntries.front()
+                               : leak.leakedLines.front());
+}
+
+/** A region with no memory traffic at all leaves no residue. */
+void
+loadlessRegion(Assembler &as)
+{
+    auto &f = as.func(0, 0, 4);
+    using K = hw::MKind;
+    f.code = {
+        Assembler::uop(K::ABegin, hw::NO_MREG, {}, 0, 0, 3),
+        Assembler::uop(K::Imm, 0, {}, 1),
+        Assembler::uop(K::AAbort, hw::NO_MREG, {}, 0, 2),
+        // alt (offset 3):
+        Assembler::uop(K::Imm, 0, {}, 2),
+        Assembler::uop(K::Print, hw::NO_MREG, {0}),
+        Assembler::uop(K::Ret),
+    };
+}
+
+/** Negative self-test: the machine.inject.leak failpoint streams a
+ *  synthetic discarded load (payload = word address) into the dying
+ *  attempt, exactly as a hardware bug that let one speculative
+ *  access escape the flush would. The observer must flag its line. */
+TEST_F(LeakObserverTest, InjectedLeakIsDetected)
+{
+    const vm::Program shell = shellProgram();
+
+    // Unarmed control: the loadless region is clean.
+    {
+        Assembler as(shell);
+        loadlessRegion(as);
+        const LeakRun run = runWithObserver(as.mp, true);
+        ASSERT_TRUE(run.result.completed);
+        EXPECT_EQ(run.result.injectedLeaks, 0u);
+        for (const auto &leak : run.report)
+            EXPECT_FALSE(leak.leaky());
+    }
+
+    auto &fps = fp::Registry::global();
+    fps.disarmAll();
+    fps.setSeed(3);
+    std::string err;
+    ASSERT_GE(fps.configure("machine.inject.leak:p1=9000", &err), 0)
+        << err;
+
+    Assembler as(shell);
+    loadlessRegion(as);
+    const LeakRun run = runWithObserver(as.mp, true);
+    fps.disarmAll();
+    ASSERT_TRUE(run.result.completed);
+    EXPECT_GE(run.result.injectedLeaks, 1u);
+
+    bool flagged = false;
+    for (const auto &leak : run.report) {
+        for (uint64_t line : leak.leakedLines)
+            flagged = flagged || line == 9000u / 8;
+    }
+    EXPECT_TRUE(flagged)
+        << "planted discarded load of word 9000 not flagged";
+}
+
+/** Observation only: enabling the observer must not move a single
+ *  cycle, and disabled runs must report nothing. */
+TEST_F(LeakObserverTest, ObserverIsInert)
+{
+    const vm::Program shell = shellProgram();
+    Assembler as_on(shell);
+    secretRegion(as_on, 64, false);
+    Assembler as_off(shell);
+    secretRegion(as_off, 64, false);
+
+    const LeakRun on = runWithObserver(as_on.mp, true);
+    const LeakRun off = runWithObserver(as_off.mp, false);
+
+    ASSERT_TRUE(on.result.completed);
+    ASSERT_TRUE(off.result.completed);
+    EXPECT_EQ(on.result.output, off.result.output);
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.uops, off.uops);
+    EXPECT_FALSE(on.report.empty());
+    EXPECT_TRUE(off.report.empty());
+}
+
+} // namespace

@@ -394,6 +394,60 @@ TEST_F(ServiceTest, ServicePublishTelemetryIsDeltaBased)
     EXPECT_EQ(reg.gaugeValue(keys::kServiceCacheEntries), 1.0);
 }
 
+/**
+ * Gate 3 (ISSUE 9 satellite): per-tenant compile-time quota. A
+ * tenant whose wall-clock compile spend reaches the per-round budget
+ * has further submits rejected — even for cached keys — until the
+ * next report round, and other tenants are unaffected. Spend is
+ * charged via noteCompileTime directly because a trivial program can
+ * legitimately compile in 0 µs, which would make a wall-clock-driven
+ * test flaky.
+ */
+TEST_F(ServiceTest, ServiceQuotaBoundsPerTenantCompileSpend)
+{
+    const Method a = randomMethod(21);
+    const Method b = randomMethod(22);
+    const core::CompilerConfig config = core::CompilerConfig::atomic();
+    svc::ServiceConfig cfg;
+    cfg.admission.compileUsQuotaPerRound = 1;
+    svc::CompileService service(cfg);
+
+    // Spend starts at zero, so the first submit is admitted.
+    const svc::CompileResponse first =
+        service.submitSync(requestFor(a, 0, config));
+    ASSERT_EQ(first.status, svc::CompileStatus::Compiled);
+    service.admission().noteCompileTime(0, 5);  // exhausts the budget
+
+    const svc::CompileResponse over =
+        service.submitSync(requestFor(b, 0, config));
+    EXPECT_EQ(over.status, svc::CompileStatus::RejectedQuota);
+    EXPECT_STREQ(svc::statusName(over.status), "rejected_quota");
+    EXPECT_EQ(over.code, nullptr);
+    EXPECT_EQ(service.admission().quotaRejections(), 1u);
+
+    // The budget is per tenant: tenant 1 compiles the same method.
+    const svc::CompileResponse other =
+        service.submitSync(requestFor(b, 1, config));
+    EXPECT_EQ(other.status, svc::CompileStatus::Compiled);
+
+    // A report round advances the clock and re-admits the tenant
+    // (the content-addressed entry tenant 1 built serves the hit).
+    hw::MachineResult ok;
+    ok.completed = true;
+    service.reportExecution(0, first.key, ok);
+    const svc::CompileResponse after =
+        service.submitSync(requestFor(b, 0, config));
+    EXPECT_EQ(after.status, svc::CompileStatus::CacheHit);
+
+    // The rejection reaches the `service.rejected.quota` counter.
+    auto &reg = telemetry::Registry::global();
+    const uint64_t base =
+        reg.counterValue(keys::kServiceRejectedQuota);
+    service.publishTelemetry();
+    EXPECT_EQ(reg.counterValue(keys::kServiceRejectedQuota),
+              base + 1);
+}
+
 // ---------------------------------------------------------------
 // Admission under a machine.conflict abort storm.
 // ---------------------------------------------------------------

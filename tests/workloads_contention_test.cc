@@ -307,6 +307,102 @@ TEST_F(ContentionGovernorTest, JitterIsDeterministicInPolicySeed)
     EXPECT_EQ(sa, sb);
 }
 
+class ContentionBisimTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::Registry::global().disarmAll(); }
+    void TearDown() override { fp::Registry::global().disarmAll(); }
+};
+
+/**
+ * Cross-context bisimulation (ISSUE 9 tentpole): at 2 and 8 contexts
+ * every abort in the three shared-heap workloads — including genuine
+ * conflict aborts — must replay to an equivalent observable state
+ * from the aregion_begin checkpoint. cfg.bisim is the default, so
+ * this pins what the whole grid surface already runs with; the
+ * explicit matrix makes the 2-vs-8 coverage non-negotiable and
+ * checks the oracle demonstrably replayed work.
+ */
+TEST_F(ContentionBisimTest, CrossContextAbortsBisimulateAt2And8)
+{
+    const auto cells = makeGrid({2, 8}, {1, 2});
+    const auto results = ct::runContentionGrid(cells);
+    ASSERT_EQ(results.size(), cells.size());
+    expectAllCellsClean(results);
+
+    uint64_t checks = 0;
+    uint64_t replayed_uops = 0;
+    uint64_t conflicts_at_8 = 0;
+    for (const ct::CellResult &r : results) {
+        checks += r.bisimChecks;
+        replayed_uops += r.bisimReplayedUops;
+        if (r.contexts == 8)
+            conflicts_at_8 += r.conflictAborts;
+    }
+    EXPECT_GT(checks, 0u)
+        << "bisim oracle attached but no abort was ever checked";
+    EXPECT_GT(replayed_uops, 0u);
+    EXPECT_GT(conflicts_at_8, 0u)
+        << "no conflict abort reached the bisimulation oracle";
+}
+
+/**
+ * Seeded conflict-abort storm: forced cross-context conflicts at a
+ * rate that dwarfs the natural collision rate, all under the
+ * bisimulation oracle. Every cell must still complete, match the
+ * interpreter, and show zero divergences — each of the hundreds of
+ * storm aborts replayed to an equivalent state.
+ */
+TEST_F(ContentionBisimTest, SeededConflictAbortStormBisimulates)
+{
+    auto &fps = fp::Registry::global();
+    fps.setSeed(13);
+    std::string err;
+    ASSERT_GE(fps.configure("machine.conflict:p0.2", &err), 0) << err;
+
+    const auto cells = makeGrid({8}, {5});
+    const auto results = ct::runContentionGrid(cells);
+    fps.disarmAll();
+
+    ASSERT_EQ(results.size(), cells.size());
+    expectAllCellsClean(results);
+
+    uint64_t injected = 0;
+    uint64_t checks = 0;
+    for (const ct::CellResult &r : results) {
+        injected += r.injectedConflicts;
+        checks += r.bisimChecks;
+    }
+    EXPECT_GT(injected, 0u) << "storm armed but never fired";
+    EXPECT_GT(checks, injected)
+        << "storm aborts were not bisimulation-checked";
+}
+
+/** cfg.bisim=false detaches the oracle completely: zero checks, and
+ *  the architectural outcome is unchanged (pure observer). */
+TEST_F(ContentionBisimTest, DisabledBisimIsInertAndUncounted)
+{
+    const ct::ContentionWorkload &w =
+        ct::contentionWorkloadByName("counters");
+    ct::ContentionRunConfig cfg;
+    cfg.contexts = 8;
+    cfg.seed = 3;
+    cfg.bisim = false;
+    const ct::CellResult off = ct::runContentionCell(w, cfg);
+    cfg.bisim = true;
+    const ct::CellResult on = ct::runContentionCell(w, cfg);
+
+    EXPECT_TRUE(off.completed);
+    EXPECT_TRUE(off.problems.empty());
+    EXPECT_EQ(off.bisimChecks, 0u);
+    EXPECT_EQ(off.bisimReplayedUops, 0u);
+    EXPECT_GT(on.bisimChecks, 0u);
+    // Same seed, same machine history, oracle attached or not.
+    EXPECT_EQ(on.regionCommits, off.regionCommits);
+    EXPECT_EQ(on.conflictAborts, off.conflictAborts);
+    EXPECT_EQ(on.backoffSteps, off.backoffSteps);
+}
+
 class ContentionOracleTest : public ::testing::Test
 {
 };

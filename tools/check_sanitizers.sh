@@ -38,7 +38,17 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     "$build/tools/fuzz_diff" --seeds 200 --masks canonical --quiet
 
-echo "check_sanitizers: tier-1 suite + fuzz smoke clean under ASan+UBSan"
+# Bisimulation-oracle + leakage-observer leg (docs/RESILIENCE.md),
+# run explicitly for the same reason as the smoke above: a filtered
+# invocation must still exercise the abort-replay machinery (every
+# replay walks raw heap words through the copy-on-write HeapView)
+# and the leak observer's footprint bookkeeping under the sanitizers.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$build" --output-on-failure \
+          -j "$(nproc 2>/dev/null || echo 4)" -R 'Bisim|Leak'
+
+echo "check_sanitizers: tier-1 suite + fuzz smoke + bisim/leak clean under ASan+UBSan"
 
 if [ "${AREGION_SKIP_TSAN:-0}" = "1" ]; then
     echo "check_sanitizers: TSan leg skipped (AREGION_SKIP_TSAN=1)"
@@ -51,14 +61,16 @@ fi
 # 2/4/8 hardware contexts, hammering the process-global failpoint
 # and telemetry registries), the compile-service suite (persistent
 # worker threads racing submit/coalesce/stop against the shared code
-# cache and admission controller), and the differential fuzz smoke —
-# the paths where host-thread races can actually live.
+# cache and admission controller), the differential fuzz smoke, and
+# the bisimulation-oracle / leakage-observer suites (the bisim
+# replayer reads the shared heap while other contexts' state sits in
+# the same Machine) — the paths where host-thread races can live.
 cmake --preset tsan -S "$root"
 cmake --build "$build_tsan" -j "$(nproc 2>/dev/null || echo 4)"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build_tsan" --output-on-failure \
           -j "$(nproc 2>/dev/null || echo 4)" \
-          -R 'Contention|Service|fuzz-smoke'
+          -R 'Contention|Service|fuzz-smoke|Bisim|Leak'
 
-echo "check_sanitizers: contention + service suites + fuzz smoke clean under TSan"
+echo "check_sanitizers: contention + service + bisim/leak suites + fuzz smoke clean under TSan"

@@ -196,6 +196,8 @@ replay(const Args &args)
                         report.summary().c_str());
         }
     }
+    if (args.json)
+        std::printf("%s\n", reg.toJson().c_str());
     std::printf("replayed %zu corpus entries, %d diverging\n",
                 files.size(), bad);
     return bad ? 1 : 0;

@@ -45,13 +45,18 @@ namespace {
 const std::set<std::string> kFamilies = {
     "machine", "driver",  "timing", "jit",        "runtime",
     "region",  "profile", "fuzz",   "contention", "service",
+    "oracle",
 };
 
 /// Failpoint names (support/failpoint.hh) share the dotted notation
 /// with telemetry keys but are not telemetry; docs may cite them.
+/// `oracle.inject.divergence` and `machine.inject.leak` are *both* —
+/// failpoint name and the telemetry key counting its firings — so
+/// they resolve either way.
 const std::set<std::string> kFailpoints = {
     "machine.interrupt", "machine.capacity",     "machine.assert",
     "machine.conflict",  "machine.commit_stall", "timing.mispredict",
+    "oracle.inject.divergence", "machine.inject.leak",
 };
 
 /// Tokens whose final segment is a file extension are file names
