@@ -64,6 +64,11 @@ prepared()
             vm::Interpreter interp(p.prog, &profile);
             interp.run();
         }
+        // Fold the profiling pass into the exported profile.*
+        // aggregates (compileProgram publishes jit.compile_us
+        // itself); without this the --json export carries zeros
+        // next to non-zero per-pass timers.
+        profile.publishTelemetry();
         core::Compiled compiled = core::compileProgram(
             p.prog, profile,
             core::CompilerConfig::atomicAggressiveInline());
@@ -148,6 +153,7 @@ BM_AtomicCompiler(benchmark::State &state)
         vm::Interpreter interp(prog, &profile);
         interp.run();
     }
+    profile.publishTelemetry();
     for (auto _ : state) {
         core::Compiled compiled = core::compileProgram(
             prog, profile,
@@ -155,7 +161,15 @@ BM_AtomicCompiler(benchmark::State &state)
         benchmark::DoNotOptimize(compiled.stats.totalInstrs);
     }
 }
-BENCHMARK(BM_AtomicCompiler)->Unit(benchmark::kMillisecond);
+// Pinned iteration count: the `jit.compile_us`/`jit.pass.*_us`
+// counters in BENCH_simulator.json accumulate across iterations, so
+// with auto-scaled iterations a faster compiler runs MORE iterations
+// and the counters barely move — snapshots from different versions
+// would not be comparable. 150 matches the order of what the
+// pre-SSA compiler ran in the default min-time budget.
+BENCHMARK(BM_AtomicCompiler)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(150);
 
 } // namespace
 

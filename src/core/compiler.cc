@@ -5,6 +5,8 @@
 #include "core/postdom_check_elim.hh"
 #include "ir/translate.hh"
 #include "ir/verifier.hh"
+#include "support/telemetry.hh"
+#include "support/telemetry_keys.hh"
 
 namespace aregion::core {
 
@@ -48,6 +50,15 @@ Compiled
 compileProgram(const vm::Program &prog, const vm::Profile &profile,
                const CompilerConfig &config)
 {
+    // The aggregate compile-time counter lives here, not in the
+    // runtime driver: every entry point (experiment runner, bench
+    // harnesses, tests) gets a jit.compile_us that covers the same
+    // work the per-pass jit.pass.* timers break down.
+    telemetry::ScopedSpan span("jit.compile");
+    telemetry::ScopedTimerUs total_timer(
+        telemetry::Registry::global().counter(
+            telemetry::keys::kJitCompileUs));
+
     opt::OptContext ctx = config.opt;
     ctx.profile = &profile;
     ctx.inlineCalleeLimit = static_cast<int>(
@@ -99,22 +110,32 @@ compileProgram(const vm::Program &prog, const vm::Profile &profile,
             if (rs.regionsFormed > 0)
                 result.stats.funcsWithRegions++;
 
+            // Only functions these passes actually changed need
+            // another scalar sweep — a region-less function is still
+            // at the fixpoint optimizeModule left it at.
+            bool needs_cleanup = rs.regionsFormed > 0 ||
+                                 rs.assertsCreated > 0 ||
+                                 rs.blocksReplicated > 0;
             if (config.sle) {
                 const SleStats sle = elideLocks(func);
                 result.stats.slePairsElided += sle.pairsElided;
+                needs_cleanup |= sle.pairsElided > 0;
             }
             if (config.elideSafepointsInRegions) {
-                result.stats.safepointsElided +=
-                    elideSafepoints(func);
+                const int elided = elideSafepoints(func);
+                result.stats.safepointsElided += elided;
+                needs_cleanup |= elided > 0;
             }
             // The payoff: the SAME non-speculative scalar passes now
             // optimize the isolated hot path.
-            opt::runScalarPipeline(func, ctx);
+            if (needs_cleanup)
+                opt::runScalarPipeline(func, ctx);
 
             if (config.postdomCheckElim) {
-                result.stats.postdomChecksRemoved +=
-                    postdomCheckElim(func);
-                opt::runScalarPipeline(func, ctx);
+                const int removed = postdomCheckElim(func);
+                result.stats.postdomChecksRemoved += removed;
+                if (removed > 0)
+                    opt::runScalarPipeline(func, ctx);
             }
         }
     }

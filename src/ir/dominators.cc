@@ -197,4 +197,40 @@ DominatorTree::preorder() const
     return result;
 }
 
+std::vector<std::vector<int>>
+dominanceFrontiers(const Function &func, const DominatorTree &doms)
+{
+    const int n = func.numBlocks();
+    std::vector<std::vector<int>> df(static_cast<size_t>(n));
+    const auto preds = func.computePreds();
+    for (int b = 0; b < n; ++b) {
+        if (!doms.reachable(b))
+            continue;
+        // The entry block has an implicit extra predecessor (the
+        // function-entry edge), so any real edge into it makes it a
+        // join; nothing strictly dominates the entry.
+        int reachablePreds = b == func.entry ? 1 : 0;
+        for (int p : preds[static_cast<size_t>(b)]) {
+            if (doms.reachable(p))
+                ++reachablePreds;
+        }
+        if (reachablePreds < 2)
+            continue;
+        for (int p : preds[static_cast<size_t>(b)]) {
+            if (!doms.reachable(p))
+                continue;
+            int runner = p;
+            while (runner != doms.idom(b)) {
+                df[static_cast<size_t>(runner)].push_back(b);
+                runner = doms.idom(runner);
+            }
+        }
+    }
+    for (auto &set : df) {
+        std::sort(set.begin(), set.end());
+        set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+    return df;
+}
+
 } // namespace aregion::ir

@@ -51,6 +51,17 @@ class DominatorTree
     int rootBlock = -1;
 };
 
+/**
+ * Dominance frontiers per block (Cytron et al. / Cooper-Harvey-
+ * Kennedy "runner" formulation): DF(b) contains every join j with a
+ * predecessor dominated by b while j itself is not strictly
+ * dominated by b. Result is indexed by block id (empty and sorted
+ * ascending for unreachable blocks); drives pruned phi placement in
+ * ssa.cc. `doms` must be the forward tree of `func`.
+ */
+std::vector<std::vector<int>>
+dominanceFrontiers(const Function &func, const DominatorTree &doms);
+
 } // namespace aregion::ir
 
 #endif // AREGION_IR_DOMINATORS_HH

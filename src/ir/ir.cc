@@ -11,6 +11,7 @@ opName(Op op)
     switch (op) {
       case Op::Const: return "const";
       case Op::Mov: return "mov";
+      case Op::Phi: return "phi";
       case Op::Add: return "add";
       case Op::Sub: return "sub";
       case Op::Mul: return "mul";
@@ -71,6 +72,7 @@ isPureValue(Op op)
     switch (op) {
       case Op::Const:
       case Op::Mov:
+      case Op::Phi:
       case Op::Add: case Op::Sub: case Op::Mul:
       case Op::And: case Op::Or: case Op::Xor:
       case Op::Shl: case Op::Shr:
@@ -152,6 +154,26 @@ hasSideEffect(Op op)
     }
 }
 
+size_t
+firstEffectiveInstr(const Block &blk)
+{
+    size_t i = 0;
+    while (i < blk.instrs.size() &&
+           (blk.instrs[i].op == Op::Phi || blk.instrs[i].op == Op::Mov ||
+            blk.instrs[i].op == Op::Const)) {
+        ++i;
+    }
+    return i;
+}
+
+bool
+isRegionEntryBlock(const Block &blk)
+{
+    const size_t lead = firstEffectiveInstr(blk);
+    return lead < blk.instrs.size() &&
+           blk.instrs[lead].op == Op::AtomicBegin;
+}
+
 std::string
 Instr::toString() const
 {
@@ -159,6 +181,15 @@ Instr::toString() const
     if (dst != NO_VREG)
         os << "v" << dst << " = ";
     os << opName(op);
+    if (op == Op::Phi) {
+        for (size_t i = 0; i < srcs.size(); ++i) {
+            const int from =
+                i < phiBlocks.size() ? phiBlocks[i] : -1;
+            os << (i ? ", " : " ") << "[v" << srcs[i] << ", b"
+               << from << "]";
+        }
+        return os.str();
+    }
     for (Vreg s : srcs)
         os << " v" << s;
     switch (op) {
@@ -284,6 +315,23 @@ Function::compact()
             AREGION_ASSERT(remap[static_cast<size_t>(s)] != -1,
                            "reachable block points at dead block");
             s = remap[static_cast<size_t>(s)];
+        }
+        // Phi slots whose predecessor died go away with the edge.
+        for (Instr &in : blk->instrs) {
+            if (in.op != Op::Phi)
+                continue;
+            size_t keep = 0;
+            for (size_t i = 0; i < in.phiBlocks.size(); ++i) {
+                const int p =
+                    remap[static_cast<size_t>(in.phiBlocks[i])];
+                if (p == -1)
+                    continue;
+                in.phiBlocks[keep] = p;
+                in.srcs[keep] = in.srcs[i];
+                ++keep;
+            }
+            in.phiBlocks.resize(keep);
+            in.srcs.resize(keep);
         }
         next.push_back(std::move(blk));
     }

@@ -4,9 +4,13 @@
  *
  * A Function is a control-flow graph of Blocks; each Block holds a
  * straight-line sequence of Instrs ending in a terminator. Virtual
- * registers (Vreg) are unbounded and not in SSA form; optimization
- * passes use dataflow analyses (available expressions, available
- * copies, liveness, register constants) that are sound without SSA.
+ * registers (Vreg) are unbounded. Translation emits conventional
+ * (non-SSA) code; ir::buildSSA (ssa.hh) rewrites a function into SSA
+ * form — unique defs, dominance of uses, Phi at joins — which the
+ * sparse optimization passes (SCCP, GVN, SSA-DCE) require, and
+ * ir::destroySSA lowers out of SSA before region formation and
+ * machine-code emission. Function::ssaForm tracks which convention a
+ * function is currently in.
  *
  * Atomic regions (the paper's contribution) are represented the way
  * the paper recommends: like try/catch. A region's entry block starts
@@ -30,7 +34,7 @@
 
 namespace aregion::ir {
 
-/** Virtual register id; unbounded, not SSA. */
+/** Virtual register id; unbounded. */
 using Vreg = int;
 constexpr Vreg NO_VREG = -1;
 
@@ -39,6 +43,8 @@ enum class Op {
     // Pure value producers.
     Const,          ///< dst = imm
     Mov,            ///< dst = s0
+    Phi,            ///< dst = phi(srcs); srcs[i] flows in from block
+                    ///< phiBlocks[i]. SSA only; never reaches codegen.
     Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, ///< dst = s0 op s1
     CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,        ///< dst = s0 op s1
 
@@ -109,6 +115,19 @@ bool isLoad(Op op);
  *  keeps it alive regardless of dst liveness. */
 bool hasSideEffect(Op op);
 
+struct Block;
+
+/** Index of the block's first instruction that is not a Phi, Mov, or
+ *  Const. A region entry block is [phis*, copies*, AtomicBegin,
+ *  Jump]: phis are pre-checkpoint parallel copies and out-of-SSA
+ *  lowering materialises them as Mov/Const runs, all of which execute
+ *  before the checkpoint is taken. */
+size_t firstEffectiveInstr(const Block &blk);
+
+/** True if the block opens an atomic region (AtomicBegin at its first
+ *  effective instruction). */
+bool isRegionEntryBlock(const Block &blk);
+
 /** One IR instruction. */
 struct Instr
 {
@@ -121,6 +140,11 @@ struct Instr
     int bcPc = -1;          ///< originating bytecode pc (diagnostics)
     int bcMethod = -1;      ///< originating method (profile lookups
                             ///< survive inlining and cloning)
+
+    /** Phi only: incoming block id per source, parallel to srcs.
+     *  Self-describing (not tied to predecessor-list order) so CFG
+     *  edits can update arity checks robustly. */
+    std::vector<int> phiBlocks;
 
     Vreg s0() const { return srcs.at(0); }
     Vreg s1() const { return srcs.at(1); }
@@ -180,6 +204,12 @@ class Function
     int numArgs = 0;        ///< args live in vregs [0, numArgs)
     int entry = 0;
 
+    /** True while the function is in SSA form: every vreg has a
+     *  unique def that dominates all its uses, joins carry Phi
+     *  instructions, and the verifier enforces the invariant.
+     *  Cleared by opt::destroySSA before machine-code emission. */
+    bool ssaForm = false;
+
     std::vector<RegionInfo> regions;
 
     Block &newBlock();
@@ -190,6 +220,10 @@ class Function
     Vreg newVreg() { return nextVreg++; }
     int numVregs() const { return nextVreg; }
     void ensureVregsAtLeast(int n) { nextVreg = std::max(nextVreg, n); }
+
+    /** Reset the vreg count after a dense renumbering (destroySSA);
+     *  the caller guarantees no instruction names a vreg >= n. */
+    void resetVregCount(int n) { nextVreg = n; }
 
     /** Predecessor lists (recomputed; invalidated by CFG edits). */
     std::vector<std::vector<int>> computePreds() const;

@@ -1,0 +1,780 @@
+#include "ir/ssa.hh"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "ir/dominators.hh"
+#include "support/bitset.hh"
+
+namespace aregion::ir {
+
+using support::DenseBitset;
+
+namespace {
+
+/** Number of leading Phi instructions in a block. */
+size_t
+phiCount(const Block &blk)
+{
+    size_t n = 0;
+    while (n < blk.instrs.size() && blk.instrs[n].op == Op::Phi)
+        ++n;
+    return n;
+}
+
+/**
+ * Liveness over vregs. Phi semantics: a phi's source for predecessor
+ * P is a use at the *end of P* (not a live-in of the phi's block),
+ * and a phi's dst is an ordinary def at the head of its block. This
+ * is the convention under which SSA interference is exact; for
+ * non-SSA functions (no phis) it degenerates to textbook liveness.
+ */
+struct Liveness
+{
+    std::vector<DenseBitset> liveIn, liveOut;
+
+    Liveness(const Function &func)
+    {
+        const int nb = func.numBlocks();
+        const size_t nv = static_cast<size_t>(func.numVregs());
+        liveIn.assign(static_cast<size_t>(nb), DenseBitset(nv));
+        liveOut.assign(static_cast<size_t>(nb), DenseBitset(nv));
+
+        // Upward-exposed uses and defs per block.
+        std::vector<DenseBitset> use(static_cast<size_t>(nb),
+                                     DenseBitset(nv));
+        std::vector<DenseBitset> def(static_cast<size_t>(nb),
+                                     DenseBitset(nv));
+        // Phi-edge uses: for each pred block, names its outgoing
+        // edges feed into successor phis.
+        std::vector<DenseBitset> edgeUse(static_cast<size_t>(nb),
+                                         DenseBitset(nv));
+        for (int b = 0; b < nb; ++b) {
+            const Block &blk = func.block(b);
+            auto &u = use[static_cast<size_t>(b)];
+            auto &d = def[static_cast<size_t>(b)];
+            for (const Instr &in : blk.instrs) {
+                if (in.op == Op::Phi) {
+                    for (size_t i = 0; i < in.srcs.size(); ++i) {
+                        edgeUse[static_cast<size_t>(in.phiBlocks[i])]
+                            .set(static_cast<size_t>(in.srcs[i]));
+                    }
+                } else {
+                    for (Vreg s : in.srcs) {
+                        if (!d.test(static_cast<size_t>(s)))
+                            u.set(static_cast<size_t>(s));
+                    }
+                }
+                if (in.dst != NO_VREG)
+                    d.set(static_cast<size_t>(in.dst));
+            }
+        }
+
+        // Backward fixpoint over reverse RPO.
+        const auto rpo = func.reversePostOrder();
+        bool dirty = true;
+        while (dirty) {
+            dirty = false;
+            for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+                const int b = *it;
+                DenseBitset out = edgeUse[static_cast<size_t>(b)];
+                for (int s : func.block(b).succs)
+                    out.unite(liveIn[static_cast<size_t>(s)]);
+                DenseBitset in = out;
+                in.subtract(def[static_cast<size_t>(b)]);
+                in.unite(use[static_cast<size_t>(b)]);
+                if (!(out == liveOut[static_cast<size_t>(b)])) {
+                    liveOut[static_cast<size_t>(b)] = std::move(out);
+                    dirty = true;
+                }
+                if (!(in == liveIn[static_cast<size_t>(b)])) {
+                    liveIn[static_cast<size_t>(b)] = std::move(in);
+                    dirty = true;
+                }
+            }
+        }
+    }
+};
+
+/** Ensure the entry block has no predecessors: the implicit
+ *  function-entry edge cannot host phi inputs, so loops back to the
+ *  entry get a fresh pre-entry block. */
+void
+normalizeEntry(Function &func)
+{
+    const auto preds = func.computePreds();
+    if (preds[static_cast<size_t>(func.entry)].empty())
+        return;
+    double entryExec = func.block(func.entry).execCount;
+    for (int p : preds[static_cast<size_t>(func.entry)]) {
+        const Block &pb = func.block(p);
+        for (size_t k = 0; k < pb.succs.size(); ++k) {
+            if (pb.succs[k] == func.entry && k < pb.succCount.size())
+                entryExec -= pb.succCount[k];
+        }
+    }
+    Block &pre = func.newBlock();
+    Instr jump;
+    jump.op = Op::Jump;
+    pre.instrs.push_back(std::move(jump));
+    pre.succs = {func.entry};
+    pre.execCount = std::max(0.0, entryExec);
+    pre.succCount = {pre.execCount};
+    func.entry = pre.id;
+    func.compact();
+}
+
+} // namespace
+
+void
+buildSSA(Function &func)
+{
+    AREGION_ASSERT(!func.ssaForm, "buildSSA on SSA function ",
+                   func.name);
+    func.compact();
+    normalizeEntry(func);
+
+    const int nb = func.numBlocks();
+    const int nv0 = func.numVregs();
+    const DominatorTree doms(func);
+    const auto df = dominanceFrontiers(func, doms);
+    const Liveness live(func);
+
+    // Definition sites per original vreg.
+    std::vector<std::vector<int>> defBlocks(static_cast<size_t>(nv0));
+    for (int b = 0; b < nb; ++b) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (in.dst != NO_VREG) {
+                auto &sites =
+                    defBlocks[static_cast<size_t>(in.dst)];
+                if (sites.empty() || sites.back() != b)
+                    sites.push_back(b);
+            }
+        }
+    }
+
+    // Pruned phi placement: iterated dominance frontier of the def
+    // sites, filtered by liveness at the join.
+    std::vector<std::vector<Vreg>> phisFor(static_cast<size_t>(nb));
+    std::vector<int> placed(static_cast<size_t>(nb), -1);
+    std::vector<int> onList(static_cast<size_t>(nb), -1);
+    std::vector<int> worklist;
+    for (Vreg v = 0; v < nv0; ++v) {
+        if (defBlocks[static_cast<size_t>(v)].empty())
+            continue;
+        worklist = defBlocks[static_cast<size_t>(v)];
+        for (int b : worklist)
+            onList[static_cast<size_t>(b)] = v;
+        while (!worklist.empty()) {
+            const int b = worklist.back();
+            worklist.pop_back();
+            for (int j : df[static_cast<size_t>(b)]) {
+                if (placed[static_cast<size_t>(j)] == v)
+                    continue;
+                if (!live.liveIn[static_cast<size_t>(j)].test(
+                        static_cast<size_t>(v))) {
+                    continue;
+                }
+                placed[static_cast<size_t>(j)] = v;
+                phisFor[static_cast<size_t>(j)].push_back(v);
+                if (onList[static_cast<size_t>(j)] != v) {
+                    onList[static_cast<size_t>(j)] = v;
+                    worklist.push_back(j);
+                }
+            }
+        }
+    }
+    for (int b = 0; b < nb; ++b) {
+        auto &vars = phisFor[static_cast<size_t>(b)];
+        if (vars.empty())
+            continue;
+        std::sort(vars.begin(), vars.end());
+        Block &blk = func.block(b);
+        std::vector<Instr> withPhis;
+        withPhis.reserve(blk.instrs.size() + vars.size());
+        for (Vreg v : vars) {
+            Instr phi;
+            phi.op = Op::Phi;
+            phi.dst = v;        // renamed below
+            phi.imm = v;        // original variable, used during
+                                // renaming only
+            withPhis.push_back(std::move(phi));
+        }
+        withPhis.insert(withPhis.end(),
+                        std::make_move_iterator(blk.instrs.begin()),
+                        std::make_move_iterator(blk.instrs.end()));
+        blk.instrs = std::move(withPhis);
+    }
+
+    // Rename by dominator walk. current[v] carries the live name of
+    // original vreg v; the initial value (arg or zero) keeps the
+    // original id, every real definition gets a fresh name.
+    std::vector<Vreg> current(static_cast<size_t>(nv0));
+    std::iota(current.begin(), current.end(), 0);
+    std::vector<std::pair<Vreg, Vreg>> undo;    // (orig, previous)
+
+    struct WalkFrame
+    {
+        int block;
+        size_t child = 0;
+        size_t undoMark = 0;
+        bool entered = false;
+    };
+    std::vector<WalkFrame> stack;
+    stack.push_back({doms.root(), 0, 0, false});
+    while (!stack.empty()) {
+        WalkFrame &frame = stack.back();
+        Block &blk = func.block(frame.block);
+        if (!frame.entered) {
+            frame.entered = true;
+            frame.undoMark = undo.size();
+            for (Instr &in : blk.instrs) {
+                if (in.op == Op::Phi) {
+                    const Vreg orig = static_cast<Vreg>(in.imm);
+                    const Vreg fresh = func.newVreg();
+                    undo.emplace_back(
+                        orig, current[static_cast<size_t>(orig)]);
+                    current[static_cast<size_t>(orig)] = fresh;
+                    in.dst = fresh;
+                    continue;
+                }
+                for (Vreg &s : in.srcs)
+                    s = current[static_cast<size_t>(s)];
+                if (in.dst != NO_VREG) {
+                    const Vreg orig = in.dst;
+                    const Vreg fresh = func.newVreg();
+                    undo.emplace_back(
+                        orig, current[static_cast<size_t>(orig)]);
+                    current[static_cast<size_t>(orig)] = fresh;
+                    in.dst = fresh;
+                }
+            }
+            for (int s : blk.succs) {
+                Block &succ = func.block(s);
+                const size_t phis = phiCount(succ);
+                for (size_t i = 0; i < phis; ++i) {
+                    Instr &phi = succ.instrs[i];
+                    const Vreg orig = static_cast<Vreg>(phi.imm);
+                    phi.srcs.push_back(
+                        current[static_cast<size_t>(orig)]);
+                    phi.phiBlocks.push_back(frame.block);
+                }
+            }
+        }
+        const auto &kids = doms.children(frame.block);
+        if (frame.child < kids.size()) {
+            const int child = kids[frame.child++];
+            stack.push_back({child, 0, 0, false});
+            continue;
+        }
+        while (undo.size() > frame.undoMark) {
+            current[static_cast<size_t>(undo.back().first)] =
+                undo.back().second;
+            undo.pop_back();
+        }
+        stack.pop_back();
+    }
+
+    for (int b = 0; b < nb; ++b) {
+        for (Instr &in : func.block(b).instrs) {
+            if (in.op == Op::Phi)
+                in.imm = 0;
+        }
+    }
+    func.ssaForm = true;
+}
+
+namespace {
+
+/** Union-find over SSA names with class member lists and the entry
+ *  initial-value kind: kNone (has a def), kZero (implicit zero),
+ *  or an argument index. Classes with conflicting kinds never
+ *  merge. */
+struct PhiWebs
+{
+    static constexpr int kNone = -2;
+    static constexpr int kZero = -1;
+
+    std::vector<int> parent;
+    std::vector<int> kind;
+    std::vector<std::vector<Vreg>> members;
+
+    explicit PhiWebs(int n) : parent(static_cast<size_t>(n))
+    {
+        std::iota(parent.begin(), parent.end(), 0);
+        kind.assign(static_cast<size_t>(n), kNone);
+        members.resize(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i)
+            members[static_cast<size_t>(i)] = {i};
+    }
+
+    int
+    find(int x)
+    {
+        while (parent[static_cast<size_t>(x)] != x) {
+            parent[static_cast<size_t>(x)] =
+                parent[static_cast<size_t>(
+                    parent[static_cast<size_t>(x)])];
+            x = parent[static_cast<size_t>(x)];
+        }
+        return x;
+    }
+
+    void
+    grow()
+    {
+        const int id = static_cast<int>(parent.size());
+        parent.push_back(id);
+        kind.push_back(kNone);
+        members.push_back({id});
+    }
+};
+
+/** destroySSA implementation state. */
+struct OutOfSSA
+{
+    Function &func;
+    Liveness live;
+    std::vector<int> defBlock, defIndex;    ///< -1 index = at entry
+    PhiWebs webs;
+
+    explicit OutOfSSA(Function &f)
+        : func(f), live(f), defBlock(), defIndex(),
+          webs(f.numVregs())
+    {
+        const int nv = func.numVregs();
+        defBlock.assign(static_cast<size_t>(nv), func.entry);
+        defIndex.assign(static_cast<size_t>(nv), -1);
+        std::vector<uint8_t> hasDef(static_cast<size_t>(nv), 0);
+        for (int b = 0; b < func.numBlocks(); ++b) {
+            const Block &blk = func.block(b);
+            for (size_t i = 0; i < blk.instrs.size(); ++i) {
+                const Vreg d = blk.instrs[i].dst;
+                if (d == NO_VREG)
+                    continue;
+                AREGION_ASSERT(!hasDef[static_cast<size_t>(d)],
+                               "multiple defs of v", d, " in SSA ",
+                               func.name);
+                hasDef[static_cast<size_t>(d)] = 1;
+                defBlock[static_cast<size_t>(d)] = b;
+                defIndex[static_cast<size_t>(d)] =
+                    static_cast<int>(i);
+            }
+        }
+        for (Vreg v = 0; v < nv; ++v) {
+            if (hasDef[static_cast<size_t>(v)])
+                continue;
+            webs.kind[static_cast<size_t>(v)] =
+                v < func.numArgs ? v : PhiWebs::kZero;
+        }
+    }
+
+    bool
+    hasDefOf(Vreg v) const
+    {
+        return defIndex[static_cast<size_t>(v)] >= 0 ||
+               defBlock[static_cast<size_t>(v)] != func.entry;
+    }
+
+    /** Is `a` live just after position i of block b? Position -1
+     *  means the very top of the block (before any instruction). */
+    bool
+    liveAfter(int b, int i, Vreg a)
+    {
+        if (hasDefOf(a) && defBlock[static_cast<size_t>(a)] == b) {
+            if (defIndex[static_cast<size_t>(a)] > i)
+                return false;   // not yet defined at this point
+        } else if (!live.liveIn[static_cast<size_t>(b)].test(
+                       static_cast<size_t>(a))) {
+            return false;       // never live inside this block
+        }
+        if (live.liveOut[static_cast<size_t>(b)].test(
+                static_cast<size_t>(a))) {
+            return true;
+        }
+        const Block &blk = func.block(b);
+        for (size_t j = static_cast<size_t>(i + 1);
+             j < blk.instrs.size(); ++j) {
+            const Instr &in = blk.instrs[j];
+            if (in.op == Op::Phi)
+                continue;   // phi sources are pred-end uses
+            for (Vreg s : in.srcs) {
+                if (s == a)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    interferes(Vreg a, Vreg b)
+    {
+        if (a == b)
+            return false;
+        if (!hasDefOf(a) && !hasDefOf(b)) {
+            // Two entry values; only merged when their initial
+            // values coincide (kind check), where they are
+            // indistinguishable.
+            return false;
+        }
+        return liveAfter(defBlock[static_cast<size_t>(b)],
+                         defIndex[static_cast<size_t>(b)], a) ||
+               liveAfter(defBlock[static_cast<size_t>(a)],
+                         defIndex[static_cast<size_t>(a)], b);
+    }
+
+    bool
+    tryUnion(Vreg a, Vreg b)
+    {
+        const int ra = webs.find(a);
+        const int rb = webs.find(b);
+        if (ra == rb)
+            return true;
+        const int ka = webs.kind[static_cast<size_t>(ra)];
+        const int kb = webs.kind[static_cast<size_t>(rb)];
+        if (ka != PhiWebs::kNone && kb != PhiWebs::kNone && ka != kb)
+            return false;
+        for (Vreg x : webs.members[static_cast<size_t>(ra)]) {
+            for (Vreg y : webs.members[static_cast<size_t>(rb)]) {
+                if (interferes(x, y))
+                    return false;
+            }
+        }
+        // Merge rb into ra (keep ra stable for determinism).
+        webs.parent[static_cast<size_t>(rb)] = ra;
+        webs.kind[static_cast<size_t>(ra)] =
+            ka != PhiWebs::kNone ? ka : kb;
+        auto &ma = webs.members[static_cast<size_t>(ra)];
+        auto &mb = webs.members[static_cast<size_t>(rb)];
+        ma.insert(ma.end(), mb.begin(), mb.end());
+        mb.clear();
+        mb.shrink_to_fit();
+        return true;
+    }
+};
+
+/** Fold phis whose (non-self) sources all resolve to one name. */
+void
+foldTrivialPhis(Function &func)
+{
+    const int nv = func.numVregs();
+    std::vector<Vreg> subst(static_cast<size_t>(nv));
+    std::iota(subst.begin(), subst.end(), 0);
+    auto resolve = [&](Vreg v) {
+        while (subst[static_cast<size_t>(v)] != v)
+            v = subst[static_cast<size_t>(v)];
+        return v;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < func.numBlocks(); ++b) {
+            Block &blk = func.block(b);
+            for (size_t i = phiCount(blk); i-- > 0;) {
+                Instr &phi = blk.instrs[i];
+                const Vreg d = resolve(phi.dst);
+                Vreg unique = NO_VREG;
+                bool trivial = true;
+                for (Vreg s : phi.srcs) {
+                    const Vreg r = resolve(s);
+                    if (r == d)
+                        continue;
+                    if (unique == NO_VREG) {
+                        unique = r;
+                    } else if (unique != r) {
+                        trivial = false;
+                        break;
+                    }
+                }
+                if (!trivial || unique == NO_VREG)
+                    continue;
+                subst[static_cast<size_t>(d)] = unique;
+                blk.instrs.erase(blk.instrs.begin() +
+                                 static_cast<long>(i));
+                changed = true;
+            }
+        }
+    }
+
+    for (int b = 0; b < func.numBlocks(); ++b) {
+        for (Instr &in : func.block(b).instrs) {
+            for (Vreg &s : in.srcs)
+                s = resolve(s);
+        }
+    }
+}
+
+/** Convert same-target Branches to Jumps so that every (pred, succ)
+ *  edge is unique before copy placement, dropping the duplicate phi
+ *  slot in the target. */
+void
+collapseDuplicateEdges(Function &func)
+{
+    for (int b = 0; b < func.numBlocks(); ++b) {
+        Block &blk = func.block(b);
+        if (blk.instrs.empty())
+            continue;
+        Instr &term = blk.terminator();
+        if (term.op != Op::Branch || blk.succs.size() != 2 ||
+            blk.succs[0] != blk.succs[1]) {
+            continue;
+        }
+        const int target = blk.succs[0];
+        term.op = Op::Jump;
+        term.srcs.clear();
+        blk.succs = {target};
+        blk.succCount = {blk.execCount};
+        Block &succ = func.block(target);
+        const size_t phis = phiCount(succ);
+        for (size_t i = 0; i < phis; ++i) {
+            Instr &phi = succ.instrs[i];
+            for (size_t k = 0; k < phi.phiBlocks.size(); ++k) {
+                if (phi.phiBlocks[k] == b) {
+                    phi.srcs.erase(phi.srcs.begin() +
+                                   static_cast<long>(k));
+                    phi.phiBlocks.erase(phi.phiBlocks.begin() +
+                                        static_cast<long>(k));
+                    break;      // drop exactly one duplicate slot
+                }
+            }
+        }
+    }
+}
+
+/** One pending phi copy: class(dstName) := class(srcName) on the
+ *  edge pred -> target. */
+struct EdgeCopy
+{
+    Vreg dst;
+    Vreg src;
+};
+
+/** Sequentialize one edge's parallel copy in class space; emits Mov
+ *  instructions (cycles broken with a fresh temp). */
+std::vector<Instr>
+sequentializeCopies(std::vector<EdgeCopy> copies, OutOfSSA &state)
+{
+    std::vector<Instr> out;
+    auto emit = [&](Vreg dst, Vreg src) {
+        Instr mov;
+        mov.op = Op::Mov;
+        mov.dst = dst;
+        mov.srcs = {src};
+        out.push_back(std::move(mov));
+    };
+    while (!copies.empty()) {
+        bool progressed = false;
+        for (size_t i = 0; i < copies.size(); ++i) {
+            const int dstClass = state.webs.find(copies[i].dst);
+            bool blocked = false;
+            for (size_t j = 0; j < copies.size(); ++j) {
+                if (j != i &&
+                    state.webs.find(copies[j].src) == dstClass) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if (!blocked) {
+                emit(copies[i].dst, copies[i].src);
+                copies.erase(copies.begin() +
+                             static_cast<long>(i));
+                progressed = true;
+                break;
+            }
+        }
+        if (progressed)
+            continue;
+        // Cycle: rotate through a fresh temporary.
+        const Vreg temp = state.func.newVreg();
+        state.webs.grow();
+        emit(temp, copies.front().src);
+        copies.front().src = temp;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+destroySSA(Function &func)
+{
+    AREGION_ASSERT(func.ssaForm, "destroySSA on non-SSA function ",
+                   func.name);
+    func.compact();
+    foldTrivialPhis(func);
+    collapseDuplicateEdges(func);
+
+    OutOfSSA state(func);
+    const auto preds = func.computePreds();
+
+    // Coalesce phi webs: deterministic RPO order.
+    const auto rpo = func.reversePostOrder();
+    for (int b : rpo) {
+        Block &blk = func.block(b);
+        const size_t phis = phiCount(blk);
+        for (size_t i = 0; i < phis; ++i) {
+            const Instr &phi = blk.instrs[i];
+            for (Vreg s : phi.srcs)
+                state.tryUnion(phi.dst, s);
+        }
+    }
+
+    // Pseudo abort edges (region entry -> alt) cannot be split and
+    // cannot host copies after AtomicBegin (rollback would undo
+    // them).
+    std::map<std::pair<int, int>, int> abortEdge;
+    for (const RegionInfo &r : func.regions)
+        abortEdge[{r.entryBlock, r.altBlock}] = r.id;
+
+    // Collect unresolved copies per edge, in RPO target order.
+    std::map<std::pair<int, int>, std::vector<EdgeCopy>> edgeCopies;
+    for (int t : rpo) {
+        Block &blk = func.block(t);
+        const size_t phis = phiCount(blk);
+        for (size_t i = 0; i < phis; ++i) {
+            const Instr &phi = blk.instrs[i];
+            for (size_t k = 0; k < phi.srcs.size(); ++k) {
+                if (state.webs.find(phi.dst) ==
+                    state.webs.find(phi.srcs[k])) {
+                    continue;
+                }
+                edgeCopies[{phi.phiBlocks[k], t}].push_back(
+                    {phi.dst, phi.srcs[k]});
+            }
+        }
+    }
+
+    for (auto &[edge, copies] : edgeCopies) {
+        const auto [p, t] = edge;
+        Block &pred = func.block(p);
+        std::vector<Instr> movs =
+            sequentializeCopies(copies, state);
+        if (pred.succs.size() == 1) {
+            // Host at the end of the predecessor.
+            pred.instrs.insert(pred.instrs.end() - 1,
+                               std::make_move_iterator(movs.begin()),
+                               std::make_move_iterator(movs.end()));
+        } else if (preds[static_cast<size_t>(t)].size() == 1) {
+            // Host at the head of the target (after its phis). For
+            // a single-pred alt block this is also the rollback-
+            // correct spot: the copies execute after the register
+            // restore and read checkpoint values, which equal the
+            // region entry's values because the entry block defines
+            // nothing after its phis.
+            Block &target = func.block(t);
+            const auto at = target.instrs.begin() +
+                            static_cast<long>(phiCount(target));
+            target.instrs.insert(
+                at, std::make_move_iterator(movs.begin()),
+                std::make_move_iterator(movs.end()));
+        } else if (abortEdge.count({p, t})) {
+            // Unsplittable rollback edge into a multi-pred alt
+            // block: place the copies before AtomicBegin so the
+            // checkpoint captures them. Writing those classes there
+            // must not clobber a value some other path still needs.
+            const size_t insertAt = phiCount(pred);
+            AREGION_ASSERT(insertAt < pred.instrs.size() &&
+                               pred.instrs[insertAt].op ==
+                                   Op::AtomicBegin,
+                           "abort edge source is not a region entry");
+            const int liveNames =
+                static_cast<int>(state.defBlock.size());
+            for (const Instr &mov : movs) {
+                const int cls = state.webs.find(mov.dst);
+                for (Vreg m :
+                     state.webs.members[static_cast<size_t>(cls)]) {
+                    if (m >= liveNames)
+                        continue;   // cycle temp: born in this copy
+                    AREGION_ASSERT(
+                        m == mov.s0() ||
+                            !state.liveAfter(
+                                p, static_cast<int>(insertAt) - 1,
+                                m),
+                        "phi copy on abort edge clobbers live value v",
+                        m, " in ", func.name);
+                }
+            }
+            pred.instrs.insert(pred.instrs.begin() +
+                                   static_cast<long>(insertAt),
+                               std::make_move_iterator(movs.begin()),
+                               std::make_move_iterator(movs.end()));
+        } else {
+            // Critical edge: split.
+            Block &split = func.newBlock();
+            const int splitId = split.id;
+            Instr jump;
+            jump.op = Op::Jump;
+            split.instrs = std::move(movs);
+            split.instrs.push_back(std::move(jump));
+            split.succs = {t};
+            Block &p2 = func.block(p);   // newBlock invalidated refs
+            split.regionId =
+                p2.regionId == func.block(t).regionId ? p2.regionId
+                                                      : -1;
+            double edgeCount = 0;
+            for (size_t k = 0; k < p2.succs.size(); ++k) {
+                if (p2.succs[k] == t) {
+                    if (k < p2.succCount.size())
+                        edgeCount = p2.succCount[k];
+                    p2.succs[k] = splitId;
+                }
+            }
+            split.execCount = edgeCount;
+            split.succCount = {edgeCount};
+        }
+    }
+
+    // Drop the phis.
+    for (int b = 0; b < func.numBlocks(); ++b) {
+        Block &blk = func.block(b);
+        const size_t phis = phiCount(blk);
+        if (phis)
+            blk.instrs.erase(blk.instrs.begin(),
+                             blk.instrs.begin() +
+                                 static_cast<long>(phis));
+    }
+
+    // Dense renumbering: argument classes keep their slots, every
+    // other class gets the next id in order of first appearance.
+    const int total = func.numVregs();
+    std::vector<Vreg> classReg(static_cast<size_t>(total), NO_VREG);
+    for (Vreg v = 0; v < total; ++v) {
+        const int r = state.webs.find(v);
+        const int k = state.webs.kind[static_cast<size_t>(r)];
+        if (k >= 0)
+            classReg[static_cast<size_t>(r)] = k;
+    }
+    Vreg next = func.numArgs;
+    auto assign = [&](Vreg v) -> Vreg {
+        const int r = state.webs.find(v);
+        if (classReg[static_cast<size_t>(r)] == NO_VREG)
+            classReg[static_cast<size_t>(r)] = next++;
+        return classReg[static_cast<size_t>(r)];
+    };
+    for (int b : func.reversePostOrder()) {
+        for (Instr &in : func.block(b).instrs) {
+            for (Vreg &s : in.srcs)
+                s = assign(s);
+            if (in.dst != NO_VREG)
+                in.dst = assign(in.dst);
+        }
+    }
+    func.resetVregCount(next);
+
+    // A pre-entry block that only jumps is no longer needed once
+    // phis are gone.
+    {
+        const Block &entry = func.block(func.entry);
+        if (entry.instrs.size() == 1 &&
+            entry.instrs[0].op == Op::Jump &&
+            entry.succs.size() == 1 && entry.succs[0] != func.entry) {
+            func.entry = entry.succs[0];
+        }
+    }
+    func.ssaForm = false;
+    func.compact();
+}
+
+} // namespace aregion::ir

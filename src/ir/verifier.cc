@@ -1,6 +1,10 @@
 #include "ir/verifier.hh"
 
+#include <functional>
+#include <map>
 #include <sstream>
+
+#include "ir/dominators.hh"
 
 namespace aregion::ir {
 
@@ -42,10 +46,174 @@ expectedSrcs(Op op)
       case Op::StoreElem:
         return 3;
       case Op::CallStatic: case Op::CallVirtual: case Op::Spawn:
-      case Op::Ret:
+      case Op::Ret: case Op::Phi:
         return SIZE_MAX;    // variable arity
       default:
         return SIZE_MAX;
+    }
+}
+
+size_t
+firstNonPhi(const Block &blk)
+{
+    size_t i = 0;
+    while (i < blk.instrs.size() && blk.instrs[i].op == Op::Phi)
+        ++i;
+    return i;
+}
+
+/**
+ * SSA invariant: every vreg has at most one def, every use is
+ * dominated by it (a name with no def denotes the function-entry
+ * value — argument or zero — and dominates everything), phis lead
+ * their block and their arity matches the predecessor edge count,
+ * with each source defined at the end of its incoming edge.
+ */
+void
+checkSsa(const Function &func,
+         const std::function<void(int, size_t, const std::string &)>
+             &report)
+{
+    const int nv = func.numVregs();
+    std::vector<int> defBlock(static_cast<size_t>(nv), -1);
+    std::vector<int> defIndex(static_cast<size_t>(nv), -1);
+    const auto rpo = func.reversePostOrder();
+    for (int b : rpo) {
+        const Block &blk = func.block(b);
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Vreg d = blk.instrs[i].dst;
+            if (d == NO_VREG || d < 0 || d >= nv)
+                continue;
+            if (defBlock[static_cast<size_t>(d)] != -1) {
+                report(b, i, "second def of v" + std::to_string(d) +
+                                 " in SSA form");
+                continue;
+            }
+            defBlock[static_cast<size_t>(d)] = b;
+            defIndex[static_cast<size_t>(d)] = static_cast<int>(i);
+        }
+    }
+
+    const DominatorTree doms(func);
+    const auto preds = func.computePreds();
+    // A use of s at the end of block p is legal iff s has no def
+    // (entry value) or its def block dominates p.
+    auto definedAtEndOf = [&](Vreg s, int p) {
+        const int db = defBlock[static_cast<size_t>(s)];
+        return db == -1 || doms.dominates(db, p);
+    };
+
+    for (int b : rpo) {
+        const Block &blk = func.block(b);
+        // Predecessor edge multiplicity (a Branch with both arms at
+        // the same target contributes two slots).
+        std::map<int, int> edgeCount;
+        for (int p : preds[static_cast<size_t>(b)]) {
+            if (doms.reachable(p))
+                ++edgeCount[p];
+        }
+        size_t phiEnd = firstNonPhi(blk);
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            if (in.op == Op::Phi) {
+                if (i >= phiEnd) {
+                    report(b, i, "phi after non-phi instruction");
+                    continue;
+                }
+                if (in.srcs.size() != in.phiBlocks.size()) {
+                    report(b, i, "phi srcs/phiBlocks arity mismatch");
+                    continue;
+                }
+                std::map<int, int> slots;
+                for (int p : in.phiBlocks)
+                    ++slots[p];
+                if (slots != edgeCount) {
+                    report(b, i,
+                           "phi arity does not match predecessor "
+                           "edges");
+                }
+                for (size_t k = 0; k < in.srcs.size(); ++k) {
+                    const Vreg s = in.srcs[k];
+                    if (s < 0 || s >= nv)
+                        continue;   // range error reported already
+                    if (!definedAtEndOf(s, in.phiBlocks[k])) {
+                        report(b, i,
+                               "phi source v" + std::to_string(s) +
+                                   " not defined on edge from b" +
+                                   std::to_string(in.phiBlocks[k]));
+                    }
+                }
+                continue;
+            }
+            for (Vreg s : in.srcs) {
+                if (s < 0 || s >= nv)
+                    continue;
+                const int db = defBlock[static_cast<size_t>(s)];
+                if (db == -1)
+                    continue;   // entry value
+                const bool ok =
+                    db == b ? defIndex[static_cast<size_t>(s)] <
+                                  static_cast<int>(i)
+                            : doms.dominates(db, b);
+                if (!ok) {
+                    report(b, i, "use of v" + std::to_string(s) +
+                                     " not dominated by its def");
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Non-SSA within-block check: a use of v before the block's own def
+ * of v, when no other block defines v, can only read the implicit
+ * zero initial value that the very same block immediately
+ * overwrites — in practice a pass reordered or cloned instructions
+ * incorrectly.
+ */
+void
+checkUseBeforeDef(const Function &func,
+                  const std::function<void(int, size_t,
+                                           const std::string &)>
+                      &report)
+{
+    const int nv = func.numVregs();
+    std::vector<int> defCount(static_cast<size_t>(nv), 0);
+    std::vector<int> soleDefBlock(static_cast<size_t>(nv), -1);
+    const auto rpo = func.reversePostOrder();
+    for (int b : rpo) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (in.dst == NO_VREG || in.dst < 0 || in.dst >= nv)
+                continue;
+            ++defCount[static_cast<size_t>(in.dst)];
+            soleDefBlock[static_cast<size_t>(in.dst)] = b;
+        }
+    }
+    std::vector<int> firstDefAt(static_cast<size_t>(nv), -1);
+    for (int b : rpo) {
+        const Block &blk = func.block(b);
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            for (Vreg s : in.srcs) {
+                if (s < 0 || s >= nv || s < func.numArgs)
+                    continue;
+                if (defCount[static_cast<size_t>(s)] == 1 &&
+                    soleDefBlock[static_cast<size_t>(s)] == b &&
+                    firstDefAt[static_cast<size_t>(s)] == -1) {
+                    report(b, i,
+                           "use of v" + std::to_string(s) +
+                               " before its only def later in the "
+                               "block");
+                }
+            }
+            if (in.dst != NO_VREG && in.dst >= 0 && in.dst < nv &&
+                firstDefAt[static_cast<size_t>(in.dst)] == -1) {
+                firstDefAt[static_cast<size_t>(in.dst)] =
+                    static_cast<int>(i);
+            }
+        }
+        for (int v = 0; v < nv; ++v)
+            firstDefAt[static_cast<size_t>(v)] = -1;
     }
 }
 
@@ -93,7 +261,12 @@ verify(const Function &func)
                 if (s < 0 || s >= func.numVregs())
                     report(b, i, "src vreg out of range");
             }
-            if (in.op == Op::AtomicBegin && i != 0)
+            if (in.op == Op::Phi && !func.ssaForm)
+                report(b, i, "phi in non-SSA function");
+            // A block's phis and the Mov/Const runs that out-of-SSA
+            // lowering makes of them precede AtomicBegin (they are
+            // pre-checkpoint parallel copies); nothing else may.
+            if (in.op == Op::AtomicBegin && i != firstEffectiveInstr(blk))
                 report(b, i, "aregion_begin not first in block");
             if (in.op == Op::Assert && blk.regionId < 0)
                 report(b, i, "assert outside atomic region");
@@ -108,12 +281,11 @@ verify(const Function &func)
             }
         }
         size_t want_succs = expectedSuccs(blk.terminator().op);
-        // A region entry block is [AtomicBegin, Jump] with two
-        // successors: the region body and the abort exception edge.
-        if (blk.instrs.front().op == Op::AtomicBegin &&
-            blk.terminator().op == Op::Jump) {
+        // A region entry block is [copies*, AtomicBegin, Jump] with
+        // two successors: the region body and the abort exception
+        // edge.
+        if (isRegionEntryBlock(blk) && blk.terminator().op == Op::Jump)
             want_succs = 2;
-        }
         if (want_succs != SIZE_MAX && blk.succs.size() != want_succs)
             report(b, blk.instrs.size() - 1,
                    "successor arity does not match terminator");
@@ -130,13 +302,20 @@ verify(const Function &func)
             continue;
         }
         const Block &entry = func.block(r.entryBlock);
-        if (entry.instrs.empty() ||
-            entry.instrs.front().op != Op::AtomicBegin) {
+        if (!isRegionEntryBlock(entry)) {
             problems.push_back(
                 func.name + ": region entry lacks aregion_begin");
         }
         if (r.altBlock < 0 || r.altBlock >= func.numBlocks())
             problems.push_back(func.name + ": region alt out of range");
+    }
+
+    if (problems.empty()) {
+        // Dataflow checks assume a structurally sound graph.
+        if (func.ssaForm)
+            checkSsa(func, report);
+        else
+            checkUseBeforeDef(func, report);
     }
 
     return problems;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Liveness-based dead code elimination.
+ * Dead code elimination by mark-and-sweep over def-use chains.
  *
  * Only pure value producers and loads are removable. Asserts and
  * checks are essential side effects — the single piece of
@@ -8,6 +8,16 @@
  * elimination needs to be informed that these operations are
  * essential", Section 4) — and that is already encoded in
  * ir::hasSideEffect.
+ *
+ * The sweep marks names transitively reachable from essential
+ * instructions (side effects, checks, terminators) and deletes every
+ * removable instruction whose destination stays unmarked. In SSA
+ * form this is exact and, unlike the liveness formulation it
+ * replaced, also removes dead phi cycles — a loop-carried value
+ * chain nothing essential consumes keeps itself "live" under a
+ * backward liveness fixpoint but is never marked here. On non-SSA
+ * input the pass remains correct (a marked name keeps all of its
+ * defs) but is conservative about partially dead names.
  */
 
 #include "opt/pass.hh"
@@ -31,83 +41,59 @@ deadCodeElim(Function &func)
 {
     const auto rpo = func.reversePostOrder();
     const size_t nv = static_cast<size_t>(func.numVregs());
-    const size_t words = (nv + 63) / 64;
 
-    auto set_bit = [&](std::vector<uint64_t> &bs, Vreg v) {
-        bs[static_cast<size_t>(v) / 64] |=
-            1ull << (static_cast<size_t>(v) % 64);
-    };
-    auto clear_bit = [&](std::vector<uint64_t> &bs, Vreg v) {
-        bs[static_cast<size_t>(v) / 64] &=
-            ~(1ull << (static_cast<size_t>(v) % 64));
-    };
-    auto test_bit = [&](const std::vector<uint64_t> &bs, Vreg v) {
-        return bs[static_cast<size_t>(v) / 64] >>
-               (static_cast<size_t>(v) % 64) & 1;
-    };
-
-    // live-in per block; iterate backward over RPO until stable.
-    std::vector<std::vector<uint64_t>> live_in(
-        static_cast<size_t>(func.numBlocks()),
-        std::vector<uint64_t>(words, 0));
-
-    bool dirty = true;
-    int rounds = 0;
-    while (dirty && ++rounds < 64) {
-        dirty = false;
-        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
-            const int b = *it;
-            const Block &blk = func.block(b);
-            std::vector<uint64_t> live(words, 0);
-            for (int s : blk.succs) {
-                const auto &succ_in = live_in[static_cast<size_t>(s)];
-                for (size_t w = 0; w < words; ++w)
-                    live[w] |= succ_in[w];
-            }
-            for (auto iit = blk.instrs.rbegin();
-                 iit != blk.instrs.rend(); ++iit) {
-                const Instr &in = *iit;
-                if (in.dst != NO_VREG)
-                    clear_bit(live, in.dst);
-                for (Vreg s : in.srcs)
-                    set_bit(live, s);
-            }
-            if (live != live_in[static_cast<size_t>(b)]) {
-                live_in[static_cast<size_t>(b)] = std::move(live);
-                dirty = true;
-            }
+    // Defs of each name (multiple only in non-SSA input).
+    std::vector<std::vector<const Instr *>> defs(nv);
+    for (int b : rpo) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (in.dst != NO_VREG)
+                defs[static_cast<size_t>(in.dst)].push_back(&in);
         }
     }
 
-    // Sweep: remove dead removable instructions (backward walk).
+    std::vector<uint8_t> marked(nv, 0);
+    std::vector<Vreg> work;
+    auto mark = [&](Vreg v) {
+        if (v < 0 || static_cast<size_t>(v) >= nv)
+            return;
+        if (marked[static_cast<size_t>(v)])
+            return;
+        marked[static_cast<size_t>(v)] = 1;
+        work.push_back(v);
+    };
+
+    for (int b : rpo) {
+        for (const Instr &in : func.block(b).instrs) {
+            if (removableIfDead(in.op))
+                continue;   // kept only if its dst gets marked
+            for (Vreg s : in.srcs)
+                mark(s);
+        }
+    }
+    while (!work.empty()) {
+        const Vreg v = work.back();
+        work.pop_back();
+        for (const Instr *def : defs[static_cast<size_t>(v)]) {
+            for (Vreg s : def->srcs)
+                mark(s);
+        }
+    }
+
     bool changed = false;
     for (int b : rpo) {
         Block &blk = func.block(b);
-        std::vector<uint64_t> live(words, 0);
-        for (int s : blk.succs) {
-            const auto &succ_in = live_in[static_cast<size_t>(s)];
-            for (size_t w = 0; w < words; ++w)
-                live[w] |= succ_in[w];
-        }
         std::vector<Instr> kept;
         kept.reserve(blk.instrs.size());
-        for (auto it = blk.instrs.rbegin(); it != blk.instrs.rend();
-             ++it) {
-            Instr &in = *it;
+        for (Instr &in : blk.instrs) {
             const bool dead = in.dst != NO_VREG &&
-                              !test_bit(live, in.dst) &&
-                              removableIfDead(in.op);
+                              removableIfDead(in.op) &&
+                              !marked[static_cast<size_t>(in.dst)];
             if (dead) {
                 changed = true;
                 continue;
             }
-            if (in.dst != NO_VREG)
-                clear_bit(live, in.dst);
-            for (Vreg s : in.srcs)
-                set_bit(live, s);
             kept.push_back(std::move(in));
         }
-        std::reverse(kept.begin(), kept.end());
         blk.instrs = std::move(kept);
     }
 

@@ -1,0 +1,721 @@
+/**
+ * @file
+ * Sparse global value numbering over SSA form.
+ *
+ * This is the successor of the available-expression CSE pass and
+ * keeps its decision procedure: an occurrence is redundant only if
+ * the same expression was computed on EVERY path reaching it with no
+ * intervening kill (meet = intersection). That property is the
+ * paper's lever — cold join edges block the optimization in baseline
+ * code, and replacing them with Asserts (no control-flow join) lets
+ * this very pass perform the speculative optimizations.
+ *
+ * What changed is the cost model. The old pass re-simulated every
+ * predecessor block instruction-by-instruction for every dataflow
+ * query, which is quadratic in block size and was the dominant
+ * compile-time term on the bench workloads. Here expressions are
+ * hash-consed into dense ids once, each block's GEN/KILL bitvectors
+ * are precomputed in one scan, and the fixpoint iterates pure
+ * bitvector transfer functions. Redundant occurrences are then
+ * rewritten in a single forward walk: SSA names make register kills
+ * impossible, and instead of the old "home temp" convention (compute
+ * into a shared temp in every arm, copy out) the walk materialises
+ * the reaching value directly, inserting a phi at joins whose arms
+ * provide it under different names. destroySSA's coalescer folds
+ * those phis back into the home-temp shape when registers allow.
+ *
+ * Kill classes are unchanged and encode the isolation guarantee:
+ * stores kill field/element/slot-matching loads (with store-to-load
+ * forwarding), calls and region boundaries kill all loads, monitor
+ * operations inside a region kill only the lock word, safepoints
+ * kill loads only outside regions, allocations kill nothing.
+ */
+
+#include "opt/pass.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "support/bitset.hh"
+#include "support/logging.hh"
+#include "vm/layout.hh"
+
+namespace aregion::opt {
+
+using namespace aregion::ir;
+using support::DenseBitset;
+
+namespace {
+
+/** Canonical key identifying a syntactic expression. Sources are
+ *  stored inline: every numbered op is unary or binary (the widest
+ *  are binary arithmetic, LoadElem and BoundsCheck), so keys never
+ *  touch the heap. */
+struct ExprKey
+{
+    Op op = Op::Const;
+    uint8_t nsrcs = 0;
+    int aux = 0;
+    int64_t imm = 0;
+    std::array<Vreg, 2> srcs{};
+};
+
+/** Non-owning view of an ExprKey. Lookups happen once per
+ *  instruction per episode, so the view keeps the hit path
+ *  allocation-free: the owning key is only materialised when an
+ *  expression enters the universe. */
+struct ExprRef
+{
+    Op op = Op::Const;
+    const Vreg *srcs = nullptr;
+    size_t nsrcs = 0;
+    int64_t imm = 0;
+    int aux = 0;
+};
+
+struct ExprKeyHash
+{
+    using is_transparent = void;
+
+    static size_t
+    hash(Op op, const Vreg *srcs, size_t nsrcs, int64_t imm, int aux)
+    {
+        uint64_t h = 1469598103934665603ull;    // FNV-1a
+        auto mix = [&](uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        mix(static_cast<uint64_t>(op));
+        mix(static_cast<uint64_t>(imm));
+        mix(static_cast<uint64_t>(aux));
+        for (size_t i = 0; i < nsrcs; ++i)
+            mix(static_cast<uint64_t>(srcs[i]));
+        return static_cast<size_t>(h);
+    }
+
+    size_t
+    operator()(const ExprKey &k) const
+    {
+        return hash(k.op, k.srcs.data(), k.nsrcs, k.imm, k.aux);
+    }
+
+    size_t
+    operator()(const ExprRef &r) const
+    {
+        return hash(r.op, r.srcs, r.nsrcs, r.imm, r.aux);
+    }
+};
+
+struct ExprKeyEq
+{
+    using is_transparent = void;
+
+    static bool
+    eq(const ExprKey &k, Op op, const Vreg *srcs, size_t nsrcs,
+       int64_t imm, int aux)
+    {
+        return k.op == op && k.imm == imm && k.aux == aux &&
+               k.nsrcs == nsrcs &&
+               std::equal(k.srcs.data(), k.srcs.data() + k.nsrcs,
+                          srcs);
+    }
+
+    bool
+    operator()(const ExprKey &a, const ExprKey &b) const
+    {
+        return eq(a, b.op, b.srcs.data(), b.nsrcs, b.imm, b.aux);
+    }
+
+    bool
+    operator()(const ExprKey &k, const ExprRef &r) const
+    {
+        return eq(k, r.op, r.srcs, r.nsrcs, r.imm, r.aux);
+    }
+
+    bool
+    operator()(const ExprRef &r, const ExprKey &k) const
+    {
+        return eq(k, r.op, r.srcs, r.nsrcs, r.imm, r.aux);
+    }
+};
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Mul: case Op::And: case Op::Or:
+      case Op::Xor: case Op::CmpEq: case Op::CmpNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Is this op an expression we number? */
+bool
+isExpr(Op op)
+{
+    if (isPureValue(op) && op != Op::Const && op != Op::Mov &&
+        op != Op::Phi) {
+        return true;
+    }
+    if (isLoad(op))
+        return true;
+    if (isCheck(op))
+        return true;
+    return op == Op::Assert;
+}
+
+/** View of `in`'s canonical key. `swapped` is caller-provided
+ *  storage for the commutative-operand normalization (the view may
+ *  alias it, so it must outlive the returned ref). */
+ExprRef
+refOf(const Instr &in, Vreg (&swapped)[2])
+{
+    ExprRef ref;
+    ref.op = in.op;
+    ref.srcs = in.srcs.data();
+    ref.nsrcs = in.srcs.size();
+    switch (in.op) {
+      case Op::LoadField:
+      case Op::LoadSubtype:
+        ref.aux = in.aux;
+        break;
+      case Op::LoadRaw:
+        ref.imm = in.imm;
+        break;
+      case Op::Assert:
+        // Asserts with the same condition and polarity are
+        // interchangeable even when their abort ids differ.
+        ref.imm = in.imm;
+        break;
+      default:
+        break;
+    }
+    if (isCommutative(in.op) && ref.nsrcs == 2 &&
+        ref.srcs[0] > ref.srcs[1]) {
+        swapped[0] = ref.srcs[1];
+        swapped[1] = ref.srcs[0];
+        ref.srcs = swapped;
+    }
+    return ref;
+}
+
+/** Hash-consed expression universe with per-kill-class id lists. */
+struct Universe
+{
+    std::unordered_map<ExprKey, int, ExprKeyHash, ExprKeyEq> index;
+    std::vector<ExprKey> exprs;
+    std::map<int, std::vector<int>> loadFieldByAux;
+    std::vector<int> loadElem;
+    std::map<int64_t, std::vector<int>> loadRawByImm;
+    std::vector<int> allLoads;      // excludes LoadSubtype
+
+    int
+    intern(const ExprRef &ref)
+    {
+        auto it = index.find(ref);
+        if (it != index.end())
+            return it->second;
+        AREGION_ASSERT(ref.nsrcs <= 2,
+                       "numbered expressions are at most binary");
+        ExprKey key;
+        key.op = ref.op;
+        key.nsrcs = static_cast<uint8_t>(ref.nsrcs);
+        for (size_t i = 0; i < ref.nsrcs; ++i)
+            key.srcs[i] = ref.srcs[i];
+        key.imm = ref.imm;
+        key.aux = ref.aux;
+        const int id = static_cast<int>(exprs.size());
+        exprs.push_back(key);
+        switch (key.op) {
+          case Op::LoadField:
+            loadFieldByAux[key.aux].push_back(id);
+            allLoads.push_back(id);
+            break;
+          case Op::LoadElem:
+            loadElem.push_back(id);
+            allLoads.push_back(id);
+            break;
+          case Op::LoadRaw:
+            loadRawByImm[key.imm].push_back(id);
+            allLoads.push_back(id);
+            break;
+          default:
+            break;
+        }
+        index.emplace(std::move(key), id);
+        return id;
+    }
+
+    int
+    idOf(const Instr &in)
+    {
+        Vreg swapped[2];
+        return intern(refOf(in, swapped));
+    }
+};
+
+/**
+ * Expression ids killed by the side effects of one instruction.
+ * "Kills every load" is the common and potentially huge case (calls,
+ * region boundaries), so it is reported through `kills_all_loads`
+ * rather than materialised — callers apply a precomputed load-id
+ * bitmask instead of walking an id list per call site.
+ */
+void
+memoryKills(const Instr &in, bool in_region, const Universe &uni,
+            std::vector<int> &out, bool &kills_all_loads)
+{
+    out.clear();
+    kills_all_loads = false;
+    auto addAll = [&](const std::vector<int> &ids) {
+        out.insert(out.end(), ids.begin(), ids.end());
+    };
+    switch (in.op) {
+      case Op::StoreField: {
+        auto it = uni.loadFieldByAux.find(in.aux);
+        if (it != uni.loadFieldByAux.end())
+            addAll(it->second);
+        break;
+      }
+      case Op::StoreElem:
+        addAll(uni.loadElem);
+        break;
+      case Op::StoreRaw: {
+        auto it = uni.loadRawByImm.find(in.imm);
+        if (it != uni.loadRawByImm.end())
+            addAll(it->second);
+        break;
+      }
+      case Op::CallStatic:
+      case Op::CallVirtual:
+      case Op::Spawn:
+      case Op::AtomicBegin:
+      case Op::AtomicEnd:
+        kills_all_loads = true;
+        break;
+      case Op::MonitorEnter:
+      case Op::MonitorExit:
+        if (in_region) {
+            // Isolation: within a region only the lock word itself
+            // is written.
+            auto it = uni.loadRawByImm.find(vm::layout::HDR_LOCK);
+            if (it != uni.loadRawByImm.end())
+                addAll(it->second);
+        } else {
+            kills_all_loads = true;
+        }
+        break;
+      case Op::Safepoint:
+        if (!in_region)
+            kills_all_loads = true;
+        break;
+      case Op::NewObject:
+      case Op::NewArray:
+        // Fresh memory: existing loads unaffected.
+        break;
+      default:
+        break;
+    }
+}
+
+/** Store-to-load forwarding: the load expression this store makes
+ *  available (value held in a source vreg), or -1. */
+int
+forwardedExpr(const Instr &in, Universe &uni, Vreg &value_out)
+{
+    Vreg buf[2];
+    ExprRef ref;
+    ref.srcs = buf;
+    switch (in.op) {
+      case Op::StoreField:
+        ref.op = Op::LoadField;
+        buf[0] = in.s0();
+        ref.nsrcs = 1;
+        ref.aux = in.aux;
+        value_out = in.s1();
+        break;
+      case Op::StoreElem:
+        ref.op = Op::LoadElem;
+        buf[0] = in.s0();
+        buf[1] = in.s1();
+        ref.nsrcs = 2;
+        value_out = in.s2();
+        break;
+      case Op::StoreRaw:
+        ref.op = Op::LoadRaw;
+        buf[0] = in.s0();
+        ref.nsrcs = 1;
+        ref.imm = in.imm;
+        value_out = in.s1();
+        break;
+      default:
+        return -1;
+    }
+    return uni.intern(ref);
+}
+
+/** One numbering/rewriting episode over a function. */
+struct Gvn
+{
+    Function &func;
+    Universe uni;
+    std::vector<int> rpo;
+    std::vector<std::vector<int>> preds;
+    std::vector<uint8_t> reachable;
+    size_t n = 0;                       // expression universe size
+
+    std::vector<DenseBitset> genEnd;    // generated & live at block end
+    std::vector<DenseBitset> killAny;   // killed at any point in block
+    std::vector<DenseBitset> availIn;
+    std::vector<DenseBitset> availOut;  // maintained with availIn
+    /** Interned ids aligned with instruction order, flat across the
+     *  function (instruction i of block b lives at blockBase[b]+i),
+     *  so the universe map is consulted once per instruction: the
+     *  expression id (-1 if not numbered) and the store-forwarded
+     *  load id (-1) with its value vreg. */
+    std::vector<int> blockBase;
+    std::vector<int> exprIds;
+    std::vector<int> fwdIds;
+    std::vector<Vreg> fwdVals;
+    /** Kill lists recorded once by computeLocal and replayed by
+     *  rewrite: killOff[g]..killOff[g+1] indexes killDat for the
+     *  instruction at flat index g (contiguous because both walks
+     *  visit blocks in the same RPO). A -1 entry is the "kills every
+     *  load" sentinel, applied with `loadsMask` instead of a list. */
+    std::vector<int> killOff;
+    std::vector<int> killDat;
+    DenseBitset loadsMask;              // every load id (no LoadSubtype)
+    std::vector<uint8_t> isLoadId;      // indexed by expression id
+    /** Last provider name per (block, expr) still valid at block
+     *  end; parallel to genEnd. */
+    std::vector<std::unordered_map<int, Vreg>> provEnd;
+    /** Memoized provider valid at block entry. */
+    std::map<std::pair<int, int>, Vreg> provInMemo;
+    /** Phis synthesized for join providers, prepended at the end. */
+    std::vector<std::vector<Instr>> pendingPhis;
+    /** dst of a deleted occurrence -> the name that replaced it. */
+    std::vector<Vreg> replacedBy;
+
+    explicit Gvn(Function &f) : func(f) {}
+
+    bool run();
+    void computeLocal();
+    void solveAvail();
+    bool rewrite();
+    Vreg providerIn(int b, int e);
+    Vreg providerOut(int p, int e);
+};
+
+void
+Gvn::computeLocal()
+{
+    const auto nb = static_cast<size_t>(func.numBlocks());
+    genEnd.assign(nb, DenseBitset(n));
+    killAny.assign(nb, DenseBitset(n));
+    provEnd.assign(nb, {});
+    killOff.clear();
+    killOff.reserve(exprIds.size() + 1);
+    killOff.push_back(0);
+    killDat.clear();
+    std::vector<int> kills;
+    for (int b : rpo) {
+        Block &blk = func.block(b);
+        const bool in_region = blk.regionId >= 0;
+        DenseBitset &gen = genEnd[static_cast<size_t>(b)];
+        DenseBitset &kill = killAny[static_cast<size_t>(b)];
+        auto &prov = provEnd[static_cast<size_t>(b)];
+        const auto base =
+            static_cast<size_t>(blockBase[static_cast<size_t>(b)]);
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            const int e = exprIds[base + i];
+            if (e >= 0) {
+                gen.set(static_cast<size_t>(e));
+                kill.clear(static_cast<size_t>(e));
+                if (in.dst != NO_VREG)
+                    prov[e] = in.dst;
+            }
+            bool kills_all = false;
+            memoryKills(in, in_region, uni, kills, kills_all);
+            if (kills_all) {
+                kill.unite(loadsMask);
+                gen.subtract(loadsMask);
+                for (auto it = prov.begin(); it != prov.end();) {
+                    if (isLoadId[static_cast<size_t>(it->first)])
+                        it = prov.erase(it);
+                    else
+                        ++it;
+                }
+                killDat.push_back(-1);
+            } else {
+                for (int k : kills) {
+                    kill.set(static_cast<size_t>(k));
+                    gen.clear(static_cast<size_t>(k));
+                    prov.erase(k);
+                }
+                killDat.insert(killDat.end(), kills.begin(),
+                               kills.end());
+            }
+            killOff.push_back(static_cast<int>(killDat.size()));
+            const int f = fwdIds[base + i];
+            if (f >= 0) {
+                gen.set(static_cast<size_t>(f));
+                kill.clear(static_cast<size_t>(f));
+                prov[f] = fwdVals[base + i];
+            }
+        }
+    }
+}
+
+void
+Gvn::solveAvail()
+{
+    const auto nb = static_cast<size_t>(func.numBlocks());
+    availIn.assign(nb, DenseBitset(n));
+    availOut.assign(nb, DenseBitset(n));
+    // Out-sets are maintained alongside in-sets so the fixpoint loop
+    // never recomputes (or reallocates) a predecessor's transfer.
+    auto flowOut = [&](int b) {
+        DenseBitset &out = availOut[static_cast<size_t>(b)];
+        out = availIn[static_cast<size_t>(b)];
+        out.subtract(killAny[static_cast<size_t>(b)]);
+        out.unite(genEnd[static_cast<size_t>(b)]);
+    };
+    for (int b : rpo) {
+        if (b != func.entry)
+            availIn[static_cast<size_t>(b)].setAll();
+        flowOut(b);
+    }
+    DenseBitset merged(n);
+    bool dirty = true;
+    while (dirty) {
+        dirty = false;
+        for (int b : rpo) {
+            if (b == func.entry)
+                continue;
+            merged.setAll();
+            bool any = false;
+            for (int p : preds[static_cast<size_t>(b)]) {
+                if (!reachable[static_cast<size_t>(p)])
+                    continue;
+                merged.intersect(availOut[static_cast<size_t>(p)]);
+                any = true;
+            }
+            if (!any)
+                merged.reset();
+            if (!(merged == availIn[static_cast<size_t>(b)])) {
+                availIn[static_cast<size_t>(b)] = merged;
+                flowOut(b);
+                dirty = true;
+            }
+        }
+    }
+}
+
+/** Name holding expression e at the end of block p. */
+Vreg
+Gvn::providerOut(int p, int e)
+{
+    const auto it = provEnd[static_cast<size_t>(p)].find(e);
+    if (it != provEnd[static_cast<size_t>(p)].end())
+        return it->second;
+    return providerIn(p, e);
+}
+
+/** Name holding expression e at the entry of block b; inserts a phi
+ *  when the predecessors provide it under different names. */
+Vreg
+Gvn::providerIn(int b, int e)
+{
+    const auto memo = provInMemo.find({b, e});
+    if (memo != provInMemo.end())
+        return memo->second;
+
+    std::vector<int> edges;     // reachable pred edges, multiplicity
+    for (int p : preds[static_cast<size_t>(b)]) {
+        if (reachable[static_cast<size_t>(p)])
+            edges.push_back(p);
+    }
+    AREGION_ASSERT(!edges.empty(),
+                   "gvn provider requested at the entry block");
+    bool single = true;
+    for (int p : edges)
+        single &= p == edges.front();
+    if (single) {
+        const Vreg v = providerOut(edges.front(), e);
+        provInMemo[{b, e}] = v;
+        return v;
+    }
+    // Join: materialise a phi. Memoize its name first so a cycle
+    // through a loop back edge resolves to the phi itself.
+    const Vreg dst = func.newVreg();
+    provInMemo[{b, e}] = dst;
+    Instr phi;
+    phi.op = Op::Phi;
+    phi.dst = dst;
+    for (int p : edges) {
+        phi.srcs.push_back(providerOut(p, e));
+        phi.phiBlocks.push_back(p);
+    }
+    pendingPhis[static_cast<size_t>(b)].push_back(std::move(phi));
+    return dst;
+}
+
+bool
+Gvn::rewrite()
+{
+    bool changed = false;
+    for (int b : rpo) {
+        Block &blk = func.block(b);
+        DenseBitset avail = availIn[static_cast<size_t>(b)];
+        std::map<int, Vreg> local;  // providers established in-block
+        const auto base =
+            static_cast<size_t>(blockBase[static_cast<size_t>(b)]);
+        std::vector<Instr> out;
+        out.reserve(blk.instrs.size());
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            Instr &in = blk.instrs[i];
+            if (exprIds[base + i] >= 0) {
+                const int e = exprIds[base + i];
+                if (avail.test(static_cast<size_t>(e))) {
+                    changed = true;
+                    if (in.dst != NO_VREG) {
+                        const auto it = local.find(e);
+                        const Vreg prov = it != local.end()
+                                              ? it->second
+                                              : providerIn(b, e);
+                        replacedBy[static_cast<size_t>(in.dst)] =
+                            prov;
+                        // Keep the provider for later occurrences.
+                        local[e] = prov;
+                    }
+                    continue;   // redundant check/assert/value
+                }
+                avail.set(static_cast<size_t>(e));
+                if (in.dst != NO_VREG)
+                    local[e] = in.dst;
+            }
+            for (int j = killOff[base + i]; j < killOff[base + i + 1];
+                 ++j) {
+                const int k = killDat[static_cast<size_t>(j)];
+                if (k < 0) {    // kills-every-load sentinel
+                    avail.subtract(loadsMask);
+                    for (auto it = local.begin(); it != local.end();) {
+                        if (isLoadId[static_cast<size_t>(it->first)])
+                            it = local.erase(it);
+                        else
+                            ++it;
+                    }
+                    continue;
+                }
+                avail.clear(static_cast<size_t>(k));
+                local.erase(k);
+            }
+            const int f = fwdIds[base + i];
+            if (f >= 0) {
+                avail.set(static_cast<size_t>(f));
+                local[f] = fwdVals[base + i];
+            }
+            out.push_back(std::move(in));
+        }
+        blk.instrs = std::move(out);
+    }
+    return changed;
+}
+
+bool
+Gvn::run()
+{
+    rpo = func.reversePostOrder();
+    preds = func.computePreds();
+    reachable.assign(static_cast<size_t>(func.numBlocks()), 0);
+    for (int b : rpo)
+        reachable[static_cast<size_t>(b)] = 1;
+
+    blockBase.assign(static_cast<size_t>(func.numBlocks()), 0);
+    size_t total_instrs = 0;
+    for (int b : rpo) {
+        blockBase[static_cast<size_t>(b)] =
+            static_cast<int>(total_instrs);
+        total_instrs += func.block(b).instrs.size();
+    }
+    uni.index.reserve(total_instrs);
+    uni.exprs.reserve(total_instrs);
+    exprIds.resize(total_instrs);
+    fwdIds.resize(total_instrs);
+    fwdVals.resize(total_instrs);
+    for (int b : rpo) {
+        const Block &blk = func.block(b);
+        size_t g = static_cast<size_t>(blockBase[static_cast<size_t>(b)]);
+        for (const Instr &in : blk.instrs) {
+            exprIds[g] = isExpr(in.op) ? uni.idOf(in) : -1;
+            Vreg fwd_value = NO_VREG;
+            fwdIds[g] = forwardedExpr(in, uni, fwd_value);
+            fwdVals[g] = fwd_value;
+            ++g;
+        }
+    }
+    n = uni.exprs.size();
+    if (n == 0)
+        return false;
+
+    loadsMask = DenseBitset(n);
+    isLoadId.assign(n, 0);
+    for (int id : uni.allLoads) {
+        loadsMask.set(static_cast<size_t>(id));
+        isLoadId[static_cast<size_t>(id)] = 1;
+    }
+
+    pendingPhis.assign(static_cast<size_t>(func.numBlocks()), {});
+    replacedBy.assign(static_cast<size_t>(func.numVregs()), NO_VREG);
+
+    computeLocal();
+    solveAvail();
+    if (!rewrite())
+        return false;
+
+    // Splice in the provider phis, then route every operand through
+    // the replacement map (a deleted occurrence's name may feed
+    // other deleted occurrences, so chase chains). Back-edge phi
+    // inputs are only fixed up here, which is why this runs after
+    // the whole walk.
+    for (int b : rpo) {
+        auto &pend = pendingPhis[static_cast<size_t>(b)];
+        if (pend.empty())
+            continue;
+        Block &blk = func.block(b);
+        blk.instrs.insert(blk.instrs.begin(),
+                          std::make_move_iterator(pend.begin()),
+                          std::make_move_iterator(pend.end()));
+    }
+    auto resolve = [&](Vreg v) {
+        while (v < static_cast<Vreg>(replacedBy.size()) &&
+               replacedBy[static_cast<size_t>(v)] != NO_VREG) {
+            v = replacedBy[static_cast<size_t>(v)];
+        }
+        return v;
+    };
+    for (int b : rpo) {
+        for (Instr &in : func.block(b).instrs) {
+            for (Vreg &s : in.srcs)
+                s = resolve(s);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+gvn(Function &func)
+{
+    AREGION_ASSERT(func.ssaForm, "gvn requires SSA form");
+    Gvn pass(func);
+    return pass.run();
+}
+
+} // namespace aregion::opt

@@ -265,10 +265,16 @@ isEncapsulatable(const Function &callee, const OptContext &ctx)
 } // namespace
 
 bool
-inlineCalls(Module &mod, const OptContext &ctx)
+inlineCalls(Module &mod, const OptContext &ctx,
+            std::vector<vm::MethodId> *touched)
 {
     bool changed = false;
     for (auto &[mid, caller] : mod.funcs) {
+        // Callee splicing renumbers vregs without phi maintenance;
+        // the module must be in conventional form here (the pipeline
+        // driver lowers out of SSA before structural passes run).
+        AREGION_ASSERT(!caller.ssaForm,
+                       "inlineCalls requires conventional form");
         const int initial_size = caller.countInstrs();
         int grown = 0;
         bool caller_any = false;
@@ -357,8 +363,11 @@ inlineCalls(Module &mod, const OptContext &ctx)
                 break;      // re-scan with fresh block ids
             }
         }
-        if (caller_any)
+        if (caller_any) {
             caller.compact();
+            if (touched != nullptr)
+                touched->push_back(mid);
+        }
     }
     return changed;
 }

@@ -1,5 +1,9 @@
 #include "opt/pass.hh"
 
+#include <cstdlib>
+
+#include "ir/ssa.hh"
+#include "ir/verifier.hh"
 #include "support/telemetry.hh"
 #include "support/telemetry_keys.hh"
 
@@ -11,10 +15,10 @@ namespace {
  *  resolved once (registry references are stable). */
 struct PassTimers
 {
+    std::atomic<uint64_t> &ssa;
     std::atomic<uint64_t> &simplifyCfg;
-    std::atomic<uint64_t> &constantFold;
-    std::atomic<uint64_t> &cse;
-    std::atomic<uint64_t> &copyProp;
+    std::atomic<uint64_t> &sccp;
+    std::atomic<uint64_t> &gvn;
     std::atomic<uint64_t> &dce;
     std::atomic<uint64_t> &inl;
     std::atomic<uint64_t> &unroll;
@@ -24,10 +28,10 @@ struct PassTimers
         namespace keys = telemetry::keys;
         auto &reg = telemetry::Registry::global();
         static PassTimers timers{
+            reg.counter(keys::kJitPassSsaUs),
             reg.counter(keys::kJitPassSimplifyCfgUs),
-            reg.counter(keys::kJitPassConstantFoldUs),
-            reg.counter(keys::kJitPassCseUs),
-            reg.counter(keys::kJitPassCopyPropUs),
+            reg.counter(keys::kJitPassSccpUs),
+            reg.counter(keys::kJitPassGvnUs),
             reg.counter(keys::kJitPassDceUs),
             reg.counter(keys::kJitPassInlineUs),
             reg.counter(keys::kJitPassUnrollUs),
@@ -36,12 +40,42 @@ struct PassTimers
     }
 };
 
+/** AREGION_VERIFY_PASSES=1 runs the IR verifier after every pass
+ *  (names the offending pass on failure). */
 bool
-timed(std::atomic<uint64_t> &slot, bool (*pass)(ir::Function &),
-      ir::Function &func)
+verifyBetweenPasses()
 {
-    telemetry::ScopedTimerUs timer(slot);
-    return pass(func);
+    static const bool on = [] {
+        const char *env = std::getenv("AREGION_VERIFY_PASSES");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    return on;
+}
+
+void
+checkAfter(const char *passName, const ir::Function &func)
+{
+    if (!verifyBetweenPasses())
+        return;
+    const auto problems = ir::verify(func);
+    if (!problems.empty()) {
+        AREGION_PANIC("IR verifier after ", passName, ": ",
+                      problems.front(), " (", problems.size(),
+                      " problems total)");
+    }
+}
+
+bool
+timed(std::atomic<uint64_t> &slot, const char *passName,
+      bool (*pass)(ir::Function &), ir::Function &func)
+{
+    bool changed;
+    {
+        telemetry::ScopedTimerUs timer(slot);
+        changed = pass(func);
+    }
+    checkAfter(passName, func);
+    return changed;
 }
 
 } // namespace
@@ -50,17 +84,34 @@ bool
 runScalarPipeline(ir::Function &func, const OptContext &ctx)
 {
     PassTimers &t = PassTimers::get();
+
+    // Structural passes (inlining, unrolling) hand us conventional
+    // form; reruns from the same optimizeModule sweep may already be
+    // in SSA. Either way, leave in the form we were given.
+    const bool wasSsa = func.ssaForm;
+    if (!wasSsa) {
+        telemetry::ScopedTimerUs timer(t.ssa);
+        ir::buildSSA(func);
+        checkAfter("ssa-build", func);
+    }
+
     bool changed_any = false;
     for (int round = 0; round < ctx.maxScalarIters; ++round) {
         bool changed = false;
-        changed |= timed(t.simplifyCfg, simplifyCfg, func);
-        changed |= timed(t.constantFold, constantFold, func);
-        changed |= timed(t.cse, commonSubexpressionElim, func);
-        changed |= timed(t.copyProp, copyPropagate, func);
-        changed |= timed(t.dce, deadCodeElim, func);
+        changed |= timed(t.simplifyCfg, "simplify-cfg", simplifyCfg,
+                         func);
+        changed |= timed(t.sccp, "sccp", sccp, func);
+        changed |= timed(t.gvn, "gvn", gvn, func);
+        changed |= timed(t.dce, "dce", deadCodeElim, func);
         changed_any |= changed;
         if (!changed)
             break;
+    }
+
+    if (!wasSsa) {
+        telemetry::ScopedTimerUs timer(t.ssa);
+        ir::destroySSA(func);
+        checkAfter("ssa-destroy", func);
     }
     return changed_any;
 }
@@ -71,15 +122,26 @@ optimizeModule(ir::Module &mod, const OptContext &ctx)
     PassTimers &t = PassTimers::get();
     telemetry::ScopedSpan span("opt.module");
     // Inline/devirtualize to a fixpoint, cleaning between sweeps so
-    // size estimates see optimized callees.
+    // size estimates see optimized callees. Only the first sweep
+    // cleans every function (translate output is raw); later sweeps
+    // revisit just the callers the inliner touched — everything else
+    // is already at the scalar fixpoint, and re-running the pipeline
+    // there is the kind of redundant compile time the telemetry
+    // counters exist to expose.
     for (int round = 0; round < 4; ++round) {
         bool inlined = false;
+        std::vector<vm::MethodId> touched;
         {
             telemetry::ScopedTimerUs timer(t.inl);
-            inlined = inlineCalls(mod, ctx);
+            inlined = inlineCalls(mod, ctx, &touched);
         }
-        for (auto &[mid, func] : mod.funcs)
-            runScalarPipeline(func, ctx);
+        if (round == 0) {
+            for (auto &[mid, func] : mod.funcs)
+                runScalarPipeline(func, ctx);
+        } else {
+            for (vm::MethodId mid : touched)
+                runScalarPipeline(mod.funcs.at(mid), ctx);
+        }
         if (!inlined)
             break;
     }
@@ -97,8 +159,8 @@ optimizeModule(ir::Module &mod, const OptContext &ctx)
 std::vector<std::string>
 pipelinePassNames()
 {
-    return {"simplify-cfg", "constant-fold", "cse", "copy-prop",
-            "dce", "inline+devirt", "unroll"};
+    return {"ssa-build", "simplify-cfg", "sccp", "gvn", "dce",
+            "ssa-destroy", "inline+devirt", "unroll"};
 }
 
 } // namespace aregion::opt

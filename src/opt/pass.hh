@@ -9,6 +9,12 @@
  * That property is the paper's central claim: converting cold edges
  * into asserts lets these same passes perform speculative
  * optimizations with zero new pass code.
+ *
+ * The scalar passes run on SSA form: runScalarPipeline builds SSA,
+ * iterates simplify/sccp/gvn/dce to a fixpoint, and lowers back out
+ * of SSA before returning, so callers (region formation, translation,
+ * machine-code emission) never see phis. The structural passes
+ * (inlining, unrolling) operate on conventional form.
  */
 
 #ifndef AREGION_OPT_PASS_HH
@@ -55,38 +61,47 @@ struct OptContext
 };
 
 /** CFG cleanup: thread trivial jumps, merge straight-line pairs,
- *  collapse same-target branches, drop unreachable blocks. */
+ *  collapse same-target branches, drop unreachable blocks. Phi-aware;
+ *  runs on SSA and conventional form alike. */
 bool simplifyCfg(ir::Function &func);
 
-/** Global register-constant propagation + folding + algebraic
- *  identities + constant-branch elimination + dead asserts. */
-bool constantFold(ir::Function &func);
+/** Sparse conditional constant propagation (SSA only): constant and
+ *  copy lattices over executable edges, folding, algebraic
+ *  identities, constant-branch elimination, dead asserts/checks, and
+ *  copy forwarding (subsumes the old constant-fold + copy-prop
+ *  pair). */
+bool sccp(ir::Function &func);
 
-/** Global CSE over available expressions (arithmetic, loads with
- *  field-sensitive kills and store-to-load forwarding, safety checks,
- *  asserts). The isolation guarantee of atomic regions is honoured:
- *  safepoints and monitor operations kill loads only outside
- *  regions. */
-bool commonSubexpressionElim(ir::Function &func);
+/** Global value numbering over available expressions (SSA only):
+ *  arithmetic, loads with field-sensitive kills and store-to-load
+ *  forwarding, safety checks, asserts. GEN/KILL sets are built in a
+ *  single scan per block and merged by bitvector dataflow, replacing
+ *  the quadratic per-query predecessor re-simulation of the old CSE.
+ *  The isolation guarantee of atomic regions is honoured: safepoints
+ *  and monitor operations kill loads only outside regions. */
+bool gvn(ir::Function &func);
 
-/** Global copy propagation over available copies; removes self
- *  moves. */
-bool copyPropagate(ir::Function &func);
-
-/** Liveness-based dead code elimination (asserts and checks are
- *  essential and never removed here). */
+/** Mark-and-sweep dead code elimination (asserts and checks are
+ *  essential and never removed here). Exact in SSA form — dead phi
+ *  cycles are removed — and conservative on conventional form. */
 bool deadCodeElim(ir::Function &func);
 
 /** Profile-guided inlining of static calls plus guarded
  *  devirtualization of monomorphic virtual call sites (module
- *  level). */
-bool inlineCalls(ir::Module &mod, const OptContext &ctx);
+ *  level). Requires conventional (non-SSA) form. When `touched` is
+ *  non-null it receives the ids of the callers this sweep modified,
+ *  so the driver can re-clean only those. */
+bool inlineCalls(ir::Module &mod, const OptContext &ctx,
+                 std::vector<vm::MethodId> *touched = nullptr);
 
-/** Baseline factor-2 unrolling of hot innermost loops. */
+/** Baseline factor-2 unrolling of hot innermost loops. Requires
+ *  conventional (non-SSA) form. */
 bool unrollLoops(ir::Function &func, const OptContext &ctx);
 
-/** Run the scalar passes (simplify/fold/cse/copyprop/dce) to a
- *  fixpoint; returns true if anything changed. */
+/** Build SSA, run the scalar passes (simplify/sccp/gvn/dce) to a
+ *  fixpoint, lower out of SSA; returns true if anything changed.
+ *  Set AREGION_VERIFY_PASSES=1 to verify the function between every
+ *  pass (debug aid; used by the sanitizer presets). */
 bool runScalarPipeline(ir::Function &func, const OptContext &ctx);
 
 /** Whole-module optimization: inline to fixpoint, scalar pipeline,

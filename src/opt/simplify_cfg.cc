@@ -1,3 +1,18 @@
+/**
+ * @file
+ * CFG cleanup: collapse same-target branches, thread trivial jumps,
+ * merge straight-line pairs, drop unreachable blocks.
+ *
+ * The pass runs both before SSA construction (on translate output)
+ * and inside the SSA pipeline, so every edge edit keeps phi inputs
+ * consistent: collapsing a duplicate edge removes its phi slot,
+ * retargeting an edge through a trivial jump copies the threaded
+ * value into a new slot for the new predecessor, and merging a
+ * single-predecessor block lowers its (necessarily arity-1) phis to
+ * copies. A block that carries phis is never itself a threading
+ * candidate — a trivial jump is a single instruction by definition.
+ */
+
 #include "opt/pass.hh"
 
 #include "ir/cfg.hh"
@@ -11,11 +26,11 @@ namespace {
 bool
 isRegionEntry(const Block &blk)
 {
-    return !blk.instrs.empty() &&
-           blk.instrs.front().op == Op::AtomicBegin;
+    return isRegionEntryBlock(blk);
 }
 
-/** A block containing only a jump (threading candidate). */
+/** A block containing only a jump (threading candidate); a block
+ *  with phis can never qualify. */
 bool
 isTrivialJump(const Block &blk)
 {
@@ -35,6 +50,110 @@ endsWithCall(const Block &blk)
     return op == Op::CallStatic || op == Op::CallVirtual;
 }
 
+bool
+hasPhis(const Block &blk)
+{
+    return !blk.instrs.empty() && blk.instrs.front().op == Op::Phi;
+}
+
+/** Remove one phi slot for the edge pred -> blk. */
+void
+dropPhiSlot(Block &blk, int pred)
+{
+    for (Instr &in : blk.instrs) {
+        if (in.op != Op::Phi)
+            break;
+        for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+            if (in.phiBlocks[k] == pred) {
+                in.phiBlocks.erase(in.phiBlocks.begin() +
+                                   static_cast<long>(k));
+                in.srcs.erase(in.srcs.begin() +
+                              static_cast<long>(k));
+                break;
+            }
+        }
+    }
+}
+
+/** Phi slots distinguish edges only by predecessor id, so two edges
+ *  from the same predecessor must carry identical values — otherwise
+ *  the value would depend on which edge was taken, which the
+ *  representation cannot express. Returns false if giving `newPred`
+ *  a copy of `via`'s slots would break that. */
+bool
+threadKeepsPhisUnambiguous(const Block &blk, int via, int newPred)
+{
+    for (const Instr &in : blk.instrs) {
+        if (in.op != Op::Phi)
+            break;
+        Vreg via_val = NO_VREG;
+        for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+            if (in.phiBlocks[k] == via)
+                via_val = in.srcs[k];
+        }
+        for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+            if (in.phiBlocks[k] == newPred && in.srcs[k] != via_val)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** A same-target branch can only collapse to a jump if the target's
+ *  phis do not distinguish its two edges. */
+bool
+dupEdgeSlotsAgree(const Block &blk, int pred)
+{
+    for (const Instr &in : blk.instrs) {
+        if (in.op != Op::Phi)
+            break;
+        Vreg first = NO_VREG;
+        bool seen = false;
+        for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+            if (in.phiBlocks[k] != pred)
+                continue;
+            if (seen && in.srcs[k] != first)
+                return false;
+            first = in.srcs[k];
+            seen = true;
+        }
+    }
+    return true;
+}
+
+/** The edge newPred -> blk replaces an edge that used to run through
+ *  `via` (still a predecessor for its other edges): duplicate the
+ *  threaded slot value for the new predecessor. */
+void
+addThreadedPhiSlot(Block &blk, int via, int newPred)
+{
+    for (Instr &in : blk.instrs) {
+        if (in.op != Op::Phi)
+            break;
+        for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+            if (in.phiBlocks[k] == via) {
+                in.srcs.push_back(in.srcs[k]);
+                in.phiBlocks.push_back(newPred);
+                break;
+            }
+        }
+    }
+}
+
+/** Rename predecessor `from` to `to` in every phi slot of blk. */
+void
+renamePhiPred(Block &blk, int from, int to)
+{
+    for (Instr &in : blk.instrs) {
+        if (in.op != Op::Phi)
+            break;
+        for (int &p : in.phiBlocks) {
+            if (p == from)
+                p = to;
+        }
+    }
+}
+
 } // namespace
 
 bool
@@ -46,11 +165,13 @@ simplifyCfg(Function &func)
     while (changed && ++guard < 64) {
         changed = false;
 
-        // Collapse branches whose arms agree.
+        // Collapse branches whose arms agree (one phi slot per
+        // dropped duplicate edge goes with it).
         for (int b : func.reversePostOrder()) {
             Block &blk = func.block(b);
             if (blk.terminator().op == Op::Branch &&
-                blk.succs.size() == 2 && blk.succs[0] == blk.succs[1]) {
+                blk.succs.size() == 2 && blk.succs[0] == blk.succs[1] &&
+                dupEdgeSlotsAgree(func.block(blk.succs[0]), b)) {
                 Instr jump;
                 jump.op = Op::Jump;
                 jump.bcPc = blk.terminator().bcPc;
@@ -62,6 +183,7 @@ simplifyCfg(Function &func)
                         ? blk.succCount[0] + blk.succCount[1]
                         : blk.execCount;
                 blk.succCount = {total};
+                dropPhiSlot(func.block(blk.succs[0]), b);
                 changed = true;
             }
         }
@@ -79,13 +201,27 @@ simplifyCfg(Function &func)
                     Block &target = func.block(s);
                     if (!isTrivialJump(target) || target.id == blk.id)
                         break;
-                    s = target.succs[0];
+                    const int next = target.succs[0];
+                    if (!threadKeepsPhisUnambiguous(func.block(next),
+                                                    target.id, blk.id))
+                        break;
+                    // The threaded block stays a predecessor of
+                    // `next` for its remaining edges; our new edge
+                    // needs its own phi slot carrying the same
+                    // values.
+                    addThreadedPhiSlot(func.block(next), target.id,
+                                       blk.id);
+                    s = next;
                     changed = true;
                 }
             }
         }
         if (isTrivialJump(func.block(func.entry)) &&
-            !isRegionEntry(func.block(func.entry))) {
+            !isRegionEntry(func.block(func.entry)) &&
+            !hasPhis(func.block(
+                func.block(func.entry).succs[0]))) {
+            // The new entry must not carry phis: the implicit
+            // function-entry edge has no slot to populate.
             func.entry = func.block(func.entry).succs[0];
             changed = true;
         }
@@ -128,11 +264,25 @@ simplifyCfg(Function &func)
             if (is_alt)
                 continue;
 
+            // A single-predecessor block's phis are arity-1; they
+            // lower to plain copies at the merge point.
+            for (size_t i = 0; i < next.instrs.size(); ++i) {
+                Instr &in = next.instrs[i];
+                if (in.op != Op::Phi)
+                    break;
+                in.op = Op::Mov;
+                in.srcs.resize(1);
+                in.phiBlocks.clear();
+            }
             blk.instrs.pop_back();      // drop the jump
             blk.instrs.insert(blk.instrs.end(), next.instrs.begin(),
                               next.instrs.end());
             blk.succs = next.succs;
             blk.succCount = next.succCount;
+            // Successor phis now see the merged block as their
+            // predecessor.
+            for (int t : blk.succs)
+                renamePhiPred(func.block(t), s, b);
             next.instrs.clear();
             next.succs.clear();
             {

@@ -25,6 +25,11 @@ unrollLoops(Function &func, const OptContext &ctx)
 {
     if (ctx.unrollBodyLimit <= 0)
         return false;
+    // Body cloning duplicates defs wholesale; the pass only works on
+    // conventional form. The pipeline driver lowers out of SSA before
+    // calling us — this is a belt-and-braces check.
+    AREGION_ASSERT(!func.ssaForm,
+                   "unrollLoops requires conventional (non-SSA) form");
 
     const DominatorTree doms(func);
     const LoopForest forest(func, doms);

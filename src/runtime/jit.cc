@@ -90,14 +90,10 @@ runExperiment(const vm::Program &profile_prog,
     }
     profile.publishTelemetry();
 
-    // Stage 2: optimizing compilation.
-    core::Compiled compiled = [&] {
-        telemetry::ScopedSpan span("jit.compile");
-        telemetry::ScopedTimerUs timer(
-            registry.counter(keys::kJitCompileUs));
-        return core::compileProgram(measure_prog, profile,
-                                    config.compiler);
-    }();
+    // Stage 2: optimizing compilation (compileProgram owns the
+    // jit.compile span and the kJitCompileUs counter).
+    core::Compiled compiled =
+        core::compileProgram(measure_prog, profile, config.compiler);
 
     // Stage 3: machine + timing execution. Resilience (when enabled)
     // arms the machine's livelock guard for every run, including the
@@ -137,12 +133,8 @@ runExperiment(const vm::Program &profile_prog,
             if (!decision.recompile)
                 continue;   // backing off this round
             updated.region.blacklistMethods = tracker.blacklisted();
-            {
-                telemetry::ScopedTimerUs timer(
-                    registry.counter(keys::kJitCompileUs));
-                compiled = core::compileProgram(measure_prog,
-                                                profile, updated);
-            }
+            compiled = core::compileProgram(measure_prog, profile,
+                                            updated);
             run = executeCompiled(compiled, measure_prog, config,
                                   hw_eff);
             recompiled = true;
@@ -157,12 +149,8 @@ runExperiment(const vm::Program &profile_prog,
             telemetry::ScopedSpan span("jit.adaptive");
             core::CompilerConfig updated = config.compiler;
             updated.region.warmOverrides = overrides;
-            {
-                telemetry::ScopedTimerUs timer(
-                    registry.counter(keys::kJitCompileUs));
-                compiled = core::compileProgram(measure_prog,
-                                                profile, updated);
-            }
+            compiled = core::compileProgram(measure_prog, profile,
+                                            updated);
             run = executeCompiled(compiled, measure_prog, config,
                                   hw_eff);
             recompiled = true;

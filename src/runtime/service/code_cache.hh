@@ -78,7 +78,7 @@ uint64_t hashCompilerConfig(const core::CompilerConfig &config);
  *  kPassSchemaVersion whenever a pass changes behaviour without
  *  changing its name. */
 uint64_t passFingerprint();
-inline constexpr int kPassSchemaVersion = 1;
+inline constexpr int kPassSchemaVersion = 2;
 
 /** Full content address for a compile request. */
 uint64_t cacheKey(const vm::Program &prog, const vm::Profile &profile,

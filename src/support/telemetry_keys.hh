@@ -167,13 +167,13 @@ inline constexpr const char *kJitProfileUs = "jit.profile_us";
 inline constexpr const char *kJitCompileUs = "jit.compile_us";
 inline constexpr const char *kJitMachineUs = "jit.machine_us";
 // Cumulative per-pass optimizer time (opt/pass.cc pipelines).
+// Schema v2 (SSA pipeline): constant_fold/copy_prop became sccp_us,
+// cse became gvn_us, and ssa_us covers SSA build + destroy.
+inline constexpr const char *kJitPassSsaUs = "jit.pass.ssa_us";
 inline constexpr const char *kJitPassSimplifyCfgUs =
     "jit.pass.simplify_cfg_us";
-inline constexpr const char *kJitPassConstantFoldUs =
-    "jit.pass.constant_fold_us";
-inline constexpr const char *kJitPassCseUs = "jit.pass.cse_us";
-inline constexpr const char *kJitPassCopyPropUs =
-    "jit.pass.copy_prop_us";
+inline constexpr const char *kJitPassSccpUs = "jit.pass.sccp_us";
+inline constexpr const char *kJitPassGvnUs = "jit.pass.gvn_us";
 inline constexpr const char *kJitPassDceUs = "jit.pass.dce_us";
 inline constexpr const char *kJitPassInlineUs =
     "jit.pass.inline_us";
@@ -336,8 +336,8 @@ catalogInfo()
           kTimingInjectMispredict, kTimingLeakRegions,
           kTimingLeakFlagged, kTimingLeakLines, kTimingLeakBranches,
           kJitRuns, kJitRecompiles, kJitProfileUs, kJitCompileUs,
-          kJitMachineUs, kJitPassSimplifyCfgUs,
-          kJitPassConstantFoldUs, kJitPassCseUs, kJitPassCopyPropUs,
+          kJitMachineUs, kJitPassSsaUs, kJitPassSimplifyCfgUs,
+          kJitPassSccpUs, kJitPassGvnUs,
           kJitPassDceUs, kJitPassInlineUs, kJitPassUnrollUs,
           kResilienceStorms, kResilienceRecompiles,
           kResilienceBackoffs, kResilienceBlacklisted,

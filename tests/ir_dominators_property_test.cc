@@ -154,6 +154,41 @@ TEST_P(DomSweep, MatchesNaiveReference)
 INSTANTIATE_TEST_SUITE_P(RandomCfgs, DomSweep,
                          ::testing::Range<uint64_t>(1, 40));
 
+TEST(DomProperty, IrDominanceFrontiersMatchDefinition)
+{
+    // DF(b) = { j : b dominates a predecessor of j, and b does not
+    // strictly dominate j } — checked directly against the runner
+    // implementation on random CFGs.
+    for (uint64_t seed = 200; seed < 240; ++seed) {
+        const Function f = randomCfg(seed, 12);
+        const DominatorTree doms(f);
+        const auto df = dominanceFrontiers(f, doms);
+        const auto preds = f.computePreds();
+        for (int b = 0; b < f.numBlocks(); ++b) {
+            std::set<int> expect;
+            if (doms.reachable(b)) {
+                for (int j = 0; j < f.numBlocks(); ++j) {
+                    if (!doms.reachable(j))
+                        continue;
+                    bool domsAPred = false;
+                    for (int p : preds[static_cast<size_t>(j)]) {
+                        if (doms.reachable(p) && doms.dominates(b, p))
+                            domsAPred = true;
+                    }
+                    if (domsAPred &&
+                        !(doms.dominates(b, j) && b != j)) {
+                        expect.insert(j);
+                    }
+                }
+            }
+            const std::set<int> got(df[static_cast<size_t>(b)].begin(),
+                                    df[static_cast<size_t>(b)].end());
+            EXPECT_EQ(got, expect)
+                << "seed=" << seed << " block=" << b;
+        }
+    }
+}
+
 TEST(DomProperty, PostDominanceOnRandomCfgs)
 {
     // Spot property: if a post-dominates b then every path from b to

@@ -2,11 +2,16 @@
  * @file
  * Optimization pass tests: targeted transformations plus
  * executor-equivalence properties over sample and random programs.
+ *
+ * The scalar passes (sccp, gvn, dce) run on SSA form; targeted tests
+ * wrap them in buildSSA/destroySSA so the counted shapes are what the
+ * rest of the compiler sees (conventional form).
  */
 
 #include <gtest/gtest.h>
 
 #include "ir/evaluator.hh"
+#include "ir/ssa.hh"
 #include "ir/translate.hh"
 #include "ir/verifier.hh"
 #include "opt/pass.hh"
@@ -32,6 +37,16 @@ countOps(const ir::Function &f, ir::Op op)
     return n;
 }
 
+/** Run `passes` on SSA form, lowering back out afterwards. */
+void
+inSsa(ir::Function &f,
+      const std::function<void(ir::Function &)> &passes)
+{
+    ir::buildSSA(f);
+    passes(f);
+    ir::destroySSA(f);
+}
+
 /** Run `transform` on the module and check output equivalence. */
 void
 checkEquivalence(const Program &prog,
@@ -51,7 +66,7 @@ checkEquivalence(const Program &prog,
     EXPECT_EQ(eval.output(), interp.output());
 }
 
-TEST(SimplifyCfg, PreservesBehaviourOnAllSamples)
+TEST(OptSimplifyCfg, PreservesBehaviourOnAllSamples)
 {
     for (const auto &s : allSamplePrograms()) {
         SCOPED_TRACE(s.name);
@@ -62,7 +77,20 @@ TEST(SimplifyCfg, PreservesBehaviourOnAllSamples)
     }
 }
 
-TEST(SimplifyCfg, MergesStraightLineBlocks)
+TEST(OptSimplifyCfg, PreservesBehaviourOnAllSamplesInSsaForm)
+{
+    for (const auto &s : allSamplePrograms()) {
+        SCOPED_TRACE(s.name);
+        checkEquivalence(s.prog, [](ir::Module &mod) {
+            for (auto &[m, f] : mod.funcs)
+                inSsa(f, [](ir::Function &fn) {
+                    opt::simplifyCfg(fn);
+                });
+        });
+    }
+}
+
+TEST(OptSimplifyCfg, MergesStraightLineBlocks)
 {
     const Program prog = arithLoopProgram();
     ir::Function f = ir::translate(prog, prog.mainMethod);
@@ -72,7 +100,108 @@ TEST(SimplifyCfg, MergesStraightLineBlocks)
     ir::verifyOrDie(f);
 }
 
-TEST(ConstantFold, FoldsConstantChains)
+/**
+ * Regression (minimized from a random-program pipeline failure):
+ * jump-threading both arms of a branch through trivial jump blocks
+ * into the same phi-carrying join used to give one predecessor two
+ * phi slots holding different values — an edge distinction the
+ * representation cannot express — and the same-target branch
+ * collapse then dropped one slot arbitrarily, flipping the merged
+ * value. Threading must refuse the second arm instead.
+ */
+TEST(OptSimplifyCfg, ThreadingNeverLeavesAmbiguousPhiEdges)
+{
+    // Host program: the Evaluator sizes its heap from a vm::Program;
+    // the hand-built IR below replaces the trivial bytecode main.
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+
+    //   b0: cond=1; a=10; b=20; branch cond -> t1, t2
+    //   t1: jump join          t2: jump join
+    //   join: m = phi [a, t1], [b, t2]; print m; ret
+    auto diamond = [&]() {
+        ir::Function f;
+        f.name = "main";
+        f.methodId = prog.mainMethod;
+        f.ssaForm = true;
+        ir::Block &b0 = f.newBlock();
+        ir::Block &t1 = f.newBlock();
+        ir::Block &t2 = f.newBlock();
+        ir::Block &join = f.newBlock();
+        f.entry = b0.id;
+        const ir::Vreg cond = f.newVreg();
+        const ir::Vreg a = f.newVreg();
+        const ir::Vreg b = f.newVreg();
+        const ir::Vreg m = f.newVreg();
+        auto emit = [](ir::Block &blk, ir::Op op, ir::Vreg dst,
+                       std::vector<ir::Vreg> srcs,
+                       int64_t imm = 0) -> ir::Instr & {
+            ir::Instr in;
+            in.op = op;
+            in.dst = dst;
+            in.srcs = std::move(srcs);
+            in.imm = imm;
+            blk.instrs.push_back(std::move(in));
+            return blk.instrs.back();
+        };
+        emit(b0, ir::Op::Const, cond, {}, 1);
+        emit(b0, ir::Op::Const, a, {}, 10);
+        emit(b0, ir::Op::Const, b, {}, 20);
+        emit(b0, ir::Op::Branch, ir::NO_VREG, {cond});
+        b0.succs = {t1.id, t2.id};
+        emit(t1, ir::Op::Jump, ir::NO_VREG, {});
+        t1.succs = {join.id};
+        emit(t2, ir::Op::Jump, ir::NO_VREG, {});
+        t2.succs = {join.id};
+        ir::Instr &phi = emit(join, ir::Op::Phi, m, {a, b});
+        phi.phiBlocks = {t1.id, t2.id};
+        emit(join, ir::Op::Print, ir::NO_VREG, {m});
+        emit(join, ir::Op::Ret, ir::NO_VREG, {});
+        ir::verifyOrDie(f);
+        return f;
+    };
+
+    ir::Module ref;
+    ref.prog = &prog;
+    ref.funcs.emplace(prog.mainMethod, diamond());
+    ir::destroySSA(ref.funcs.at(prog.mainMethod));
+    ir::Evaluator ref_eval(ref);
+    ASSERT_TRUE(ref_eval.run().completed);
+    ASSERT_EQ(ref_eval.output(), (std::vector<int64_t>{10}));
+
+    ir::Module mod;
+    mod.prog = &prog;
+    mod.funcs.emplace(prog.mainMethod, diamond());
+    ir::Function &f = mod.funcs.at(prog.mainMethod);
+    opt::simplifyCfg(f);
+    ir::verifyOrDie(f);
+    // No predecessor may hold two phi slots with different values.
+    for (int bid : f.reversePostOrder()) {
+        for (const auto &in : f.block(bid).instrs) {
+            if (in.op != ir::Op::Phi)
+                continue;
+            std::map<int, ir::Vreg> seen;
+            for (size_t k = 0; k < in.phiBlocks.size(); ++k) {
+                auto [it, fresh] =
+                    seen.emplace(in.phiBlocks[k], in.srcs[k]);
+                EXPECT_TRUE(fresh || it->second == in.srcs[k])
+                    << "ambiguous phi slots for pred b"
+                    << in.phiBlocks[k];
+            }
+        }
+    }
+    ir::destroySSA(f);
+    ir::Evaluator eval(mod);
+    ASSERT_TRUE(eval.run().completed);
+    EXPECT_EQ(eval.output(), ref_eval.output());
+}
+
+TEST(OptSccp, FoldsConstantChains)
 {
     ProgramBuilder pb;
     const MethodId mm = pb.declareMethod("main", 0);
@@ -89,16 +218,16 @@ TEST(ConstantFold, FoldsConstantChains)
     verifyOrDie(prog);
 
     ir::Function f = ir::translate(prog, prog.mainMethod);
-    opt::constantFold(f);
+    inSsa(f, [](ir::Function &fn) { opt::sccp(fn); });
     // The multiply must be folded away.
     EXPECT_EQ(countOps(f, ir::Op::Mul), 0);
     checkEquivalence(prog, [](ir::Module &mod) {
         for (auto &[m, fn] : mod.funcs)
-            opt::constantFold(fn);
+            inSsa(fn, [](ir::Function &g) { opt::sccp(g); });
     });
 }
 
-TEST(ConstantFold, EliminatesConstantBranches)
+TEST(OptSccp, EliminatesConstantBranches)
 {
     ProgramBuilder pb;
     const MethodId mm = pb.declareMethod("main", 0);
@@ -121,15 +250,15 @@ TEST(ConstantFold, EliminatesConstantBranches)
 
     ir::Function f = ir::translate(prog, prog.mainMethod);
     const int blocks_before = f.numBlocks();
-    opt::constantFold(f);
+    inSsa(f, [](ir::Function &fn) { opt::sccp(fn); });
     EXPECT_EQ(countOps(f, ir::Op::Branch), 0);
     EXPECT_LT(f.numBlocks(), blocks_before);    // dead arm removed
 }
 
-TEST(Cse, RemovesRedundantLoadsAndChecks)
+TEST(OptGvn, RemovesRedundantLoadsAndChecks)
 {
     // Two back-to-back getfields of the same field: the second load
-    // and null check must go after CSE + cleanup.
+    // and null check must go after GVN + cleanup.
     ProgramBuilder pb;
     const ClassId c = pb.declareClass("C", {"f"});
     const MethodId mm = pb.declareMethod("main", 0);
@@ -150,9 +279,10 @@ TEST(Cse, RemovesRedundantLoadsAndChecks)
     opt::simplifyCfg(f);
     EXPECT_EQ(countOps(f, ir::Op::LoadField), 2);
     EXPECT_EQ(countOps(f, ir::Op::NullCheck), 3);
-    opt::commonSubexpressionElim(f);
-    opt::copyPropagate(f);
-    opt::deadCodeElim(f);
+    inSsa(f, [](ir::Function &fn) {
+        opt::gvn(fn);
+        opt::deadCodeElim(fn);
+    });
     ir::verifyOrDie(f);
     // Store-to-load forwarding removes BOTH loads; null checks
     // collapse to one.
@@ -161,14 +291,15 @@ TEST(Cse, RemovesRedundantLoadsAndChecks)
 
     checkEquivalence(prog, [](ir::Module &mod) {
         for (auto &[m, fn] : mod.funcs) {
-            opt::commonSubexpressionElim(fn);
-            opt::copyPropagate(fn);
-            opt::deadCodeElim(fn);
+            inSsa(fn, [](ir::Function &g) {
+                opt::gvn(g);
+                opt::deadCodeElim(g);
+            });
         }
     });
 }
 
-TEST(Cse, ColdJoinBlocksEliminationButAssertWouldNot)
+TEST(OptGvn, ColdJoinBlocksEliminationButAssertWouldNot)
 {
     // A diamond recomputing the same expression in the tail: with a
     // join from the cold arm (which does not compute it), AVAIL
@@ -212,22 +343,27 @@ TEST(Cse, ColdJoinBlocksEliminationButAssertWouldNot)
     f.entry = entry.id;
     ir::verifyOrDie(f);
 
-    opt::commonSubexpressionElim(f);
+    const int entry_id = entry.id;
+    const int hot_id = hot.id;
+    inSsa(f, [](ir::Function &fn) { opt::gvn(fn); });
     // Both Adds must survive: the cold path kills availability.
     EXPECT_EQ(countOps(f, ir::Op::Add), 2);
 
     // Remove the cold join edge (as region formation does) and the
     // same pass now eliminates the recomputation.
-    f.block(entry.id).succs = {hot.id};
-    f.block(entry.id).succCount = {1};
-    f.block(entry.id).instrs.back() =
+    f.block(entry_id).succs = {hot_id};
+    f.block(entry_id).succCount = {1};
+    f.block(entry_id).instrs.back() =
         mk(ir::Op::Jump, ir::NO_VREG, {});
     f.compact();
-    opt::commonSubexpressionElim(f);
+    inSsa(f, [](ir::Function &fn) {
+        opt::gvn(fn);
+        opt::deadCodeElim(fn);
+    });
     EXPECT_EQ(countOps(f, ir::Op::Add), 1);
 }
 
-TEST(CopyProp, ForwardsThroughMovChains)
+TEST(OptSccp, ForwardsThroughMovChains)
 {
     ProgramBuilder pb;
     const MethodId mm = pb.declareMethod("main", 0);
@@ -245,12 +381,14 @@ TEST(CopyProp, ForwardsThroughMovChains)
     verifyOrDie(prog);
 
     ir::Function f = ir::translate(prog, prog.mainMethod);
-    opt::copyPropagate(f);
-    opt::deadCodeElim(f);
+    inSsa(f, [](ir::Function &fn) {
+        opt::sccp(fn);
+        opt::deadCodeElim(fn);
+    });
     EXPECT_EQ(countOps(f, ir::Op::Mov), 0);
 }
 
-TEST(Dce, KeepsChecksAndEffects)
+TEST(OptDce, KeepsChecksAndEffects)
 {
     const Program prog = addElementProgram(50, 8);
     ir::Module mod = ir::translateProgram(prog);
@@ -264,7 +402,7 @@ TEST(Dce, KeepsChecksAndEffects)
     }
 }
 
-TEST(Dce, RemovesDeadArithmetic)
+TEST(OptDce, RemovesDeadArithmetic)
 {
     ProgramBuilder pb;
     const MethodId mm = pb.declareMethod("main", 0);
@@ -286,7 +424,45 @@ TEST(Dce, RemovesDeadArithmetic)
     EXPECT_EQ(countOps(f, ir::Op::Mul), 0);
 }
 
-TEST(Inliner, InlinesSmallStaticCallees)
+TEST(OptDce, RemovesDeadPhiCyclesInSsaForm)
+{
+    // A loop-carried counter nobody reads: under backward liveness
+    // the phi and its increment keep each other alive; mark-sweep
+    // from essential roots removes both.
+    ProgramBuilder pb;
+    const MethodId mm = pb.declareMethod("main", 0);
+    auto mb = pb.define(mm);
+    const Reg i = mb.constant(0);
+    const Reg dead = mb.constant(0);
+    const Reg lim = mb.constant(10);
+    const Reg one = mb.constant(1);
+    const Reg three = mb.constant(3);
+    const Label head = mb.newLabel();
+    const Label out = mb.newLabel();
+    mb.bind(head);
+    mb.branchCmp(Bc::CmpGe, i, lim, out);
+    mb.binopTo(Bc::Add, dead, dead, three);  // never observed
+    mb.binopTo(Bc::Add, i, i, one);
+    mb.jump(head);
+    mb.bind(out);
+    mb.print(i);
+    mb.retVoid();
+    mb.finish();
+    pb.setMain(mm);
+    const Program prog = pb.build();
+    verifyOrDie(prog);
+
+    ir::Function f = ir::translate(prog, prog.mainMethod);
+    ir::buildSSA(f);
+    opt::deadCodeElim(f);
+    ir::verifyOrDie(f);
+    // Only the live increment survives: i += 1 (plus the compare).
+    EXPECT_EQ(countOps(f, ir::Op::Add), 1);
+    ir::destroySSA(f);
+    ir::verifyOrDie(f);
+}
+
+TEST(OptInliner, InlinesSmallStaticCallees)
 {
     const Program prog = fibProgram();
     Profile profile(prog);
@@ -306,7 +482,7 @@ TEST(Inliner, InlinesSmallStaticCallees)
     });
 }
 
-TEST(Inliner, DevirtualizesMonomorphicSites)
+TEST(OptInliner, DevirtualizesMonomorphicSites)
 {
     const Program prog = dispatchProgram();
     Profile profile(prog);
@@ -335,7 +511,7 @@ TEST(Inliner, DevirtualizesMonomorphicSites)
     });
 }
 
-TEST(Unroll, DuplicatesHotLoopBodies)
+TEST(OptUnroll, DuplicatesHotLoopBodies)
 {
     const Program prog = arithLoopProgram();
     Profile profile(prog);
@@ -361,7 +537,7 @@ TEST(Unroll, DuplicatesHotLoopBodies)
     });
 }
 
-TEST(Pipeline, FullOptimizationPreservesAllSamples)
+TEST(OptPipeline, FullOptimizationPreservesAllSamples)
 {
     for (const auto &s : allSamplePrograms()) {
         SCOPED_TRACE(s.name);
@@ -376,7 +552,25 @@ TEST(Pipeline, FullOptimizationPreservesAllSamples)
     }
 }
 
-TEST(Pipeline, ReducesDynamicInstructionCount)
+TEST(OptPipeline, LeavesConventionalForm)
+{
+    // Everything downstream of the pipeline (region formation,
+    // machine-code emission) expects phis to be gone.
+    const Program prog = arithLoopProgram();
+    Profile profile(prog);
+    Interpreter interp(prog, &profile);
+    ASSERT_TRUE(interp.run().completed);
+    opt::OptContext ctx;
+    ctx.profile = &profile;
+    ir::Module mod = ir::translateProgram(prog, &profile);
+    opt::optimizeModule(mod, ctx);
+    for (const auto &[m, f] : mod.funcs) {
+        EXPECT_FALSE(f.ssaForm);
+        EXPECT_EQ(countOps(f, ir::Op::Phi), 0);
+    }
+}
+
+TEST(OptPipeline, ReducesDynamicInstructionCount)
 {
     const Program prog = addElementProgram(400, 32);
     Profile profile(prog);
@@ -400,7 +594,7 @@ TEST(Pipeline, ReducesDynamicInstructionCount)
     EXPECT_LT(opt_res.instrs, base_res.instrs);
 }
 
-TEST(Property, RandomProgramsSurviveFullPipeline)
+TEST(OptProperty, RandomProgramsSurviveFullPipeline)
 {
     for (uint64_t seed = 1; seed <= 25; ++seed) {
         SCOPED_TRACE("seed " + std::to_string(seed));

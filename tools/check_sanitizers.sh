@@ -38,6 +38,17 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
     "$build/tools/fuzz_diff" --seeds 200 --masks canonical --quiet
 
+# IR/opt leg, run explicitly so a filtered invocation still covers
+# the SSA round-trip and the sparse scalar passes: buildSSA/destroySSA
+# splice and free phi instructions aggressively, and the pass
+# verifier (AREGION_VERIFY_PASSES) re-walks the full IR after every
+# stage — prime territory for use-after-free and indexing errors.
+AREGION_VERIFY_PASSES=1 \
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+    ctest --test-dir "$build" --output-on-failure \
+          -j "$(nproc 2>/dev/null || echo 4)" -R 'Ir|Opt'
+
 # Bisimulation-oracle + leakage-observer leg (docs/RESILIENCE.md),
 # run explicitly for the same reason as the smoke above: a filtered
 # invocation must still exercise the abort-replay machinery (every
@@ -65,12 +76,15 @@ fi
 # the bisimulation-oracle / leakage-observer suites (the bisim
 # replayer reads the shared heap while other contexts' state sits in
 # the same Machine) — the paths where host-thread races can live.
+# The Ir|Opt leg rides along: compiles run concurrently on service
+# worker threads and grid cells, so the SSA passes' shared telemetry
+# writes belong under TSan too.
 cmake --preset tsan -S "$root"
 cmake --build "$build_tsan" -j "$(nproc 2>/dev/null || echo 4)"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir "$build_tsan" --output-on-failure \
           -j "$(nproc 2>/dev/null || echo 4)" \
-          -R 'Contention|Service|fuzz-smoke|Bisim|Leak'
+          -R 'Contention|Service|fuzz-smoke|Bisim|Leak|Ir|Opt'
 
-echo "check_sanitizers: contention + service + bisim/leak suites + fuzz smoke clean under TSan"
+echo "check_sanitizers: contention + service + ir/opt + bisim/leak suites + fuzz smoke clean under TSan"
